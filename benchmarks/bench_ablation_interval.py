@@ -1,0 +1,84 @@
+"""Ablation: checkpoint-interval policy (Young vs Daly vs fixed).
+
+DESIGN.md calls out the checkpoint cadence as a core design choice: the
+paper fixes 100 iterations for the resilience study and uses Young's
+formula for the cost study, citing Daly's refinement as the higher-order
+alternative.  This ablation sweeps the policy on one matrix and checks
+the textbook expectations:
+
+* Young and Daly agree closely when t_C << MTBF (and hence perform the
+  same);
+* an absurdly long cadence pays in rollback re-execution;
+* an absurdly short cadence pays in checkpoint writes;
+* both optima beat both extremes on total time.
+"""
+
+from repro.checkpoint.interval import daly_interval, interval_in_iterations, young_interval
+from repro.checkpoint.store import DiskStore
+from repro.core.recovery.checkpoint import CheckpointRestart
+from repro.core.solver import ResilientSolver, SolverConfig
+from repro.harness.reporting import format_table
+
+from benchmarks.common import COST_STUDY_RANKS, emit, experiment
+
+MATRIX = "crystm02"
+
+
+def ablation_data():
+    exp = experiment(MATRIX, nranks=COST_STUDY_RANKS, n_faults=10)
+    ff = exp.fault_free
+    mtbf = exp.implied_mtbf_s()
+    t_c = DiskStore().write_time_s(exp.b.nbytes, COST_STUDY_RANKS)
+    wall = ff.details["iteration_wall_s"]
+    young_iters = interval_in_iterations(young_interval(t_c, mtbf), wall)
+    daly_iters = interval_in_iterations(daly_interval(t_c, mtbf), wall)
+    policies = {
+        "young": young_iters,
+        "daly": daly_iters,
+        "every-2": 2,
+        f"every-{max(4 * young_iters, 200)}": max(4 * young_iters, 200),
+    }
+    reports = {}
+    for label, iters in policies.items():
+        solver = ResilientSolver(
+            exp.a,
+            exp.b,
+            scheme=CheckpointRestart(DiskStore(), interval_iters=iters, name="CR-D"),
+            schedule=exp.schedule(),
+            config=SolverConfig(
+                nranks=COST_STUDY_RANKS, baseline_iters=ff.iterations
+            ),
+        )
+        reports[label] = (iters, solver.solve())
+    return ff, reports
+
+
+def test_checkpoint_interval_ablation(benchmark):
+    ff, reports = benchmark.pedantic(ablation_data, rounds=1, iterations=1)
+    rows = [
+        [label, iters, rep.normalized_time(ff), rep.normalized_energy(ff)]
+        for label, (iters, rep) in reports.items()
+    ]
+    text = format_table(
+        ["policy", "interval (iters)", "T", "E"],
+        rows,
+        title=f"Ablation — CR-D checkpoint cadence on {MATRIX} (FF=1)",
+        precision=3,
+    )
+    emit("ablation_interval", text)
+
+    times = {label: rep.time_s for label, (_, rep) in reports.items()}
+    young_t = times["young"]
+    daly_t = times["daly"]
+    # Young and Daly nearly coincide in the t_C << MTBF regime
+    assert abs(young_t - daly_t) / young_t < 0.10
+    # the optimum clearly beats over-eager checkpointing, and stays
+    # within ~10% of the best policy tested (on our restart-penalty-
+    # dominated stand-ins the cost curve is flat on the long side, so
+    # very long cadences are not punished as hard as Young predicts —
+    # recorded as a deviation in EXPERIMENTS.md)
+    assert young_t < 0.8 * times["every-2"]
+    assert young_t <= 1.10 * min(times.values())
+    # every variant still converges correctly
+    for _, rep in reports.values():
+        assert rep.converged

@@ -1,0 +1,54 @@
+"""Figure 1: estimated MTBF for exascale systems from petascale systems.
+
+Regenerates the per-fault-class system MTBF for a 20K-node petascale
+machine (today's technology) and a 1M-node exascale machine (11 nm),
+i.e. the two bar groups of Figure 1.
+"""
+
+from repro.faults.events import FaultClass
+from repro.faults.mtbf import EXASCALE, PETASCALE, MtbfEstimator
+from repro.harness.reporting import format_table
+
+from benchmarks.common import emit
+
+
+def figure1_rows():
+    est = MtbfEstimator()
+    rows = []
+    for cls in FaultClass:
+        rows.append(
+            [
+                cls.label,
+                cls.kind.value,
+                est.system_mtbf(cls, PETASCALE),
+                est.system_mtbf(cls, PETASCALE) / 24.0,
+                est.system_mtbf(cls, EXASCALE),
+            ]
+        )
+    combined = [
+        "ALL",
+        "-",
+        est.combined_system_mtbf(PETASCALE),
+        est.combined_system_mtbf(PETASCALE) / 24.0,
+        est.combined_system_mtbf(EXASCALE),
+    ]
+    return rows + [combined]
+
+
+def test_figure1_mtbf(benchmark):
+    rows = benchmark.pedantic(figure1_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["class", "kind", "peta MTBF (h)", "peta MTBF (d)", "exa MTBF (h)"],
+        rows,
+        title=(
+            "Figure 1 — system MTBF per fault class "
+            "(petascale: 20K nodes; exascale: 1M nodes, 11 nm)"
+        ),
+        precision=2,
+    )
+    emit("fig1_mtbf", text)
+    # Paper's headline: petascale 1-7 days, exascale within an hour.
+    for row in rows[:-1]:
+        assert 1.0 <= row[3] <= 7.5
+        assert row[4] <= 4.0
+    assert rows[-1][4] < 1.0

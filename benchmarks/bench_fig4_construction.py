@@ -1,0 +1,99 @@
+"""Figure 4: time-to-solution with the CG-based construction algorithm
+for LI and LSI on matrix Kuu with 5 faults.
+
+Sweeps the local-construction tolerance and compares against the exact
+baselines (LU-based LI, parallel exact least-squares standing in for the
+QR-based LSI of [2]).  The paper's claim: the CG-based constructions
+reduce the recovery time — "by computing a less accurate approximation,
+CG-based LI and LSI require less recovery time and total time", with a
+4-15% total improvement depending on tolerance.
+
+The deterministic half of that claim (construction/recovery time) is
+asserted at every tolerance; the total time-to-solution — which also
+contains the stochastic convergence-delay term — is reported in the
+table and asserted loosely (the CG variants never lose badly and win at
+their best tolerance).
+"""
+
+from repro.harness.experiment import Experiment, ExperimentConfig
+from repro.harness.reporting import format_table
+from repro.power.energy import PhaseTag
+
+from benchmarks.common import emit
+
+TOLERANCES = [1e-2, 1e-4, 1e-6, 1e-8]
+NRANKS = 16
+N_FAULTS = 5
+SCALE = 2.0  # Kuu stand-in at n ~ 1320 so victim blocks are sizeable
+
+
+def recon_time(rep) -> float:
+    return rep.account.time(PhaseTag.RECONSTRUCT)
+
+
+def figure4_data():
+    base = ExperimentConfig(
+        matrix="Kuu", nranks=NRANKS, n_faults=N_FAULTS, scale=SCALE
+    )
+    exp = Experiment(base)
+    baselines = {name: exp.run(name) for name in ("LI-LU", "LSI-QR")}
+    rows = []
+    for tol in TOLERANCES:
+        e = Experiment(
+            ExperimentConfig(
+                matrix="Kuu",
+                nranks=NRANKS,
+                n_faults=N_FAULTS,
+                scale=SCALE,
+                construct_tol=tol,
+            )
+        )
+        rows.append((tol, e.run("LI"), e.run("LSI")))
+    return exp.fault_free, baselines, rows
+
+
+def test_figure4_construction(benchmark):
+    ff, baselines, rows = benchmark.pedantic(figure4_data, rounds=1, iterations=1)
+    lu, qr = baselines["LI-LU"], baselines["LSI-QR"]
+    table = [
+        [
+            f"{tol:.0e}",
+            recon_time(li) / recon_time(lu),
+            li.time_s / lu.time_s,
+            recon_time(lsi) / recon_time(qr),
+            lsi.time_s / qr.time_s,
+        ]
+        for tol, li, lsi in rows
+    ]
+    text = format_table(
+        [
+            "construct tol",
+            "LI recov T vs LU",
+            "LI total T vs LU",
+            "LSI recov T vs QR",
+            "LSI total T vs QR",
+        ],
+        table,
+        title=(
+            "Figure 4 — CG-based vs exact construction, Kuu-class, "
+            f"{N_FAULTS} faults (ratios < 1: the CG construction wins; "
+            f"FF baseline: {ff.iterations} iterations)"
+        ),
+        precision=3,
+    )
+    emit("fig4_construction", text)
+
+    for tol, li, lsi in rows:
+        assert li.converged and lsi.converged
+        # the optimized construction is cheaper at every tolerance
+        assert recon_time(li) < recon_time(lu), f"LI recovery @{tol}"
+        assert recon_time(lsi) < recon_time(qr), f"LSI recovery @{tol}"
+        # and total time never degrades badly
+        assert li.time_s < 1.25 * lu.time_s
+        assert lsi.time_s < 1.25 * qr.time_s
+    # at its best tolerance each CG variant also wins on total time
+    assert min(li.time_s for _, li, _ in rows) < lu.time_s
+    assert min(lsi.time_s for _, _, lsi in rows) < qr.time_s
+    # looser tolerance -> cheaper construction (the Figure-4 x-axis trend)
+    li_recovs = [recon_time(li) for _, li, _ in rows]
+    assert li_recovs[0] <= li_recovs[-1]

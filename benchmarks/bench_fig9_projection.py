@@ -1,0 +1,76 @@
+"""Figure 9: projected resilience overhead under weak scaling (50K nnz
+per process) with a linearly decreasing system MTBF.
+
+Shape to reproduce: RD flat; FW's T_res/E_res grow monotonically;
+CR-D grows fastest and dominates the fault-free cost at scale; CR-M
+stays far below everything; the average power of FW and CR-D drops as
+recovery time dominates; beyond the plotted range FW and CR-D hit the
+"progress halts" regime.
+"""
+
+import math
+
+from repro.core.models.projection import (
+    FIGURE9_SCHEMES,
+    ProjectionConfig,
+    project,
+)
+from repro.harness.reporting import format_table
+
+from benchmarks.common import emit
+
+SIZES = [192, 768, 3072, 12_288, 49_152, 98_304, 196_608]
+
+
+def figure9_data():
+    return project(SIZES, ProjectionConfig())
+
+
+def _fmt(x):
+    return "HALT" if math.isinf(x) or math.isnan(x) else x
+
+
+def test_figure9_projection(benchmark):
+    data = benchmark.pedantic(figure9_data, rounds=1, iterations=1)
+    rows = []
+    for n_idx, n in enumerate(SIZES):
+        mtbf_h = data["RD"][n_idx].system_mtbf_s / 3600.0
+        row = [n, mtbf_h]
+        for s in FIGURE9_SCHEMES:
+            p = data[s][n_idx]
+            row.extend([_fmt(p.t_res_ratio), _fmt(p.e_res_ratio), _fmt(p.power_ratio)])
+        rows.append(row)
+    headers = ["procs", "MTBF(h)"]
+    for s in FIGURE9_SCHEMES:
+        headers.extend([f"{s} T", f"{s} E", f"{s} P"])
+    text = format_table(
+        headers,
+        rows,
+        title=(
+            "Figure 9 — projected resilience overhead, weak scaling at "
+            "50K nnz/proc, per-proc MTBF 6K h (normalized to FF per size)"
+        ),
+        precision=3,
+    )
+    emit("fig9_projection", text)
+
+    plot_sizes = [n for n in SIZES if n <= 98_304]
+    # RD flat at (0, 1, 2)
+    for p in data["RD"]:
+        assert p.t_res_ratio == 0.0 and abs(p.e_res_ratio - 1.0) < 1e-9
+    # FW monotone growth
+    fw = [p.t_res_ratio for p in data["FW"] if not p.halted]
+    assert all(b > a for a, b in zip(fw, fw[1:]))
+    # CR-D grows fastest and dominates FF at the top plotted size
+    top = len(plot_sizes) - 1
+    assert data["CR-D"][top].t_res_ratio > data["FW"][top].t_res_ratio
+    assert data["CR-D"][top].t_res_ratio > 1.0
+    # CR-M stays small everywhere
+    assert all(p.t_res_ratio < 0.1 for p in data["CR-M"])
+    # power of FW and CR-D drops with scale
+    for s in ("FW", "CR-D"):
+        series = [p.power_ratio for p in data[s] if not p.halted]
+        assert series[-1] < series[0]
+    # the halt regime is reached beyond the plot
+    assert data["CR-D"][-1].halted
+    assert data["FW"][-1].halted

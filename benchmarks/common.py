@@ -1,0 +1,71 @@
+"""Shared machinery for the reproduction benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper.
+Experiment runs are memoized per pytest session (several benchmarks
+consume the same sweeps), and each benchmark both prints its reproduced
+rows (visible with ``pytest -s``) and writes them under
+``benchmarks/results/`` so ``--benchmark-only`` runs leave artefacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.report import SolveReport
+from repro.harness.experiment import Experiment, ExperimentConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Process counts.  The resilience (iteration-count) study uses the
+#: paper's 256 processes — iteration counts are scale-invariant.  The
+#: cost studies instead preserve the paper's *rows per rank* (~300-600:
+#: e.g. x104's 108k rows on 192 cores): our matrices are ~10x smaller,
+#: so 24 ranks (one node) keeps recovery phases the same relative size
+#: they had on the paper's testbed.
+COST_STUDY_RANKS = 24
+ITERATION_STUDY_RANKS = 256
+
+_experiments: dict[tuple, Experiment] = {}
+_reports: dict[tuple, SolveReport] = {}
+
+
+def experiment(
+    matrix: str,
+    *,
+    nranks: int,
+    n_faults: int = 10,
+    cr_interval="paper",
+    seed: int = 0,
+    scale: float = 1.0,
+) -> Experiment:
+    """Memoized Experiment for (matrix, protocol) cells."""
+    key = (matrix, nranks, n_faults, str(cr_interval), seed, scale)
+    if key not in _experiments:
+        _experiments[key] = Experiment(
+            ExperimentConfig(
+                matrix=matrix,
+                nranks=nranks,
+                n_faults=n_faults,
+                cr_interval=cr_interval,
+                seed=seed,
+                scale=scale,
+            )
+        )
+    return _experiments[key]
+
+
+def run(exp: Experiment, scheme: str) -> SolveReport:
+    """Memoized scheme run on a memoized experiment."""
+    c = exp.config
+    key = (c.matrix, c.nranks, c.n_faults, str(c.cr_interval), c.seed, c.scale, scheme)
+    if key not in _reports:
+        _reports[key] = exp.run(scheme)
+    return _reports[key]
+
+
+def emit(name: str, text: str) -> str:
+    """Print a reproduced table/figure and persist it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+    return text

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Project resilience cost to exascale (Section 6 / Figure 9).
+
+Sweeps system size under fixed-time weak scaling (50K nnz per process)
+with a per-processor MTBF of 6K hours — so the system MTBF shrinks
+linearly — and reports each scheme's normalized T_res / E_res / average
+power, including the size at which checkpoint/restart and forward
+recovery hit the "progress halts" wall.
+
+Run:  python examples/exascale_projection.py
+"""
+
+import math
+
+from repro.core.models.projection import (
+    FIGURE9_SCHEMES,
+    ProjectionConfig,
+    project,
+    project_scheme,
+)
+from repro.harness.reporting import format_table
+
+SIZES = [192, 768, 3072, 12_288, 49_152, 98_304, 196_608, 786_432]
+
+
+def first_halt_size(scheme: str, cfg: ProjectionConfig) -> int | None:
+    """Smallest power-of-two-ish size at which the scheme halts."""
+    n = 192
+    while n <= 4_000_000:
+        if project_scheme(scheme, n, cfg).halted:
+            return n
+        n *= 2
+    return None
+
+
+def main() -> None:
+    cfg = ProjectionConfig()
+    data = project(SIZES, cfg)
+
+    fmt = lambda x: "HALT" if (math.isinf(x) or math.isnan(x)) else round(x, 3)
+    rows = []
+    for i, n in enumerate(SIZES):
+        row = [n, round(data["RD"][i].system_mtbf_s / 60.0, 1)]
+        for s in FIGURE9_SCHEMES:
+            p = data[s][i]
+            row.append(fmt(p.t_res_ratio))
+            row.append(fmt(p.e_res_ratio))
+        rows.append(row)
+    headers = ["procs", "MTBF (min)"]
+    for s in FIGURE9_SCHEMES:
+        headers += [f"{s} T_res", f"{s} E_res"]
+    print(
+        format_table(
+            headers,
+            rows,
+            title="projected resilience overhead (normalized to fault-free)",
+            precision=3,
+        )
+    )
+
+    print("\nwhere each scheme stops making progress:")
+    for s in ("CR-D", "FW", "CR-M"):
+        halt = first_halt_size(s, cfg)
+        print(
+            f"  {s:<5} halts at ~{halt:,} processes"
+            if halt
+            else f"  {s:<5} never halts in the explored range"
+        )
+    print(
+        "\nTakeaways (matching the paper): RD's overhead is flat but always "
+        "2x energy; CR-D's overhead grows fastest and dominates first; FW "
+        "grows more slowly; CR-M stays cheap but cannot survive lost "
+        "memory in practice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Soft errors (SDC) vs hard faults: which recovery do you need?
+
+The paper's fault taxonomy (Section 2.1) distinguishes silent data
+corruption from node failures.  This example injects both kinds into the
+same solve and compares three answers:
+
+* **LI** forward recovery — rebuilds the victim block either way;
+* **RD** (DMR) — exact recovery of detected faults, but a silently
+  corrupted copy cannot be out-voted with only two replicas;
+* **TMR** — 3x power, and a majority vote masks single-copy SDC
+  (the classical motivation for triple redundancy).
+
+Run:  python examples/soft_error_study.py
+"""
+
+import numpy as np
+
+from repro import ResilientSolver, SolverConfig, make_scheme
+from repro.faults.events import FaultClass
+from repro.faults.schedule import FixedIterationSchedule
+from repro.matrices import suite
+
+
+def main() -> None:
+    a = suite.build("wathen100")
+    b = a @ np.random.default_rng(0).standard_normal(a.shape[0])
+    config = SolverConfig(nranks=32)
+    ff = ResilientSolver(a, b, config=config).solve()
+    mid = ff.iterations // 2
+
+    print(f"fault-free: {ff.iterations} iterations\n")
+    print(f"{'scheme':8s} {'fault':5s} {'iters':>6s} {'T':>6s} {'E':>6s} {'P':>6s}")
+    for fault_class in (FaultClass.SNF, FaultClass.SDC):
+        schedule = FixedIterationSchedule(
+            iterations=[mid], victims=[3], fault_class=fault_class
+        )
+        for name in ("LI", "RD", "TMR"):
+            rep = ResilientSolver(
+                a,
+                b,
+                scheme=make_scheme(name),
+                schedule=schedule,
+                config=SolverConfig(nranks=32, baseline_iters=ff.iterations),
+            ).solve()
+            print(
+                f"{name:8s} {fault_class.label:5s} {rep.iterations:6d} "
+                f"{rep.normalized_time(ff):6.2f} {rep.normalized_energy(ff):6.2f} "
+                f"{rep.normalized_power(ff):6.2f}"
+            )
+
+    print(
+        "\nReading: every scheme restores correctness for both fault kinds "
+        "(detection is assumed, per the paper); the difference is cost — "
+        "LI pays a few extra iterations at ~1x power, RD/TMR pay 2x/3x "
+        "power for zero iteration overhead.  Only TMR could also *mask* "
+        "the SDC without a detector:",
+        f"can_outvote_sdc = {make_scheme('TMR').can_outvote_sdc}",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Optimal checkpoint interval: Young's and Daly's approximations.
+
+"The optimal checkpointing interval, I_C, is a function of failure rate
+and commonly approximated with Young's and Daly's approaches [41, 16]"
+(Section 3.2).  Both return the interval between checkpoint *starts* in
+seconds given the per-checkpoint cost ``t_C`` and the MTBF ``M``:
+
+* Young [41]:  I = sqrt(2 * t_C * M)
+* Daly  [16]:  the higher-order refinement
+  I = sqrt(2 * t_C * M) * (1 + sqrt(t_C / (2M)) / 3 + t_C / (9 * 2M)) - t_C
+  for t_C < 2M, and I = M for t_C >= 2M.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _validate(t_c: float, mtbf: float) -> None:
+    if t_c <= 0:
+        raise ValueError("checkpoint cost must be positive")
+    if mtbf <= 0:
+        raise ValueError("MTBF must be positive")
+
+
+def young_interval(t_c: float, mtbf: float) -> float:
+    """Young's first-order optimal checkpoint interval (seconds)."""
+    _validate(t_c, mtbf)
+    return math.sqrt(2.0 * t_c * mtbf)
+
+
+def daly_interval(t_c: float, mtbf: float) -> float:
+    """Daly's higher-order optimal checkpoint interval (seconds)."""
+    _validate(t_c, mtbf)
+    if t_c >= 2.0 * mtbf:
+        return mtbf
+    base = math.sqrt(2.0 * t_c * mtbf)
+    ratio = t_c / (2.0 * mtbf)
+    return base * (1.0 + math.sqrt(ratio) / 3.0 + ratio / 9.0) - t_c
+
+
+def interval_in_iterations(
+    interval_s: float, time_per_iteration_s: float, *, minimum: int = 1
+) -> int:
+    """Convert a wall-clock interval to a whole number of CG iterations.
+
+    The solver checkpoints on iteration boundaries, so the interval is
+    rounded to the nearest iteration count (at least ``minimum``).
+    """
+    if interval_s <= 0:
+        raise ValueError("interval must be positive")
+    if time_per_iteration_s <= 0:
+        raise ValueError("iteration time must be positive")
+    if minimum < 1:
+        raise ValueError("minimum must be at least 1")
+    return max(minimum, int(round(interval_s / time_per_iteration_s)))

@@ -1,0 +1,57 @@
+"""Periodic checkpoint manager.
+
+Couples a :class:`~repro.checkpoint.store.CheckpointStore` with a
+checkpoint cadence in iterations.  The CR recovery scheme drives it from
+the solver loop: ``maybe_checkpoint`` after every iteration, ``rollback``
+when a fault strikes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.checkpoint.store import CheckpointStore, Snapshot
+
+
+@dataclass
+class CheckpointManager:
+    """Checkpoints the iterate every ``interval_iters`` iterations."""
+
+    store: CheckpointStore
+    interval_iters: int
+
+    def __post_init__(self) -> None:
+        if self.interval_iters < 1:
+            raise ValueError("interval must be at least one iteration")
+        self.writes = 0
+        self.rollbacks = 0
+
+    def due(self, iteration: int) -> bool:
+        """True when ``iteration`` (1-based count of completed
+        iterations) lands on the cadence."""
+        if iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        return iteration > 0 and iteration % self.interval_iters == 0
+
+    def maybe_checkpoint(self, iteration: int, x: np.ndarray, nranks: int):
+        """Checkpoint if due.  Returns ``(snapshot, write_time_s)`` or
+        ``None`` when not due."""
+        if not self.due(iteration):
+            return None
+        snap = self.store.save(iteration, x)
+        self.writes += 1
+        return snap, self.store.write_time_s(x.nbytes, nranks)
+
+    def rollback(self, iteration: int, nbytes: int, nranks: int):
+        """Fetch the newest snapshot at or before ``iteration``.
+
+        Returns ``(snapshot_or_None, read_time_s)``.  With no snapshot
+        yet, CR restarts from the initial guess (snapshot None) and the
+        read still pays the store's access cost for the attempt.
+        """
+        self.rollbacks += 1
+        snap: Snapshot | None = self.store.latest_before(iteration)
+        read_time = self.store.read_time_s(nbytes, nranks)
+        return snap, read_time

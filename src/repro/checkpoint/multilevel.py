@@ -1,0 +1,120 @@
+"""Multi-level checkpointing (SCR-style).
+
+The paper's related work cites the Scalable Checkpoint/Restart library
+[33]: frequent cheap checkpoints to node memory, occasional expensive
+ones to the parallel file system, with restart preferring the cheapest
+level that still has the data.  :class:`MultiLevelManager` composes the
+existing :class:`~repro.checkpoint.store.MemoryStore` and
+:class:`~repro.checkpoint.store.DiskStore` that way:
+
+* every ``memory_interval`` iterations -> memory checkpoint;
+* every ``disk_every`` memory checkpoints -> the checkpoint *also*
+  flushes to disk;
+* a single-node failure restores from memory (fast path); a whole-level
+  loss (e.g. the victim node's DRAM is gone *and* held the only fresh
+  copy) falls back to the newest disk checkpoint.
+
+The fault model keeps the paper's assumption that a buddy/partner copy
+usually survives a single node failure — ``memory_survival`` is the
+probability the memory level survives one fault, seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.checkpoint.store import DiskStore, MemoryStore, Snapshot
+
+
+@dataclass(frozen=True)
+class MultiLevelRestore:
+    """Outcome of a rollback through the level hierarchy."""
+
+    snapshot: Snapshot | None
+    level: str           # "memory", "disk" or "initial"
+    read_time_s: float
+
+
+class MultiLevelManager:
+    """Two-level (memory + disk) checkpoint manager."""
+
+    def __init__(
+        self,
+        *,
+        memory_interval: int,
+        disk_every: int,
+        memory_survival: float = 0.9,
+        seed: int = 0,
+        memory: MemoryStore | None = None,
+        disk: DiskStore | None = None,
+    ) -> None:
+        if memory_interval < 1:
+            raise ValueError("memory interval must be at least one iteration")
+        if disk_every < 1:
+            raise ValueError("disk_every must be at least 1")
+        if not 0.0 <= memory_survival <= 1.0:
+            raise ValueError("memory survival must be a probability")
+        self.memory_interval = memory_interval
+        self.disk_every = disk_every
+        self.memory_survival = memory_survival
+        self.memory = memory or MemoryStore()
+        self.disk = disk or DiskStore()
+        self._rng = np.random.default_rng(seed)
+        self.memory_writes = 0
+        self.disk_writes = 0
+        self.memory_restores = 0
+        self.disk_restores = 0
+
+    # ------------------------------------------------------------------
+    def due(self, iteration: int) -> bool:
+        if iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        return iteration > 0 and iteration % self.memory_interval == 0
+
+    def disk_due(self, iteration: int) -> bool:
+        return (
+            self.due(iteration)
+            and (iteration // self.memory_interval) % self.disk_every == 0
+        )
+
+    def maybe_checkpoint(self, iteration: int, x: np.ndarray, nranks: int):
+        """Checkpoint if due; returns ``(write_time_s, wrote_disk)`` or
+        ``None``.  A disk-due checkpoint pays both levels' costs (the
+        flush rides on the memory copy)."""
+        if not self.due(iteration):
+            return None
+        self.memory.save(iteration, x)
+        self.memory_writes += 1
+        write_s = self.memory.write_time_s(x.nbytes, nranks)
+        wrote_disk = False
+        if self.disk_due(iteration):
+            self.disk.save(iteration, x)
+            self.disk_writes += 1
+            write_s += self.disk.write_time_s(x.nbytes, nranks)
+            wrote_disk = True
+        return write_s, wrote_disk
+
+    def rollback(self, iteration: int, nbytes: int, nranks: int) -> MultiLevelRestore:
+        """Restore from the cheapest surviving level."""
+        memory_alive = bool(self._rng.random() < self.memory_survival)
+        if memory_alive:
+            snap = self.memory.latest_before(iteration)
+            if snap is not None:
+                self.memory_restores += 1
+                return MultiLevelRestore(
+                    snap, "memory", self.memory.read_time_s(nbytes, nranks)
+                )
+        snap = self.disk.latest_before(iteration)
+        # a failed memory probe still costs its access latency
+        wasted = self.memory.read_time_s(0, nranks) if not memory_alive else 0.0
+        if snap is not None:
+            self.disk_restores += 1
+            return MultiLevelRestore(
+                snap, "disk", wasted + self.disk.read_time_s(nbytes, nranks)
+            )
+        return MultiLevelRestore(
+            None, "initial", wasted + self.disk.read_time_s(nbytes, nranks)
+        )

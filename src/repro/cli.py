@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's main entry points::
+
+    python -m repro.cli run --matrix crystm02 --scheme LI-DVFS --faults 5
+    python -m repro.cli suite --schemes RD F0 LI CR-D --matrices Kuu ex15
+    python -m repro.cli project --sizes 192 1536 12288 98304
+    python -m repro.cli mtbf
+
+Everything prints plain text; no files are written.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from repro.core.models.projection import FIGURE9_SCHEMES, ProjectionConfig, project
+from repro.core.recovery import scheme_names
+from repro.faults.events import FaultClass
+from repro.faults.mtbf import EXASCALE, PETASCALE, MtbfEstimator
+from repro.harness.experiment import Experiment, ExperimentConfig
+from repro.harness.normalize import normalize_reports
+from repro.harness.reporting import format_table
+from repro.matrices import suite
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Resilient, energy-aware CG on a simulated cluster "
+            "(CLUSTER 2018 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one faulty solve vs its fault-free baseline")
+    run.add_argument("--matrix", default="crystm02", choices=suite.names())
+    run.add_argument("--scheme", default="LI-DVFS", choices=scheme_names())
+    run.add_argument("--faults", type=int, default=5)
+    run.add_argument("--ranks", type=int, default=64)
+    run.add_argument("--tol", type=float, default=1e-8)
+    run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument(
+        "--precond", choices=["jacobi"], default=None, help="optional preconditioner"
+    )
+    run.add_argument(
+        "--cr-interval",
+        default="paper",
+        help="CR cadence: 'paper' (100 iters), 'young', or an integer",
+    )
+
+    sweep = sub.add_parser("suite", help="Figure-5-style sweep over matrices")
+    sweep.add_argument("--matrices", nargs="+", default=None, choices=suite.names())
+    sweep.add_argument(
+        "--schemes", nargs="+", default=["RD", "F0", "LI", "CR-D"],
+        choices=scheme_names(),
+    )
+    sweep.add_argument("--faults", type=int, default=10)
+    sweep.add_argument("--ranks", type=int, default=64)
+    sweep.add_argument("--scale", type=float, default=1.0)
+
+    proj = sub.add_parser("project", help="Section-6 weak-scaling projection")
+    proj.add_argument(
+        "--sizes", nargs="+", type=int,
+        default=[192, 1536, 12_288, 49_152, 98_304],
+    )
+
+    sub.add_parser("mtbf", help="Figure-1 MTBF estimates")
+    return parser
+
+
+def _parse_cr_interval(raw: str):
+    if raw in ("paper", "young"):
+        return raw
+    try:
+        return int(raw)
+    except ValueError:
+        raise SystemExit(f"--cr-interval must be 'paper', 'young' or an int, got {raw!r}")
+
+
+def cmd_run(args) -> int:
+    cfg = ExperimentConfig(
+        matrix=args.matrix,
+        nranks=args.ranks,
+        n_faults=args.faults,
+        tol=args.tol,
+        scale=args.scale,
+        cr_interval=_parse_cr_interval(args.cr_interval),
+    )
+    exp = Experiment(cfg)
+    if args.precond:
+        # the Experiment driver runs plain CG; preconditioned runs go
+        # through the solver directly
+        from repro.core.recovery import make_scheme
+        from repro.core.solver import ResilientSolver, SolverConfig
+
+        scfg = lambda **kw: SolverConfig(
+            nranks=args.ranks, tol=args.tol, preconditioner=args.precond, **kw
+        )
+        ff = ResilientSolver(exp.a, exp.b, config=scfg()).solve()
+        report = ResilientSolver(
+            exp.a,
+            exp.b,
+            scheme=make_scheme(args.scheme),
+            schedule=exp.schedule(),
+            config=scfg(baseline_iters=ff.iterations),
+        ).solve()
+    else:
+        ff = exp.fault_free
+        report = exp.run(args.scheme)
+    print("fault-free:")
+    print(ff.summary())
+    print(f"\n{args.scheme} with {args.faults} faults:")
+    print(report.summary())
+    print(
+        f"\nnormalized: iters {report.normalized_iterations(ff):.2f}x  "
+        f"time {report.normalized_time(ff):.2f}x  "
+        f"energy {report.normalized_energy(ff):.2f}x  "
+        f"power {report.normalized_power(ff):.2f}x"
+    )
+    return 0 if report.converged else 1
+
+
+def cmd_suite(args) -> int:
+    matrices = args.matrices or suite.names()
+    rows = []
+    for name in matrices:
+        exp = Experiment(
+            ExperimentConfig(
+                matrix=name,
+                nranks=args.ranks,
+                n_faults=args.faults,
+                scale=args.scale,
+            )
+        )
+        reports = {"FF": exp.fault_free, **exp.run_all(args.schemes)}
+        norm = normalize_reports(reports)
+        rows.append([name, *(norm[s].iterations for s in args.schemes)])
+    print(
+        format_table(
+            ["matrix", *args.schemes],
+            rows,
+            title=(
+                f"normalized iterations ({args.ranks} ranks, "
+                f"{args.faults} faults, FF=1)"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_project(args) -> int:
+    data = project(sorted(args.sizes), ProjectionConfig())
+    fmt = lambda x: "HALT" if (math.isinf(x) or math.isnan(x)) else round(x, 3)
+    rows = []
+    for i, n in enumerate(sorted(args.sizes)):
+        row = [n]
+        for s in FIGURE9_SCHEMES:
+            p = data[s][i]
+            row += [fmt(p.t_res_ratio), fmt(p.e_res_ratio)]
+        rows.append(row)
+    headers = ["procs"]
+    for s in FIGURE9_SCHEMES:
+        headers += [f"{s} T", f"{s} E"]
+    print(format_table(headers, rows, title="projected resilience overhead"))
+    return 0
+
+
+def cmd_mtbf(args) -> int:
+    est = MtbfEstimator()
+    rows = [
+        [
+            cls.label,
+            cls.kind.value,
+            est.system_mtbf(cls, PETASCALE) / 24.0,
+            est.system_mtbf(cls, EXASCALE),
+        ]
+        for cls in FaultClass
+    ]
+    print(
+        format_table(
+            ["class", "kind", "petascale MTBF (days)", "exascale MTBF (h)"],
+            rows,
+            title="Figure-1 MTBF estimates",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return {
+        "run": cmd_run,
+        "suite": cmd_suite,
+        "project": cmd_project,
+        "mtbf": cmd_mtbf,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

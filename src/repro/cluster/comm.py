@@ -1,0 +1,149 @@
+"""``SimComm``: a simulated MPI communicator.
+
+Provides the communication operations the resilient CG solver needs —
+halo exchange, allreduce, broadcast, barrier, point-to-point — with MPI
+cost semantics: each call advances the per-rank simulated clocks by the
+modelled transfer time and collectives synchronise the participants.
+Traffic (bytes, message counts) is recorded so experiments can report
+communication volume alongside time.
+
+This is the stand-in for mpi4py's ``COMM_WORLD`` on the paper's cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.network import CollectiveCosts, NetworkModel
+from repro.cluster.simtime import ClockArray
+from repro.cluster.topology import ProcessBinding
+
+
+@dataclass
+class TrafficCounters:
+    """Cumulative communication statistics."""
+
+    bytes_p2p: float = 0.0
+    bytes_collective: float = 0.0
+    messages: int = 0
+    collectives: int = 0
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_p2p + self.bytes_collective
+
+
+@dataclass
+class SimComm:
+    """A communicator over ``nranks`` simulated processes.
+
+    Parameters
+    ----------
+    machine:
+        Cluster description; grown automatically if it cannot host
+        ``nranks`` (one rank per core).
+    nranks:
+        Number of MPI ranks.
+    network:
+        Hockney parameters for both fabric levels.
+    """
+
+    machine: MachineSpec
+    nranks: int
+    network: NetworkModel = field(default_factory=NetworkModel)
+
+    def __post_init__(self) -> None:
+        if self.nranks > self.machine.total_cores:
+            self.machine = self.machine.with_nodes_for(self.nranks)
+        self.binding = ProcessBinding(self.machine, self.nranks)
+        self.collectives = CollectiveCosts(self.network, self.binding)
+        self.clocks = ClockArray(self.nranks)
+        self.traffic = TrafficCounters()
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def send_recv(self, src: int, dst: int, nbytes: float) -> float:
+        """Blocking transfer ``src -> dst``; both ranks complete together.
+
+        Returns the completion time.
+        """
+        if src == dst:
+            return float(self.clocks.times[src])
+        same = self.binding.same_node(src, dst)
+        cost = self.network.p2p_time(nbytes, same_node=same)
+        start = max(self.clocks.times[src], self.clocks.times[dst])
+        done = start + cost
+        self.clocks.advance_rank(src, done - self.clocks.times[src])
+        self.clocks.advance_rank(dst, done - self.clocks.times[dst])
+        self.traffic.bytes_p2p += nbytes
+        self.traffic.messages += 1
+        return done
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> float:
+        t = self.clocks.synchronize(self.collectives.barrier())
+        self.traffic.collectives += 1
+        return t
+
+    def allreduce(self, nbytes: float) -> float:
+        """Allreduce of ``nbytes`` per rank; synchronises all clocks."""
+        t = self.clocks.synchronize(self.collectives.allreduce(nbytes))
+        self.traffic.bytes_collective += nbytes * self.nranks
+        self.traffic.collectives += 1
+        return t
+
+    def bcast(self, nbytes: float) -> float:
+        t = self.clocks.synchronize(self.collectives.bcast(nbytes))
+        self.traffic.bytes_collective += nbytes * max(0, self.nranks - 1)
+        self.traffic.collectives += 1
+        return t
+
+    def allgather(self, nbytes_per_rank: float) -> float:
+        t = self.clocks.synchronize(self.collectives.allgather(nbytes_per_rank))
+        self.traffic.bytes_collective += nbytes_per_rank * self.nranks * max(0, self.nranks - 1)
+        self.traffic.collectives += 1
+        return t
+
+    def halo_exchange(self, pair_bytes: dict[tuple[int, int], float]) -> None:
+        """Neighbourhood exchange used by the SpMV.
+
+        ``pair_bytes`` maps directed pairs ``(src, dst)`` to payload bytes.
+        Each rank's clock advances by the sum of its own message costs
+        (sends and receives overlap pairwise in real MPI; charging the sum
+        per rank is the conservative non-overlapping bound, consistent
+        with the paper treating SpMV communication as serialised per
+        iteration).
+        """
+        per_rank = np.zeros(self.nranks)
+        for (src, dst), nbytes in pair_bytes.items():
+            if src == dst:
+                continue
+            if nbytes < 0:
+                raise ValueError("payload must be non-negative")
+            same = self.binding.same_node(src, dst)
+            cost = self.network.p2p_time(nbytes, same_node=same)
+            per_rank[src] += cost
+            per_rank[dst] += cost
+            self.traffic.bytes_p2p += nbytes
+            self.traffic.messages += 1
+        self.clocks.advance(per_rank)
+
+    # ------------------------------------------------------------------
+    # local work
+    # ------------------------------------------------------------------
+    def compute(self, durations) -> None:
+        """Advance each rank by its own local compute duration."""
+        self.clocks.advance(durations)
+
+    def compute_rank(self, rank: int, duration: float) -> None:
+        self.clocks.advance_rank(rank, duration)
+
+    @property
+    def now(self) -> float:
+        return self.clocks.now

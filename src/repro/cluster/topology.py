@@ -1,0 +1,68 @@
+"""Process-to-core binding.
+
+The paper binds processes to cores one-to-one ("Process-core binding is a
+common resource management technique and typically a one-to-one mapping is
+adopted", Section 4.2).  :class:`ProcessBinding` realises that mapping on a
+:class:`~repro.cluster.machine.MachineSpec` and answers the locality
+questions the network model needs (same node? which node?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class ProcessBinding:
+    """One-to-one block mapping of MPI ranks onto cores.
+
+    Rank ``r`` lives on node ``r // cores_per_node``, i.e. ranks fill one
+    node completely before spilling onto the next — the usual block
+    placement of `mpiexec` on a cluster.
+    """
+
+    machine: MachineSpec
+    nranks: int
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ValueError("need at least one rank")
+        if self.nranks > self.machine.total_cores:
+            raise ValueError(
+                f"{self.nranks} ranks exceed {self.machine.total_cores} cores; "
+                "grow the machine with MachineSpec.with_nodes_for()"
+            )
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.machine.node.cores
+
+    def node_of(self, rank: int) -> int:
+        """Index of the node hosting ``rank``."""
+        self._check(rank)
+        return rank // self.cores_per_node
+
+    def core_of(self, rank: int) -> int:
+        """Core index within its node for ``rank``."""
+        self._check(rank)
+        return rank % self.cores_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    def ranks_on_node(self, node: int) -> range:
+        """Ranks bound to cores of ``node`` (may be empty for tail nodes)."""
+        lo = node * self.cores_per_node
+        hi = min(lo + self.cores_per_node, self.nranks)
+        return range(lo, max(lo, hi))
+
+    @property
+    def nodes_used(self) -> int:
+        """Number of nodes that host at least one rank."""
+        return -(-self.nranks // self.cores_per_node)
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.nranks:
+            raise IndexError(f"rank {rank} out of range [0, {self.nranks})")

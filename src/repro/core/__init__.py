@@ -1,0 +1,26 @@
+"""Core: the paper's contribution.
+
+Distributed CG with pluggable fault-recovery schemes
+(:mod:`repro.core.recovery`), a resilient solver that wires the cluster,
+power, fault and checkpoint substrates together
+(:mod:`repro.core.solver`), and the Section-3 analytical models
+(:mod:`repro.core.models`).
+"""
+
+from repro.core.advisor import Objective, SchemeAdvisor, SchemeEstimate, Situation
+from repro.core.cg import CGState, DistributedCG, IterationCosts
+from repro.core.report import SolveReport
+from repro.core.solver import ResilientSolver, SolverConfig
+
+__all__ = [
+    "CGState",
+    "DistributedCG",
+    "IterationCosts",
+    "SolveReport",
+    "ResilientSolver",
+    "SolverConfig",
+    "Objective",
+    "SchemeAdvisor",
+    "SchemeEstimate",
+    "Situation",
+]

@@ -1,0 +1,205 @@
+"""Adaptive scheme selection (the paper's closing recommendation).
+
+"This work suggests that resilience techniques should be adaptively
+adjusted to a given fault rate, system size, and power budget."
+(Abstract)  :class:`SchemeAdvisor` does exactly that: given a workload
+profile, a failure rate, a system size and (optionally) a power budget,
+it evaluates the Section-3 analytical models for every candidate scheme
+and ranks the feasible ones by the chosen objective.
+
+The advisor is model-driven — it costs microseconds, not solver runs —
+so it can sit in a job scheduler or runtime and re-decide per
+allocation, which is the deployment the paper argues for.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.core.models.general import GeneralModel, WorkloadParams
+from repro.core.models.schemes import (
+    CheckpointModel,
+    ForwardRecoveryModel,
+    ProgressHaltError,
+    RedundancyModel,
+)
+
+
+class Objective(enum.Enum):
+    """What to minimise."""
+
+    TIME = "time"
+    ENERGY = "energy"
+    POWER = "power"
+
+
+@dataclass(frozen=True)
+class Situation:
+    """The operating point a scheme must be chosen for."""
+
+    #: Fault-free compute time of the (weak-scaled) workload, seconds.
+    t_solve_s: float
+    #: Single-core execution power, watts.
+    p1_w: float
+    #: System size in cores/ranks.
+    n_cores: int
+    #: Failure rate, faults per second of execution.
+    rate_per_s: float
+    #: Parallel overhead T_O(N), seconds.
+    t_overhead_s: float = 0.0
+    #: Machine power budget in watts; None = unconstrained.
+    power_budget_w: float | None = None
+    # -- per-scheme parameters (measured or modelled) -------------------
+    t_c_disk_s: float = 0.05
+    t_c_mem_s: float = 0.005
+    #: FW per-fault construction time.
+    t_const_s: float = 0.02
+    #: FW per-fault convergence delay as a fraction of T_solve.
+    extra_fraction: float = 0.05
+    fw_idle_fraction: float = 0.45
+
+    def __post_init__(self) -> None:
+        if min(self.t_solve_s, self.p1_w) <= 0:
+            raise ValueError("workload profile must be positive")
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
+        if self.rate_per_s < 0:
+            raise ValueError("failure rate must be non-negative")
+        if self.power_budget_w is not None and self.power_budget_w <= 0:
+            raise ValueError("power budget must be positive")
+
+    def general_model(self) -> GeneralModel:
+        return GeneralModel(
+            WorkloadParams(self.t_solve_s, self.p1_w),
+            n_cores=self.n_cores,
+            parallel_overhead_s=self.t_overhead_s,
+        )
+
+
+@dataclass(frozen=True)
+class SchemeEstimate:
+    """Model-predicted cost of one scheme in one situation."""
+
+    scheme: str
+    total_time_s: float
+    total_energy_j: float
+    peak_power_w: float
+    avg_power_w: float
+    feasible: bool
+    halted: bool = False
+    note: str = ""
+
+    def metric(self, objective: Objective) -> float:
+        return {
+            Objective.TIME: self.total_time_s,
+            Objective.ENERGY: self.total_energy_j,
+            Objective.POWER: self.avg_power_w,
+        }[objective]
+
+
+#: The schemes the advisor knows how to model.
+ADVISOR_SCHEMES = ("RD", "TMR", "CR-M", "CR-D", "FW", "FW-DVFS")
+
+
+class SchemeAdvisor:
+    """Ranks recovery schemes for a :class:`Situation`."""
+
+    def __init__(self, situation: Situation) -> None:
+        self.situation = situation
+
+    # ------------------------------------------------------------------
+    def estimate(self, scheme: str) -> SchemeEstimate:
+        """Model one scheme; infeasible/halting schemes are flagged, not
+        raised."""
+        s = self.situation
+        gm = s.general_model()
+        t_ff = gm.time_fault_free_s()
+        e_ff = gm.energy_fault_free_j()
+        p_exec = gm.power_execution_w()
+        try:
+            if scheme in ("RD", "TMR"):
+                replicas = 2 if scheme == "RD" else 3
+                m = RedundancyModel(gm, replicas=replicas)
+                time = t_ff
+                energy = e_ff + m.e_res_j()
+                peak = avg = m.average_power_w()
+            elif scheme in ("CR-M", "CR-D"):
+                t_c = s.t_c_mem_s if scheme == "CR-M" else s.t_c_disk_s
+                frac = 0.98 if scheme == "CR-M" else 0.74
+                m = CheckpointModel(
+                    gm,
+                    t_c_s=t_c,
+                    rate_per_s=s.rate_per_s,
+                    checkpoint_power_fraction=frac,
+                )
+                time = t_ff + m.t_res_s()
+                energy = e_ff + m.e_res_j()
+                peak = p_exec
+                avg = m.average_power_w()
+            elif scheme in ("FW", "FW-DVFS"):
+                idle = s.fw_idle_fraction if scheme == "FW-DVFS" else 0.74
+                m = ForwardRecoveryModel(
+                    gm,
+                    rate_per_s=s.rate_per_s,
+                    t_const_s=s.t_const_s,
+                    t_extra_s=s.extra_fraction * s.t_solve_s,
+                    n_active=1,
+                    idle_power_fraction=idle,
+                )
+                time = t_ff + m.t_res_s()
+                energy = e_ff + m.e_res_j()
+                peak = p_exec
+                avg = m.average_power_w()
+            else:
+                raise ValueError(
+                    f"unknown scheme {scheme!r}; advisor knows {ADVISOR_SCHEMES}"
+                )
+        except ProgressHaltError:
+            return SchemeEstimate(
+                scheme=scheme,
+                total_time_s=math.inf,
+                total_energy_j=math.inf,
+                peak_power_w=math.inf,
+                avg_power_w=math.inf,
+                feasible=False,
+                halted=True,
+                note="progress halts at this fault rate",
+            )
+        feasible = True
+        note = ""
+        if s.power_budget_w is not None and peak > s.power_budget_w:
+            feasible = False
+            note = (
+                f"peak {peak:.0f} W exceeds budget {s.power_budget_w:.0f} W"
+            )
+        return SchemeEstimate(
+            scheme=scheme,
+            total_time_s=time,
+            total_energy_j=energy,
+            peak_power_w=peak,
+            avg_power_w=avg,
+            feasible=feasible,
+            note=note,
+        )
+
+    def rank(self, objective: Objective = Objective.ENERGY) -> list[SchemeEstimate]:
+        """All schemes, feasible first, each group by the objective."""
+        estimates = [self.estimate(s) for s in ADVISOR_SCHEMES]
+        return sorted(
+            estimates, key=lambda e: (not e.feasible, e.metric(objective))
+        )
+
+    def recommend(
+        self, objective: Objective = Objective.ENERGY
+    ) -> SchemeEstimate:
+        """The best feasible scheme; raises if none is."""
+        ranked = self.rank(objective)
+        best = ranked[0]
+        if not best.feasible:
+            raise RuntimeError(
+                "no feasible scheme for this situation: "
+                + "; ".join(f"{e.scheme}: {e.note or 'halted'}" for e in ranked)
+            )
+        return best

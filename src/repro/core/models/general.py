@@ -1,0 +1,108 @@
+"""Generalized time/power/energy models (Section 3.1, Equations 1-8).
+
+The models describe a workload ``w`` solved sequentially and its
+fixed-time weak scaling ``w'`` on ``N`` cores: per-process work is
+constant, so absent parallel overhead the time is constant while the
+power scales with ``N`` (Equations 2 and 4).  Faults at rate ``lambda``
+add the resilience term ``T_res`` (Equation 3) and reshape power by
+phase (Equation 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Workload w and its single-core execution profile."""
+
+    #: T_1(w): sequential time-to-solution (Eq. 1), seconds.
+    t_solve_s: float
+    #: P_1(w): single-core power during execution, watts.
+    p1_w: float
+
+    def __post_init__(self) -> None:
+        if self.t_solve_s <= 0:
+            raise ValueError("T_solve must be positive")
+        if self.p1_w <= 0:
+            raise ValueError("P_1 must be positive")
+
+    @property
+    def e1_j(self) -> float:
+        """E_1(w) = P_1 * T_1 (Eq. 6)."""
+        return self.p1_w * self.t_solve_s
+
+
+@dataclass(frozen=True)
+class GeneralModel:
+    """Equations 2-8 for a scaled workload on ``n_cores`` cores.
+
+    ``parallel_overhead_s`` is T_O(N); pass a callable for projections
+    where it grows with N (Section 6) or a constant for a fixed machine.
+    """
+
+    workload: WorkloadParams
+    n_cores: int
+    parallel_overhead_s: float | Callable[[int], float] = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
+
+    # ------------------------------------------------------------------
+    @property
+    def t_overhead_s(self) -> float:
+        """T_O(N)."""
+        if callable(self.parallel_overhead_s):
+            value = self.parallel_overhead_s(self.n_cores)
+        else:
+            value = self.parallel_overhead_s
+        if value < 0:
+            raise ValueError("parallel overhead must be non-negative")
+        return value
+
+    def time_fault_free_s(self) -> float:
+        """T_N(w') = T_solve + T_O(N) (Eq. 2)."""
+        return self.workload.t_solve_s + self.t_overhead_s
+
+    def time_s(self, t_res_s: float = 0.0) -> float:
+        """T_N(w') = T_solve + T_O(N) + T_res (Eq. 3)."""
+        if t_res_s < 0:
+            raise ValueError("T_res must be non-negative")
+        return self.time_fault_free_s() + t_res_s
+
+    # ------------------------------------------------------------------
+    def power_execution_w(self) -> float:
+        """P_N(w') = N * P_1(w) during execution phases (Eq. 4/5)."""
+        return self.n_cores * self.workload.p1_w
+
+    def power_overlapped_w(self, p_res_w: float) -> float:
+        """Execution concurrent with resilience (Eq. 5, third case)."""
+        if p_res_w < 0:
+            raise ValueError("resilience power must be non-negative")
+        return self.power_execution_w() + p_res_w
+
+    # ------------------------------------------------------------------
+    def energy_fault_free_j(self) -> float:
+        """E_N(w') = N P_1 (T_solve + T_O) (Eq. 7)."""
+        return self.power_execution_w() * self.time_fault_free_s()
+
+    def energy_j(self, t_res_s: float, p_avg_w: float) -> float:
+        """E_N(w') = P_avg * (T_solve + T_O + T_res) (Eq. 8)."""
+        if p_avg_w < 0:
+            raise ValueError("average power must be non-negative")
+        return p_avg_w * self.time_s(t_res_s)
+
+    def average_power_w(
+        self, phases: list[tuple[float, float]]
+    ) -> float:
+        """Time-weighted average power over ``(duration_s, power_w)``
+        phases — how the paper averages P over a whole faulty run."""
+        total_t = sum(d for d, _ in phases)
+        if total_t <= 0:
+            raise ValueError("phases must have positive total duration")
+        if any(d < 0 or p < 0 for d, p in phases):
+            raise ValueError("durations and powers must be non-negative")
+        return sum(d * p for d, p in phases) / total_t

@@ -1,0 +1,211 @@
+"""Weak-scaling projection to large systems (Section 6, Figure 9).
+
+Projects ``T_res``, ``E_res`` and average power for RD, CR-D, CR-M and
+the best FW scheme from small-cluster measurements to systems of up to
+~10^6 processes, under the paper's assumptions:
+
+* fixed-time weak scaling at 50K nnz per process;
+* constant per-processor MTBF (6K hours) => system MTBF shrinks
+  linearly, lambda(N) = N / mtbf_per_proc;
+* parallel overhead T_O from the SpMV communication model [8]
+  (logarithmic rounds) plus a vector-inner-product term linear in
+  system size [40];
+* t_C of CR-D and t_const of FW grow linearly with system size,
+  t_C of CR-M is constant (measured trends, Section 6);
+* P_idle = 0.45 P_1 for FW and 0.40 P_1 for CR-D.
+
+All outputs are normalized to the fault-free case *at the same system
+size*, exactly as Figure 9 plots them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.models.general import GeneralModel, WorkloadParams
+from repro.core.models.schemes import (
+    CheckpointModel,
+    ForwardRecoveryModel,
+    ProgressHaltError,
+    RedundancyModel,
+)
+
+#: Section 6: "a constant per-processor MTBF of 6K hours".
+PER_PROC_MTBF_S = 6_000.0 * 3600.0
+
+
+@dataclass(frozen=True)
+class ProjectionConfig:
+    """Model parameters, defaulting to values measured on the simulated
+    8-node cluster (the reference size ``n0``)."""
+
+    #: Reference system size the per-fault costs were measured at.
+    n0: int = 192
+    #: Fault-free compute time of the scaled workload (constant under
+    #: fixed-time weak scaling), seconds.
+    t_solve_s: float = 600.0
+    #: Single-core execution power, watts.
+    p1_w: float = 10.0
+    #: Per-proc MTBF (seconds); system rate is N / this.
+    mtbf_per_proc_s: float = PER_PROC_MTBF_S
+    # -- parallel overhead T_O(N) ------------------------------------
+    #: SpMV halo rounds: coefficient of log2(N), seconds.
+    spmv_comm_coeff_s: float = 0.05
+    #: Inner-product term, linear in N [40], seconds per process.
+    dot_comm_coeff_s: float = 2.0e-5
+    # -- per-scheme measured parameters at n0 --------------------------
+    #: CR-D per-checkpoint cost at n0 (grows linearly with N).
+    t_c_disk_s: float = 0.2
+    #: CR-M per-checkpoint cost (constant in N).
+    t_c_mem_s: float = 0.02
+    #: FW per-fault construction cost at n0 (grows linearly with N).
+    t_const_s: float = 0.1
+    #: FW per-fault convergence delay, as a fraction of T_solve
+    #: (the paper adopts the average normalized overhead).
+    extra_fraction: float = 0.04
+    #: Idle-core power fractions (Section 6).
+    fw_idle_fraction: float = 0.45
+    crd_checkpoint_power_fraction: float = 0.40
+    crm_checkpoint_power_fraction: float = 0.98
+
+    def __post_init__(self) -> None:
+        if self.n0 < 1:
+            raise ValueError("reference size must be positive")
+        if min(self.t_solve_s, self.p1_w, self.mtbf_per_proc_s) <= 0:
+            raise ValueError("times, power and MTBF must be positive")
+        if min(self.t_c_disk_s, self.t_c_mem_s, self.t_const_s) <= 0:
+            raise ValueError("per-fault costs must be positive")
+        if not 0 <= self.extra_fraction < 1:
+            raise ValueError("extra fraction must be in [0, 1)")
+
+    # -- scaling laws ----------------------------------------------------
+    def rate_per_s(self, n: int) -> float:
+        """lambda(N) = N / per-proc MTBF."""
+        return n / self.mtbf_per_proc_s
+
+    def system_mtbf_s(self, n: int) -> float:
+        return self.mtbf_per_proc_s / n
+
+    def t_overhead_s(self, n: int) -> float:
+        """T_O(N): log-rounds SpMV halo + linear inner-product term."""
+        if n <= 1:
+            return 0.0
+        return self.spmv_comm_coeff_s * math.log2(n) + self.dot_comm_coeff_s * n
+
+    def t_c_disk_at(self, n: int) -> float:
+        return self.t_c_disk_s * n / self.n0
+
+    def t_const_at(self, n: int) -> float:
+        return self.t_const_s * n / self.n0
+
+    def general_model(self, n: int) -> GeneralModel:
+        return GeneralModel(
+            WorkloadParams(t_solve_s=self.t_solve_s, p1_w=self.p1_w),
+            n_cores=n,
+            parallel_overhead_s=self.t_overhead_s(n),
+        )
+
+
+@dataclass(frozen=True)
+class ProjectionPoint:
+    """Normalized overheads of one scheme at one system size."""
+
+    scheme: str
+    n: int
+    system_mtbf_s: float
+    t_res_ratio: float   # T_res / T_ff
+    e_res_ratio: float   # E_res / E_ff
+    power_ratio: float   # P_avg / (N P_1)
+
+    @property
+    def halted(self) -> bool:
+        """True when resilience consumes the whole machine — the
+        paper's 'workload progress can possibly halt' end-state."""
+        return math.isinf(self.t_res_ratio)
+
+
+def _point(scheme: str, n: int, cfg: ProjectionConfig, t_res, e_res, p_avg) -> ProjectionPoint:
+    gm = cfg.general_model(n)
+    t_ff = gm.time_fault_free_s()
+    e_ff = gm.energy_fault_free_j()
+    return ProjectionPoint(
+        scheme=scheme,
+        n=n,
+        system_mtbf_s=cfg.system_mtbf_s(n),
+        t_res_ratio=t_res / t_ff,
+        e_res_ratio=e_res / e_ff,
+        power_ratio=p_avg / gm.power_execution_w(),
+    )
+
+
+def project_scheme(scheme: str, n: int, cfg: ProjectionConfig) -> ProjectionPoint:
+    """Project one scheme to system size ``n``.
+
+    Returns a point with infinite ratios (``halted``) when the scheme's
+    waste fraction reaches 1 at that size.
+    """
+    gm = cfg.general_model(n)
+    rate = cfg.rate_per_s(n)
+    try:
+        return _project_scheme_inner(scheme, n, cfg, gm, rate)
+    except ProgressHaltError:
+        return ProjectionPoint(
+            scheme=scheme,
+            n=n,
+            system_mtbf_s=cfg.system_mtbf_s(n),
+            t_res_ratio=math.inf,
+            e_res_ratio=math.inf,
+            power_ratio=math.nan,
+        )
+
+
+def _project_scheme_inner(
+    scheme: str, n: int, cfg: ProjectionConfig, gm: GeneralModel, rate: float
+) -> ProjectionPoint:
+    if scheme == "RD":
+        m = RedundancyModel(gm)
+        return _point("RD", n, cfg, m.t_res_s(), m.e_res_j(), m.average_power_w())
+    if scheme == "CR-D":
+        m = CheckpointModel(
+            gm,
+            t_c_s=cfg.t_c_disk_at(n),
+            rate_per_s=rate,
+            checkpoint_power_fraction=cfg.crd_checkpoint_power_fraction,
+        )
+        return _point("CR-D", n, cfg, m.t_res_s(), m.e_res_j(), m.average_power_w())
+    if scheme == "CR-M":
+        m = CheckpointModel(
+            gm,
+            t_c_s=cfg.t_c_mem_s,
+            rate_per_s=rate,
+            checkpoint_power_fraction=cfg.crm_checkpoint_power_fraction,
+        )
+        return _point("CR-M", n, cfg, m.t_res_s(), m.e_res_j(), m.average_power_w())
+    if scheme == "FW":
+        m = ForwardRecoveryModel(
+            gm,
+            rate_per_s=rate,
+            t_const_s=cfg.t_const_at(n),
+            t_extra_s=cfg.extra_fraction * cfg.t_solve_s,
+            n_active=1,
+            idle_power_fraction=cfg.fw_idle_fraction,
+        )
+        return _point("FW", n, cfg, m.t_res_s(), m.e_res_j(), m.average_power_w())
+    raise ValueError(f"unknown scheme {scheme!r}; use RD, CR-D, CR-M or FW")
+
+
+#: Figure 9's scheme set.
+FIGURE9_SCHEMES = ("RD", "CR-D", "CR-M", "FW")
+
+
+def project(
+    sizes: list[int], cfg: ProjectionConfig | None = None, schemes=FIGURE9_SCHEMES
+) -> dict[str, list[ProjectionPoint]]:
+    """Project every scheme over ``sizes``; Figure 9's data."""
+    cfg = cfg or ProjectionConfig()
+    if not sizes:
+        raise ValueError("need at least one system size")
+    if any(s < 1 for s in sizes):
+        raise ValueError("system sizes must be positive")
+    return {s: [project_scheme(s, n, cfg) for n in sorted(sizes)] for s in schemes}

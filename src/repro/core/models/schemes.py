@@ -1,0 +1,220 @@
+"""Per-scheme resilience cost models (Section 3.2, Equations 9-16).
+
+Each model refines ``T_res(w', N, lambda)`` and ``P_{N,res}`` for one
+recovery family.  Failure rate ``lambda`` is per second of execution;
+model parameters (``t_C``, ``t_const``, ``t_extra``) are measured from
+the simulated cluster exactly as the paper measures them from its
+testbed (Table 6's protocol).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.checkpoint.interval import young_interval
+from repro.core.models.general import GeneralModel
+
+
+class ProgressHaltError(ValueError):
+    """Resilience overhead consumes >= 100% of the machine.
+
+    This is the paper's end-state: "if MTBF continues to decrease,
+    workload progress can possibly halt" (Section 6).
+    """
+
+
+def _total_time(t_ff_s: float, waste: float) -> float:
+    """Solve T = T_ff + waste * T exactly.
+
+    The paper's T_N appears inside its own resilience terms (Eqs. 10-11,
+    14): the overheads are linear in the total time with coefficient
+    ``waste`` (the fraction of every second lost to resilience), so the
+    closed form is T = T_ff / (1 - waste).  ``waste >= 1`` means the
+    machine spends everything on resilience and the run never finishes.
+    """
+    if t_ff_s <= 0:
+        raise ValueError("fault-free time must be positive")
+    if waste < 0:
+        raise ValueError("waste fraction must be non-negative")
+    if waste >= 1.0:
+        raise ProgressHaltError(
+            f"resilience waste fraction {waste:.3f} >= 1: progress halts"
+        )
+    return t_ff_s / (1.0 - waste)
+
+
+@dataclass(frozen=True)
+class CheckpointModel:
+    """CR (Equations 9-11).
+
+    ``t_c_s`` is the per-checkpoint cost; ``interval_s`` defaults to
+    Young's optimum for the given failure rate.
+    ``checkpoint_power_fraction`` is P_{N,res} / (N P_1): CPUs are under-
+    utilised while writing (Section 3.2).
+    """
+
+    model: GeneralModel
+    t_c_s: float
+    rate_per_s: float
+    interval_s: float | None = None
+    checkpoint_power_fraction: float = 0.74
+
+    def __post_init__(self) -> None:
+        if self.t_c_s <= 0:
+            raise ValueError("t_C must be positive")
+        if self.rate_per_s < 0:
+            raise ValueError("failure rate must be non-negative")
+        if self.interval_s is not None and self.interval_s <= 0:
+            raise ValueError("interval must be positive")
+        if not 0 < self.checkpoint_power_fraction <= 1:
+            raise ValueError("checkpoint power fraction must be in (0, 1]")
+
+    @property
+    def effective_interval_s(self) -> float:
+        if self.interval_s is not None:
+            return self.interval_s
+        if self.rate_per_s == 0:
+            return math.inf
+        return young_interval(self.t_c_s, 1.0 / self.rate_per_s)
+
+    # -- Equations 10/11 as functions of the total run time -------------
+    def t_chkpt_s(self, t_total_s: float) -> float:
+        """T_chkpt = t_C * T_N / I_C (Eq. 10)."""
+        i_c = self.effective_interval_s
+        if math.isinf(i_c):
+            return 0.0
+        return self.t_c_s * t_total_s / i_c
+
+    def t_lost_s(self, t_total_s: float) -> float:
+        """T_lost ~= (I_C / 2) * lambda * T_N (Eq. 11)."""
+        i_c = self.effective_interval_s
+        if math.isinf(i_c):
+            return 0.0
+        return 0.5 * i_c * self.rate_per_s * t_total_s
+
+    def waste_fraction(self) -> float:
+        """Fraction of every second lost to checkpoint writes plus
+        rollback recomputation: t_C/I_C + I_C lambda / 2."""
+        return self.t_chkpt_s(1.0) + self.t_lost_s(1.0)
+
+    def t_res_s(self) -> float:
+        """T_res = T_chkpt + T_lost (Eq. 9), resolved at the fixed point
+        T = T_ff + T_res (raises ProgressHaltError when waste >= 1)."""
+        t_ff = self.model.time_fault_free_s()
+        return _total_time(t_ff, self.waste_fraction()) - t_ff
+
+    # -- power / energy --------------------------------------------------
+    def p_res_w(self) -> float:
+        """Power while checkpointing: below N P_1."""
+        return self.checkpoint_power_fraction * self.model.power_execution_w()
+
+    def e_res_j(self) -> float:
+        """Checkpoint writes at reduced power; lost recomputation at
+        execution power."""
+        t_ff = self.model.time_fault_free_s()
+        total = t_ff + self.t_res_s()
+        return self.t_chkpt_s(total) * self.p_res_w() + self.t_lost_s(
+            total
+        ) * self.model.power_execution_w()
+
+    def average_power_w(self) -> float:
+        t_ff = self.model.time_fault_free_s()
+        total = t_ff + self.t_res_s()
+        e = self.model.energy_fault_free_j() + self.e_res_j()
+        return e / total
+
+
+@dataclass(frozen=True)
+class RedundancyModel:
+    """RD/DMR (Equation 12): no time overhead, replicated power
+    throughout.  ``replicas=3`` models TMR (3x power)."""
+
+    model: GeneralModel
+    replicas: int = 2
+
+    def __post_init__(self) -> None:
+        if self.replicas < 2:
+            raise ValueError("redundancy needs at least two modular copies")
+
+    def t_res_s(self) -> float:
+        return 0.0
+
+    def p_res_w(self) -> float:
+        """P_{N,res} = (r-1) N P_1(w) — the replicas' concurrent draw."""
+        return (self.replicas - 1) * self.model.power_execution_w()
+
+    def e_res_j(self) -> float:
+        """Each replica consumes a full copy of the fault-free energy."""
+        return (self.replicas - 1) * self.model.energy_fault_free_j()
+
+    def average_power_w(self) -> float:
+        return self.replicas * self.model.power_execution_w()
+
+
+@dataclass(frozen=True)
+class ForwardRecoveryModel:
+    """FW (Equations 13-16).
+
+    ``t_const_s`` is the per-fault construction time (0 for F0/FI);
+    ``t_extra_s`` the per-fault convergence-delay time;
+    ``n_active`` the cores active during construction (1 for the local
+    CG constructions of Section 4.1);
+    ``idle_power_fraction`` is P_idle / P_1 for the inactive cores
+    (0.45 with the DVFS schedule, ~0.74 without — Section 4.2/6).
+    """
+
+    model: GeneralModel
+    rate_per_s: float
+    t_const_s: float
+    t_extra_s: float
+    n_active: int = 1
+    idle_power_fraction: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s < 0:
+            raise ValueError("failure rate must be non-negative")
+        if self.t_const_s < 0 or self.t_extra_s < 0:
+            raise ValueError("per-fault times must be non-negative")
+        if not 1 <= self.n_active <= self.model.n_cores:
+            raise ValueError("n_active must be within the core count")
+        if not 0 <= self.idle_power_fraction <= 1:
+            raise ValueError("idle power fraction must be in [0, 1]")
+
+    def waste_fraction(self) -> float:
+        """Fraction of every second lost to reconstruction plus
+        convergence delay: lambda * (t_const + t_extra)."""
+        return self.rate_per_s * (self.t_const_s + self.t_extra_s)
+
+    def t_const_total_s(self) -> float:
+        """T_const = lambda * T_N * t_const (Eq. 14), at the fixed point."""
+        return self.rate_per_s * self._total() * self.t_const_s
+
+    def t_extra_total_s(self) -> float:
+        return self.rate_per_s * self._total() * self.t_extra_s
+
+    def _total(self) -> float:
+        t_ff = self.model.time_fault_free_s()
+        return _total_time(t_ff, self.waste_fraction())
+
+    def t_res_s(self) -> float:
+        """T_res = T_const + T_extra (Eq. 13)."""
+        return self.t_const_total_s() + self.t_extra_total_s()
+
+    def p_const_w(self) -> float:
+        """P_{N,const} = N~ P_1 + (N - N~) P_idle (Eq. 15)."""
+        p1 = self.model.workload.p1_w
+        n = self.model.n_cores
+        return self.n_active * p1 + (n - self.n_active) * self.idle_power_fraction * p1
+
+    def e_res_j(self) -> float:
+        """E_res = P_const T_const + N P_1 T_extra (Eq. 16)."""
+        return (
+            self.p_const_w() * self.t_const_total_s()
+            + self.model.power_execution_w() * self.t_extra_total_s()
+        )
+
+    def average_power_w(self) -> float:
+        total = self._total()
+        e = self.model.energy_fault_free_j() + self.e_res_j()
+        return e / total

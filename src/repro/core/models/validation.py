@@ -1,0 +1,165 @@
+"""Model-vs-experiment validation (Table 6).
+
+The paper validates the Section-3 models by feeding them parameters
+measured from experiment (per-checkpoint cost ``t_C`` for CR, per-fault
+construction time ``t_const`` for FW) and comparing the predicted
+``T_res``, average ``P`` and ``E_res`` — all normalized to the
+fault-free run — with the measured values.
+
+For FW the model's per-fault *extra* time is an a-priori suite-average
+fraction rather than the matrix's own measurement, which is why the
+model "over estimates T_res and E_res" for specific matrices exactly as
+the paper reports; the point of Table 6 is that the relative ordering
+between schemes survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.models.general import GeneralModel, WorkloadParams
+from repro.core.models.schemes import (
+    CheckpointModel,
+    ForwardRecoveryModel,
+    RedundancyModel,
+)
+from repro.core.report import SolveReport
+from repro.power.energy import PhaseTag
+
+#: A-priori per-fault convergence delay for FW, as a fraction of the
+#: fault-free time (suite average, the Section-6 parameterization).
+DEFAULT_EXTRA_FRACTION_PER_FAULT = 0.06
+
+
+@dataclass(frozen=True)
+class ModelValidation:
+    """One Table-6 row: model vs experiment, normalized to fault-free."""
+
+    scheme: str
+    model_t_res: float
+    model_p: float
+    model_e_res: float
+    exp_t_res: float
+    exp_p: float
+    exp_e_res: float
+
+    def as_row(self) -> tuple:
+        return (
+            self.scheme,
+            self.model_t_res,
+            self.model_p,
+            self.model_e_res,
+            self.exp_t_res,
+            self.exp_p,
+            self.exp_e_res,
+        )
+
+
+def _experiment_ratios(ff: SolveReport, faulty: SolveReport) -> tuple[float, float, float]:
+    t = faulty.resilience_time_s / ff.time_s
+    p = faulty.average_power_w / ff.average_power_w
+    e = faulty.resilience_energy_j / ff.energy_j
+    return t, p, e
+
+
+def _general_model(ff: SolveReport, nranks: int) -> GeneralModel:
+    solve_t = ff.account.time(PhaseTag.SOLVE)
+    overhead_t = ff.account.time(PhaseTag.OVERHEAD)
+    p1 = ff.average_power_w / nranks
+    return GeneralModel(
+        WorkloadParams(t_solve_s=max(solve_t, 1e-12), p1_w=p1),
+        n_cores=nranks,
+        parallel_overhead_s=overhead_t,
+    )
+
+
+def validate_scheme(
+    ff: SolveReport,
+    faulty: SolveReport,
+    *,
+    nranks: int,
+    extra_fraction_per_fault: float = DEFAULT_EXTRA_FRACTION_PER_FAULT,
+) -> ModelValidation:
+    """Build the Table-6 comparison for one faulty run against its
+    fault-free baseline.
+
+    The scheme family is inferred from ``faulty.scheme``; model
+    parameters (``t_C``, ``t_const``, intervals, rates) are extracted
+    from the faulty report's own measurements, as the paper does.
+    """
+    if nranks < 1:
+        raise ValueError("need at least one rank")
+    exp_t, exp_p, exp_e = _experiment_ratios(ff, faulty)
+    gm = _general_model(ff, nranks)
+    t_ff = gm.time_fault_free_s()
+    e_ff = gm.energy_fault_free_j()
+    n_faults = max(faulty.n_faults, 1)
+    rate = n_faults / max(faulty.time_s, 1e-12)
+    name = faulty.scheme
+
+    if name == "FF":
+        model_t = model_e = 0.0
+        model_p = 1.0
+    elif name == "RD":
+        m = RedundancyModel(gm)
+        model_t = m.t_res_s() / t_ff
+        model_e = m.e_res_j() / e_ff
+        model_p = m.average_power_w() / gm.power_execution_w()
+    elif name.startswith("CR"):
+        writes = max(1, int(faulty.details.get("scheme_details", {}).get(
+            "checkpoints_written", 1)))
+        t_c = faulty.account.time(PhaseTag.CHECKPOINT) / writes
+        interval_iters = faulty.details.get("scheme_details", {}).get(
+            "interval_iters")
+        iter_wall = faulty.details.get("iteration_wall_s", 0.0)
+        interval_s = (
+            interval_iters * iter_wall
+            if interval_iters and iter_wall > 0
+            else None
+        )
+        power_frac = faulty.account.energy(PhaseTag.CHECKPOINT) / max(
+            faulty.account.time(PhaseTag.CHECKPOINT), 1e-12
+        ) / gm.power_execution_w()
+        m = CheckpointModel(
+            gm,
+            t_c_s=max(t_c, 1e-12),
+            rate_per_s=rate,
+            interval_s=interval_s,
+            checkpoint_power_fraction=min(max(power_frac, 1e-6), 1.0),
+        )
+        model_t = m.t_res_s() / t_ff
+        model_e = m.e_res_j() / e_ff
+        model_p = m.average_power_w() / gm.power_execution_w()
+    else:
+        # Forward recovery (F0/FI/LI/LSI, with or without DVFS).
+        t_const = faulty.account.time(PhaseTag.RECONSTRUCT) / n_faults
+        recon_t = faulty.account.time(PhaseTag.RECONSTRUCT)
+        if recon_t > 0:
+            idle_frac = (
+                faulty.account.energy(PhaseTag.RECONSTRUCT)
+                / recon_t
+                / gm.power_execution_w()
+            )
+        else:
+            idle_frac = 1.0
+        m = ForwardRecoveryModel(
+            gm,
+            rate_per_s=rate,
+            t_const_s=t_const,
+            t_extra_s=extra_fraction_per_fault * t_ff,
+            n_active=1,
+            idle_power_fraction=min(max(idle_frac, 0.0), 1.0),
+        )
+        model_t = m.t_res_s() / t_ff
+        model_e = m.e_res_j() / e_ff
+        model_p = m.average_power_w() / gm.power_execution_w()
+
+    return ModelValidation(
+        scheme=name,
+        model_t_res=model_t,
+        model_p=model_p,
+        model_e_res=model_e,
+        exp_t_res=exp_t,
+        exp_p=exp_p,
+        exp_e_res=exp_e,
+    )

@@ -1,0 +1,43 @@
+"""Recovery schemes (Table 2).
+
+===========  ======================================================
+Scheme       Description
+===========  ======================================================
+``RD``       Double modular redundancy (:class:`Redundancy`)
+``CR-M``     Checkpoint to / rollback from memory
+``CR-D``     Checkpoint to / rollback from disk
+``F0``       Assign 0 to the lost block (:class:`ZeroFill`)
+``FI``       Assign the initial guess (:class:`InitialGuessFill`)
+``LI``       Linear interpolation, Eq. 17/19
+``LSI``      Least-squares interpolation, Eq. 18/21
+===========  ======================================================
+
+LI and LSI take a ``method`` (exact ``"lu"``/``"qr"`` per prior work [2],
+or the paper's optimized local ``"cg"``) and a ``dvfs`` flag enabling the
+Section-4.2 power schedule.
+"""
+
+from repro.core.recovery.base import RecoveryScheme, RecoveryServices
+from repro.core.recovery.redundancy import Redundancy
+from repro.core.recovery.checkpoint import CheckpointRestart
+from repro.core.recovery.multilevel import MultiLevelCheckpointRestart
+from repro.core.recovery.fill import InitialGuessFill, ZeroFill
+from repro.core.recovery.interpolation import (
+    LeastSquaresInterpolation,
+    LinearInterpolation,
+)
+from repro.core.recovery.factory import make_scheme, scheme_names
+
+__all__ = [
+    "RecoveryScheme",
+    "RecoveryServices",
+    "Redundancy",
+    "CheckpointRestart",
+    "MultiLevelCheckpointRestart",
+    "ZeroFill",
+    "InitialGuessFill",
+    "LinearInterpolation",
+    "LeastSquaresInterpolation",
+    "make_scheme",
+    "scheme_names",
+]

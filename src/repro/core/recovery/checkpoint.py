@@ -1,0 +1,107 @@
+"""Checkpoint/restart recovery (CR-M, CR-D).
+
+The iterate x is checkpointed every ``interval_iters`` iterations; on a
+fault the solver rolls the *whole* state back to the most recent
+checkpoint (classical CR restarts every process, Section 7) and recomputes
+the lost iterations.  The interval defaults to Young's optimum computed
+from the store's measured per-checkpoint cost and the configured MTBF
+(Section 5.3 uses Young's formula [41]); experiments may also pin it,
+e.g. the resilience study fixes 100 iterations (Section 5.2).
+
+Checkpoint writes and rollback reads are charged at the checkpoint power
+point — "CPUs are not highly utilized during checkpointing and thus
+consume less power than in computation phase" (Section 3.2) — which
+produces the high/low power plateaus the paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.checkpoint.interval import interval_in_iterations, young_interval
+from repro.checkpoint.manager import CheckpointManager
+from repro.checkpoint.store import CheckpointStore
+from repro.core.cg import CGState
+from repro.core.recovery.base import RecoveryOutcome, RecoveryScheme, RecoveryServices
+from repro.faults.events import FaultEvent
+from repro.power.energy import PhaseTag
+
+
+class CheckpointRestart(RecoveryScheme):
+    """CR over a pluggable store (memory → CR-M, disk → CR-D)."""
+
+    recovers_globally = True
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        *,
+        interval_iters: int | None = None,
+        mtbf_s: float | None = None,
+        name: str | None = None,
+    ) -> None:
+        """Either pin ``interval_iters`` or give ``mtbf_s`` to derive the
+        Young-optimal interval at setup time."""
+        if interval_iters is None and mtbf_s is None:
+            raise ValueError("give interval_iters or mtbf_s")
+        if interval_iters is not None and interval_iters < 1:
+            raise ValueError("interval must be at least one iteration")
+        if mtbf_s is not None and mtbf_s <= 0:
+            raise ValueError("MTBF must be positive")
+        self.store = store
+        self._requested_interval = interval_iters
+        self.mtbf_s = mtbf_s
+        self.manager: CheckpointManager | None = None
+        self.name = name or f"CR-{type(store).__name__[0]}"
+        self.rollback_reexecute_iters = 0
+
+    def setup(self, services: RecoveryServices) -> None:
+        interval = self._requested_interval
+        if interval is None:
+            # Young's I_C = sqrt(2 t_C M) from the store's actual cost.
+            nbytes = services.b.nbytes
+            t_c = self.store.write_time_s(nbytes, services.nranks)
+            i_c_s = young_interval(t_c, float(self.mtbf_s))
+            interval = interval_in_iterations(i_c_s, services.iteration_wall_s)
+        self.manager = CheckpointManager(self.store, interval)
+        self.rollback_reexecute_iters = 0
+
+    @property
+    def interval_iters(self) -> int:
+        if self.manager is None:
+            raise RuntimeError("setup() has not run yet")
+        return self.manager.interval_iters
+
+    def on_iteration_end(self, services: RecoveryServices, state: CGState) -> None:
+        assert self.manager is not None, "setup() must run first"
+        result = self.manager.maybe_checkpoint(
+            state.iteration, state.x, services.nranks
+        )
+        if result is not None:
+            _, write_s = result
+            services.charge_phase(
+                PhaseTag.CHECKPOINT, write_s, services.power_checkpoint_w()
+            )
+
+    def recover(
+        self, services: RecoveryServices, state: CGState, event: FaultEvent
+    ) -> RecoveryOutcome:
+        assert self.manager is not None, "setup() must run first"
+        snap, read_s = self.manager.rollback(
+            state.iteration, services.b.nbytes, services.nranks
+        )
+        if snap is None:
+            # No checkpoint yet: restart from the initial guess.
+            rollback_x = services.x0
+            lost = state.iteration
+        else:
+            rollback_x = snap.x
+            lost = state.iteration - snap.iteration
+        state.x[:] = rollback_x
+        self.rollback_reexecute_iters += lost
+        services.charge_phase(
+            PhaseTag.RESTORE, read_s, services.power_checkpoint_w()
+        )
+        return RecoveryOutcome(
+            needs_restart=True, detail={"rolled_back_iters": lost}
+        )

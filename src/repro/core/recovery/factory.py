@@ -1,0 +1,97 @@
+"""Scheme factory: build any Table-2 scheme from its paper name.
+
+Keeps experiment code declarative: ``make_scheme("LSI-DVFS")`` instead of
+re-spelling constructor arguments in every benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.checkpoint.store import DiskStore, MemoryStore
+from repro.core.recovery.base import RecoveryScheme
+from repro.core.recovery.checkpoint import CheckpointRestart
+from repro.core.recovery.fill import InitialGuessFill, ZeroFill
+from repro.core.recovery.multilevel import MultiLevelCheckpointRestart
+from repro.core.recovery.interpolation import (
+    LeastSquaresInterpolation,
+    LinearInterpolation,
+)
+from repro.core.recovery.redundancy import Redundancy
+
+#: Default CR cadence when no MTBF is supplied: the resilience study's
+#: fixed "every 100 iterations" (Section 5.2).
+DEFAULT_CR_INTERVAL_ITERS = 100
+
+
+def _cr(store_cls, name: str):
+    def build(*, interval_iters=None, mtbf_s=None, **_):
+        if interval_iters is None and mtbf_s is None:
+            interval_iters = DEFAULT_CR_INTERVAL_ITERS
+        return CheckpointRestart(
+            store_cls(), interval_iters=interval_iters, mtbf_s=mtbf_s, name=name
+        )
+
+    return build
+
+
+_BUILDERS: dict[str, Callable[..., RecoveryScheme]] = {
+    "RD": lambda **_: Redundancy(),
+    "TMR": lambda **_: Redundancy(replicas=3),
+    "CR-M": _cr(MemoryStore, "CR-M"),
+    "CR-D": _cr(DiskStore, "CR-D"),
+    "CR-ML": lambda *, interval_iters=None, **_: MultiLevelCheckpointRestart(
+        memory_interval=interval_iters or 25
+    ),
+    "F0": lambda **_: ZeroFill(),
+    "FI": lambda **_: InitialGuessFill(),
+    "LI": lambda *, construct_tol=1e-6, **_: LinearInterpolation(
+        method="cg", construct_tol=construct_tol
+    ),
+    "LI-LU": lambda **_: LinearInterpolation(method="lu"),
+    "LI-DVFS": lambda *, construct_tol=1e-6, **_: LinearInterpolation(
+        method="cg", construct_tol=construct_tol, dvfs=True
+    ),
+    "LSI": lambda *, construct_tol=1e-6, **_: LeastSquaresInterpolation(
+        method="cg", construct_tol=construct_tol
+    ),
+    "LSI-QR": lambda **_: LeastSquaresInterpolation(method="qr"),
+    "LSI-DVFS": lambda *, construct_tol=1e-6, **_: LeastSquaresInterpolation(
+        method="cg", construct_tol=construct_tol, dvfs=True
+    ),
+}
+
+
+def scheme_names() -> list[str]:
+    """All scheme names :func:`make_scheme` accepts."""
+    return list(_BUILDERS)
+
+
+def make_scheme(
+    name: str,
+    *,
+    interval_iters: int | None = None,
+    mtbf_s: float | None = None,
+    construct_tol: float = 1e-6,
+) -> RecoveryScheme:
+    """Build a recovery scheme by its paper name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`scheme_names` (e.g. ``"CR-D"``, ``"LI-DVFS"``).
+    interval_iters, mtbf_s:
+        CR cadence control: a fixed iteration interval, or an MTBF from
+        which Young's optimum is derived at setup (Section 5.3).
+    construct_tol:
+        Local-CG construction tolerance for LI/LSI (Figure 4's x-axis).
+    """
+    try:
+        build = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; known: {', '.join(_BUILDERS)}"
+        ) from None
+    return build(
+        interval_iters=interval_iters, mtbf_s=mtbf_s, construct_tol=construct_tol
+    )

@@ -1,0 +1,41 @@
+"""Assignment-based forward recovery: F0 and FI.
+
+"F0 and FI are assignment based and thus do not incur a construction
+cost — i.e., T_const = 0.  However, they incur large T_extra to
+converge." (Section 3.2)
+
+Both rewrite only the victim's block of x and restart the CG recurrence;
+the entire cost shows up as extra iterations, which the solver measures.
+"""
+
+from __future__ import annotations
+
+from repro.core.cg import CGState
+from repro.core.recovery.base import RecoveryOutcome, RecoveryScheme, RecoveryServices
+from repro.faults.events import FaultEvent
+
+
+class ZeroFill(RecoveryScheme):
+    """F0: assign 0 to the lost block x_{p_i}."""
+
+    name = "F0"
+
+    def recover(
+        self, services: RecoveryServices, state: CGState, event: FaultEvent
+    ) -> RecoveryOutcome:
+        sl = services.partition.slice_of(event.victim_rank)
+        state.x[sl] = 0.0
+        return RecoveryOutcome(needs_restart=True)
+
+
+class InitialGuessFill(RecoveryScheme):
+    """FI: assign the initial guess to the lost block x_{p_i}."""
+
+    name = "FI"
+
+    def recover(
+        self, services: RecoveryServices, state: CGState, event: FaultEvent
+    ) -> RecoveryOutcome:
+        sl = services.partition.slice_of(event.victim_rank)
+        state.x[sl] = services.x0[sl]
+        return RecoveryOutcome(needs_restart=True)

@@ -1,0 +1,82 @@
+"""Multi-level checkpoint/restart recovery (CR-ML, SCR-style [33]).
+
+Extension beyond the paper's CR-M / CR-D pair: cheap frequent memory
+checkpoints plus occasional disk flushes, restoring from the cheapest
+surviving level.  CR-ML addresses CR-M's practical weakness the paper
+points out — "while CR-M performs best in the projection, it is not
+practical to common fault situations with lost data in memory" — by
+keeping a disk-backed safety net underneath the memory level.
+"""
+
+from __future__ import annotations
+
+from repro.checkpoint.multilevel import MultiLevelManager
+from repro.core.cg import CGState
+from repro.core.recovery.base import RecoveryOutcome, RecoveryScheme, RecoveryServices
+from repro.faults.events import FaultEvent
+from repro.power.energy import PhaseTag
+
+
+class MultiLevelCheckpointRestart(RecoveryScheme):
+    """CR-ML: two-level checkpoint/restart."""
+
+    name = "CR-ML"
+    recovers_globally = True
+
+    def __init__(
+        self,
+        *,
+        memory_interval: int = 25,
+        disk_every: int = 4,
+        memory_survival: float = 0.9,
+        seed: int = 0,
+    ) -> None:
+        self._args = dict(
+            memory_interval=memory_interval,
+            disk_every=disk_every,
+            memory_survival=memory_survival,
+            seed=seed,
+        )
+        self.manager: MultiLevelManager | None = None
+        self.rollback_reexecute_iters = 0
+        self.restore_levels: list[str] = []
+
+    def setup(self, services: RecoveryServices) -> None:
+        self.manager = MultiLevelManager(**self._args)
+        self.rollback_reexecute_iters = 0
+        self.restore_levels = []
+
+    def on_iteration_end(self, services: RecoveryServices, state: CGState) -> None:
+        assert self.manager is not None, "setup() must run first"
+        result = self.manager.maybe_checkpoint(
+            state.iteration, state.x, services.nranks
+        )
+        if result is not None:
+            write_s, _ = result
+            services.charge_phase(
+                PhaseTag.CHECKPOINT, write_s, services.power_checkpoint_w()
+            )
+
+    def recover(
+        self, services: RecoveryServices, state: CGState, event: FaultEvent
+    ) -> RecoveryOutcome:
+        assert self.manager is not None, "setup() must run first"
+        restore = self.manager.rollback(
+            state.iteration, services.b.nbytes, services.nranks
+        )
+        if restore.snapshot is None:
+            rollback_x = services.x0
+            lost = state.iteration
+        else:
+            rollback_x = restore.snapshot.x
+            lost = state.iteration - restore.snapshot.iteration
+        state.x[:] = rollback_x
+        self.rollback_reexecute_iters += lost
+        self.restore_levels.append(restore.level)
+        services.charge_phase(
+            PhaseTag.RESTORE, restore.read_time_s, services.power_checkpoint_w()
+        )
+        return RecoveryOutcome(
+            needs_restart=True,
+            detail={"rolled_back_iters": lost, "level": restore.level},
+        )

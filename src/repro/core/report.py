@@ -1,0 +1,107 @@
+"""Solve reports: everything an experiment needs to reproduce a figure.
+
+A :class:`SolveReport` is returned by
+:meth:`repro.core.solver.ResilientSolver.solve` and carries measured
+iterations and residual history (real numerics) alongside the simulated
+time/power/energy (cluster substrate), already split by phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.comm import TrafficCounters
+from repro.faults.events import FaultEvent
+from repro.power.energy import EnergyAccount, PhaseTag
+from repro.power.rapl import RaplMeter
+
+
+@dataclass
+class SolveReport:
+    """Outcome of one resilient solve."""
+
+    scheme: str
+    converged: bool
+    iterations: int
+    final_relative_residual: float
+    residual_history: np.ndarray
+    time_s: float
+    account: EnergyAccount
+    rapl: RaplMeter
+    faults: list[FaultEvent] = field(default_factory=list)
+    traffic: TrafficCounters | None = None
+    baseline_iters: int | None = None
+    details: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def energy_j(self) -> float:
+        return self.account.total_energy_j
+
+    @property
+    def average_power_w(self) -> float:
+        """Whole-run average power (energy / wall-clock), the quantity
+        the paper's P columns report."""
+        return self.energy_j / self.time_s if self.time_s > 0 else 0.0
+
+    @property
+    def resilience_time_s(self) -> float:
+        """T_res: time overhead attributable to resilience."""
+        return self.account.resilience_time_s
+
+    @property
+    def resilience_energy_j(self) -> float:
+        """E_res."""
+        return self.account.resilience_energy_j
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.faults)
+
+    @property
+    def extra_iterations(self) -> int:
+        """Iterations beyond the fault-free baseline (0 if unknown)."""
+        if self.baseline_iters is None:
+            return 0
+        return max(0, self.iterations - self.baseline_iters)
+
+    def normalized_iterations(self, baseline: "SolveReport") -> float:
+        """Iterations relative to a fault-free run (Table 4, Figure 5)."""
+        if baseline.iterations == 0:
+            raise ValueError("baseline took zero iterations")
+        return self.iterations / baseline.iterations
+
+    def normalized_time(self, baseline: "SolveReport") -> float:
+        if baseline.time_s <= 0:
+            raise ValueError("baseline time is zero")
+        return self.time_s / baseline.time_s
+
+    def normalized_energy(self, baseline: "SolveReport") -> float:
+        if baseline.energy_j <= 0:
+            raise ValueError("baseline energy is zero")
+        return self.energy_j / baseline.energy_j
+
+    def normalized_power(self, baseline: "SolveReport") -> float:
+        if baseline.average_power_w <= 0:
+            raise ValueError("baseline power is zero")
+        return self.average_power_w / baseline.average_power_w
+
+    def phase_summary(self) -> dict[str, tuple[float, float]]:
+        """``{tag: (seconds, joules)}`` for every charged phase."""
+        return {
+            tag.value: (c.time_s, c.energy_j)
+            for tag, c in sorted(self.account.charges.items(), key=lambda kv: kv[0].value)
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"scheme={self.scheme} converged={self.converged} "
+            f"iters={self.iterations} relres={self.final_relative_residual:.3e}",
+            f"time={self.time_s:.4f}s energy={self.energy_j:.2f}J "
+            f"avg_power={self.average_power_w:.1f}W faults={self.n_faults}",
+        ]
+        for tag, (t, e) in self.phase_summary().items():
+            lines.append(f"  {tag:<12} {t:10.4f}s {e:12.2f}J")
+        return "\n".join(lines)

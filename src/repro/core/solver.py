@@ -1,0 +1,502 @@
+"""The resilient solver: CG + recovery scheme on the simulated cluster.
+
+:class:`ResilientSolver` owns the whole co-simulation the paper's
+experiments perform on real hardware: it steps the distributed CG, prices
+every iteration on the cluster substrate, feeds the phase-tagged energy
+account and the simulated RAPL meter, injects scheduled faults into the
+dynamic state, and dispatches recovery to the configured Table-2 scheme.
+It implements the :class:`~repro.core.recovery.base.RecoveryServices`
+facade the schemes charge their costs through.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cluster.comm import SimComm
+from repro.cluster.machine import MachineSpec, paper_machine
+from repro.cluster.network import NetworkModel
+from repro.core.cg import DistributedCG, IterationCosts
+from repro.core.recovery.base import RecoveryScheme
+from repro.core.report import SolveReport
+from repro.faults.events import FaultEvent
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import EmptySchedule, FaultSchedule
+from repro.matrices.distributed import DistributedMatrix
+from repro.matrices.partition import BlockRowPartition
+from repro.power.capping import frequency_under_cap
+from repro.power.dvfs import DvfsController, Governor
+from repro.power.energy import EnergyAccount, PhaseTag
+from repro.power.model import CoreState, PowerModel
+from repro.power.rapl import RaplMeter
+
+
+@dataclass
+class SolverConfig:
+    """Everything that parameterises one resilient solve."""
+
+    nranks: int = 4
+    tol: float = 1e-8
+    max_iters: int = 200_000
+    machine: MachineSpec = field(default_factory=paper_machine)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    power: PowerModel = field(default_factory=PowerModel)
+    seed: int = 0
+    #: None for the paper's plain CG, "jacobi" for preconditioned CG
+    #: (extension; see DistributedCG).
+    preconditioner: str | None = None
+    #: Machine power budget in watts (RAPL-limit style).  The solver
+    #: derates every core to the highest ladder frequency whose
+    #: all-active power fits the cap; None = uncapped (f_max).
+    power_cap_w: float | None = None
+    #: Record a structured event stream (faults, recoveries,
+    #: checkpoints, restarts) in the report's ``details["trace"]``.
+    trace: bool = False
+    #: Fault-free iteration count; iterations beyond it are charged to
+    #: the EXTRA phase.  Computed internally when a schedule is present
+    #: and no value is supplied.
+    baseline_iters: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ValueError("need at least one rank")
+        if self.tol <= 0:
+            raise ValueError("tolerance must be positive")
+        if self.max_iters < 1:
+            raise ValueError("max_iters must be positive")
+        if self.power_cap_w is not None and self.power_cap_w <= 0:
+            raise ValueError("power cap must be positive")
+
+
+class ResilientSolver:
+    """Solve ``A x = b`` under faults with a pluggable recovery scheme."""
+
+    def __init__(
+        self,
+        a,
+        b: np.ndarray,
+        *,
+        scheme: RecoveryScheme | None = None,
+        schedule: FaultSchedule | None = None,
+        config: SolverConfig | None = None,
+        x0: np.ndarray | None = None,
+    ) -> None:
+        self.config = config or SolverConfig()
+        cfg = self.config
+        if isinstance(a, DistributedMatrix):
+            if a.nranks != cfg.nranks:
+                raise ValueError(
+                    f"matrix distributed over {a.nranks} ranks but config "
+                    f"says {cfg.nranks}"
+                )
+            self._dmat = a
+        else:
+            part = BlockRowPartition(sp.csr_matrix(a).shape[0], cfg.nranks)
+            self._dmat = DistributedMatrix(a, part)
+        self.scheme = scheme
+        self.schedule = schedule or EmptySchedule()
+        self.comm = SimComm(cfg.machine, cfg.nranks, cfg.network)
+        self.cg = DistributedCG(
+            self._dmat,
+            b,
+            x0=x0,
+            tol=cfg.tol,
+            max_iters=cfg.max_iters,
+            preconditioner=cfg.preconditioner,
+        )
+        if cfg.power_cap_w is not None:
+            op = frequency_under_cap(cfg.power, cfg.nranks, cfg.power_cap_w)
+            self.f_op_ghz = op.f_ghz
+        else:
+            self.f_op_ghz = cfg.power.ladder.fmax_ghz
+        self._slowdown = cfg.power.ladder.fmax_ghz / self.f_op_ghz
+        costs = IterationCosts.measure(
+            self._dmat, self.comm, preconditioned=cfg.preconditioner is not None
+        )
+        if self._slowdown != 1.0:
+            costs = IterationCosts(
+                compute_s=costs.compute_s * self._slowdown,
+                halo_s=costs.halo_s,
+                allreduce_s=costs.allreduce_s,
+                bytes_per_iter=costs.bytes_per_iter,
+            )
+        self.costs = costs
+        self.dvfs = DvfsController(cfg.nranks, cfg.power.ladder)
+        if self._slowdown != 1.0:
+            self.dvfs.set_governor(Governor.USERSPACE)
+            self.dvfs.set_all(self.f_op_ghz)
+        self.account = EnergyAccount()
+        self.rapl = RaplMeter()
+        self.injector = FaultInjector(self._dmat.partition, seed=cfg.seed)
+        if cfg.trace:
+            from repro.harness.tracing import EventLog
+
+            self.trace: "EventLog | None" = EventLog()
+        else:
+            self.trace = None
+        self._open_phase: list | None = None  # [tag, power, t0, t1]
+        self._precompute_iteration_charges()
+
+    # ==================================================================
+    # RecoveryServices facade
+    # ==================================================================
+    @property
+    def dmat(self) -> DistributedMatrix:
+        return self._dmat
+
+    @property
+    def partition(self) -> BlockRowPartition:
+        return self._dmat.partition
+
+    @property
+    def b(self) -> np.ndarray:
+        return self.cg.b
+
+    @property
+    def x0(self) -> np.ndarray:
+        return self.cg.x0
+
+    @property
+    def nranks(self) -> int:
+        return self.config.nranks
+
+    @property
+    def iteration_wall_s(self) -> float:
+        return self.costs.wall_s
+
+    def charge_phase(self, tag: PhaseTag, duration_s: float, power_w: float) -> None:
+        self._emit(tag, duration_s, power_w)
+
+    def charge_overlapped(self, tag: PhaseTag, energy_j: float) -> None:
+        self.account.charge_energy(tag, energy_j)
+
+    def power_compute_w(self) -> float:
+        return self._p_core_active * self.nranks
+
+    def power_checkpoint_w(self) -> float:
+        return self._p_core_idle_fmax * self.nranks
+
+    def power_reconstruct_w(self, *, dvfs: bool) -> float:
+        idle = self._p_core_idle_fmin if dvfs else self._p_core_idle_fmax
+        return self._p_core_active + (self.nranks - 1) * idle
+
+    def power_idle_w(self) -> float:
+        return self._p_core_idle_fmax * self.nranks
+
+    def local_compute_s(self, flops: float, *, kind: str = "spmv") -> float:
+        core = self.comm.machine.node.core
+        return core.compute_time(flops, self.f_op_ghz, kind=kind)
+
+    def collective_allreduce_s(self, nbytes: float) -> float:
+        return self.comm.collectives.allreduce(nbytes)
+
+    def p2p_s(self, src: int, dst: int, nbytes: float) -> float:
+        if src == dst:
+            return 0.0
+        same = self.comm.binding.same_node(src, dst)
+        return self.comm.network.p2p_time(nbytes, same_node=same)
+
+    def interconnect_p2p_s(self, nbytes: float) -> float:
+        return self.comm.network.p2p_time(nbytes, same_node=False)
+
+    def restart_cost_s(self) -> float:
+        return self.costs.wall_s
+
+    def apply_dvfs_reconstruct(self, victim_rank: int) -> None:
+        now = self.comm.now
+        self.dvfs.set_governor(Governor.USERSPACE, time_s=now)
+        ladder = self.config.power.ladder
+        self.dvfs.set_all(ladder.fmin_ghz, time_s=now)
+        # the reconstructing core runs at the cap-respecting frequency
+        self.dvfs.set_frequency(victim_rank, self.f_op_ghz, time_s=now)
+
+    def release_dvfs(self) -> None:
+        now = self.comm.now
+        if self._slowdown != 1.0:
+            self.dvfs.set_all(self.f_op_ghz, time_s=now)
+        else:
+            self.dvfs.set_all(self.config.power.ladder.fmax_ghz, time_s=now)
+            self.dvfs.set_governor(Governor.PERFORMANCE, time_s=now)
+
+    # ==================================================================
+    # internals
+    # ==================================================================
+    def _precompute_iteration_charges(self) -> None:
+        pm = self.config.power
+        f_op = self.f_op_ghz
+        fmin = pm.ladder.fmin_ghz
+        self._p_core_active = pm.core_power(f_op, CoreState.ACTIVE)
+        self._p_core_idle_fmax = pm.core_power(f_op, CoreState.IDLE)
+        self._p_core_idle_fmin = pm.core_power(fmin, CoreState.IDLE)
+        c = self.costs
+        sum_compute = float(c.compute_s.sum())
+        t_max = c.compute_max_s
+        n = self.nranks
+        # Stragglers idle-wait at f_max until the reduction completes.
+        self._iter_compute_energy = (
+            self._p_core_active * sum_compute
+            + self._p_core_idle_fmax * (n * t_max - sum_compute)
+        )
+        self._iter_comm_energy = n * self._p_core_active * c.comm_s
+        self._iter_energy = self._iter_compute_energy + self._iter_comm_energy
+        self._iter_power_avg = (
+            self._iter_energy / c.wall_s if c.wall_s > 0 else 0.0
+        )
+
+    def _emit(self, tag: PhaseTag, duration_s: float, power_w: float) -> None:
+        """Charge the account, advance simulated time, extend the RAPL log."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        if self.trace is not None and tag is PhaseTag.CHECKPOINT:
+            from repro.harness.tracing import CheckpointWritten
+
+            self.trace.record(
+                CheckpointWritten(
+                    iteration=self.cg.iteration,
+                    sim_time_s=self.comm.now,
+                    duration_s=duration_s,
+                )
+            )
+        energy = self.account.charge(tag, time_s=duration_s, power_w=power_w)
+        mult = self.scheme.energy_multiplier if self.scheme else 1.0
+        if mult > 1.0:
+            # The DMR replica draws the same power concurrently.
+            self.account.charge_energy(PhaseTag.REDUNDANT, (mult - 1.0) * energy)
+        if duration_s == 0:
+            return
+        t0 = self.comm.now
+        self.comm.clocks.synchronize(duration_s)
+        self._rapl_append(tag.value, t0, self.comm.now, power_w * mult)
+
+    def _rapl_append(self, tag: str, t0: float, t1: float, power_w: float) -> None:
+        """Append to the RAPL log, merging contiguous equal-power phases."""
+        if (
+            self._open_phase is not None
+            and self._open_phase[0] == tag
+            and abs(self._open_phase[1] - power_w) < 1e-9
+            and abs(self._open_phase[3] - t0) < 1e-9
+        ):
+            self._open_phase[3] = t1
+        else:
+            self._flush_phase()
+            self._open_phase = [tag, power_w, t0, t1]
+
+    def _flush_phase(self) -> None:
+        if self._open_phase is not None:
+            tag, power, t0, t1 = self._open_phase
+            self.rapl.record(tag, t0, t1, power)
+            self._open_phase = None
+
+    def _charge_iteration(self, is_extra: bool) -> None:
+        """Book one CG iteration: account charges split solve/overhead,
+        a single merged RAPL phase at the iteration-average power."""
+        c = self.costs
+        mult = self.scheme.energy_multiplier if self.scheme else 1.0
+        if is_extra:
+            energy = self.account.charge(
+                PhaseTag.EXTRA, time_s=c.wall_s, power_w=self._iter_power_avg
+            )
+        else:
+            compute_power = (
+                self._iter_compute_energy / c.compute_max_s
+                if c.compute_max_s > 0
+                else 0.0
+            )
+            energy = self.account.charge(
+                PhaseTag.SOLVE, time_s=c.compute_max_s, power_w=compute_power
+            )
+            if c.comm_s > 0:
+                energy += self.account.charge(
+                    PhaseTag.OVERHEAD, time_s=c.comm_s, power_w=self.power_compute_w()
+                )
+        if mult > 1.0:
+            self.account.charge_energy(PhaseTag.REDUNDANT, (mult - 1.0) * energy)
+        t0 = self.comm.now
+        self.comm.clocks.synchronize(c.wall_s)
+        tag = "extra" if is_extra else "iteration"
+        self._rapl_append(tag, t0, self.comm.now, self._iter_power_avg * mult)
+        self.comm.traffic.bytes_p2p += c.bytes_per_iter
+        self.comm.traffic.messages += max(0, len(self._dmat.halo_pair_bytes))
+        self.comm.traffic.collectives += 2
+
+    def _expand_victims(self, event: FaultEvent) -> list[int]:
+        """Expand the event's blast radius into concrete victim ranks."""
+        from repro.faults.events import FaultScope
+
+        if event.victim_rank >= self.nranks:
+            raise ValueError(
+                f"victim rank {event.victim_rank} outside [0, {self.nranks})"
+            )
+        if event.scope is FaultScope.PROCESS:
+            return [event.victim_rank]
+        if event.scope is FaultScope.NODE:
+            node = self.comm.binding.node_of(event.victim_rank)
+            return list(self.comm.binding.ranks_on_node(node))
+        return list(range(self.nranks))  # SYSTEM
+
+    def _handle_fault(self, event: FaultEvent) -> None:
+        """Damage and recover every rank in the event's blast radius.
+
+        Block-local schemes (fills, interpolation, redundancy) recover
+        one lost block at a time, each reconstruction seeing the blocks
+        recovered before it; global schemes (checkpoint rollback)
+        restore the entire state in one shot.
+        """
+        cg = self.cg
+        victims = self._expand_victims(event)
+        sub_events = [
+            FaultEvent(event.iteration, v, event.fault_class, event.scope)
+            for v in victims
+        ]
+        for ev in sub_events:
+            self.injector.inject(ev, cg.state.x, cg.state.r, cg.state.p)
+        if self.trace is not None:
+            from repro.harness.tracing import FaultInjected
+
+            self.trace.record(
+                FaultInjected(
+                    iteration=event.iteration,
+                    sim_time_s=self.comm.now,
+                    victim_rank=event.victim_rank,
+                    fault_class=event.fault_class.label,
+                    scope=event.scope.value,
+                    n_blocks_lost=len(victims),
+                )
+            )
+        if len(victims) > 1:
+            # Wide-scope damage: neutralise every lost block first so a
+            # block-local reconstruction never reads a sibling's poison.
+            for v in victims:
+                cg.state.x[self.partition.slice_of(v)] = 0.0
+        if self.scheme.recovers_globally:
+            recover_events = sub_events[:1]
+        else:
+            recover_events = sub_events
+        outcomes = []
+        for ev in recover_events:
+            outcome = self.scheme.recover(self, cg.state, ev)
+            outcomes.append(outcome)
+            if self.trace is not None:
+                from repro.harness.tracing import RecoveryApplied
+
+                self.trace.record(
+                    RecoveryApplied(
+                        iteration=ev.iteration,
+                        sim_time_s=self.comm.now,
+                        scheme=self.scheme.name,
+                        victim_rank=ev.victim_rank,
+                        needs_restart=outcome.needs_restart,
+                        construct_time_s=outcome.construct_time_s,
+                    )
+                )
+        if any(o.needs_restart for o in outcomes):
+            cg.restart()
+            self._emit(
+                PhaseTag.EXTRA, self.restart_cost_s(), self.power_compute_w()
+            )
+            if self.trace is not None:
+                from repro.harness.tracing import SolverRestarted
+
+                self.trace.record(
+                    SolverRestarted(
+                        iteration=event.iteration, sim_time_s=self.comm.now
+                    )
+                )
+
+    def _fault_free_horizon(self) -> int:
+        """Iterations of a fault-free run (for schedules and EXTRA split)."""
+        probe = DistributedCG(
+            self._dmat,
+            self.cg.b,
+            x0=self.cg.x0,
+            tol=self.config.tol,
+            max_iters=self.config.max_iters,
+            preconditioner=self.config.preconditioner,
+        )
+        return probe.solve_fault_free()
+
+    # ==================================================================
+    # main loop
+    # ==================================================================
+    def solve(self) -> SolveReport:
+        """Run to convergence under the configured faults and scheme."""
+        cfg = self.config
+        baseline = cfg.baseline_iters
+        events: list[FaultEvent] = []
+        if not isinstance(self.schedule, EmptySchedule):
+            if baseline is None:
+                baseline = self._fault_free_horizon()
+            events = self.schedule.events(
+                nranks=cfg.nranks, horizon_iters=baseline
+            )
+        pending = deque(sorted(events, key=lambda e: e.iteration))
+        handled: list[FaultEvent] = []
+        if self.scheme is not None:
+            self.scheme.setup(self)
+
+        cg = self.cg
+        while not cg.converged and cg.iteration < cfg.max_iters:
+            cg.step()
+            is_extra = baseline is not None and cg.iteration > baseline
+            self._charge_iteration(is_extra)
+            if self.scheme is not None:
+                self.scheme.on_iteration_end(self, cg.state)
+            while pending and pending[0].iteration <= cg.iteration:
+                event = pending.popleft()
+                if event.fault_class.needs_recovery:
+                    if self.scheme is None:
+                        raise RuntimeError(
+                            "fault injected but no recovery scheme configured"
+                        )
+                    self._handle_fault(event)
+                handled.append(event)
+
+        self._flush_phase()
+        details: dict = {
+            "restarts": cg.restarts,
+            "iteration_wall_s": self.costs.wall_s,
+            "dvfs_transitions": self.dvfs.transition_count(),
+            "operating_frequency_ghz": self.f_op_ghz,
+        }
+        if self.trace is not None:
+            details["trace"] = self.trace
+        if self.scheme is not None:
+            details["scheme_details"] = _scheme_details(self.scheme)
+        return SolveReport(
+            scheme=self.scheme.name if self.scheme else "FF",
+            converged=cg.converged,
+            iterations=cg.iteration,
+            final_relative_residual=cg.relative_residual,
+            residual_history=np.asarray(cg.residual_history),
+            time_s=self.comm.now,
+            account=self.account,
+            rapl=self.rapl,
+            faults=handled,
+            traffic=self.comm.traffic,
+            baseline_iters=baseline,
+            details=details,
+        )
+
+
+def _scheme_details(scheme: RecoveryScheme) -> dict:
+    out: dict = {}
+    for attr in ("constructions", "recoveries", "rollback_reexecute_iters"):
+        if hasattr(scheme, attr):
+            out[attr] = getattr(scheme, attr)
+    manager = getattr(scheme, "manager", None)
+    if manager is not None:
+        if hasattr(manager, "writes"):
+            out["checkpoints_written"] = manager.writes
+            out["interval_iters"] = manager.interval_iters
+        else:  # multi-level manager
+            out["memory_writes"] = manager.memory_writes
+            out["disk_writes"] = manager.disk_writes
+            out["memory_restores"] = manager.memory_restores
+            out["disk_restores"] = manager.disk_restores
+    if hasattr(scheme, "restore_levels"):
+        out["restore_levels"] = list(scheme.restore_levels)
+    return out

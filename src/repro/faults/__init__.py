@@ -1,0 +1,34 @@
+"""Fault substrate: taxonomy, schedules, injection, MTBF estimation.
+
+Implements the paper's fault model (Section 2.1): soft faults
+(DCE/DUE/SDC) and hard faults (SWO/SNF/LNF) that corrupt or destroy the
+dynamic data of a single process, with static data (A, b) assumed
+recoverable from persistent storage, and the MTBF projection behind
+Figure 1.
+"""
+
+from repro.faults.events import FaultClass, FaultEvent, FaultKind, FaultScope
+from repro.faults.schedule import (
+    EvenlySpacedSchedule,
+    FixedIterationSchedule,
+    PoissonSchedule,
+    FaultSchedule,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.mtbf import MtbfEstimator, SystemClass, PETASCALE, EXASCALE
+
+__all__ = [
+    "FaultClass",
+    "FaultEvent",
+    "FaultKind",
+    "FaultScope",
+    "FaultSchedule",
+    "EvenlySpacedSchedule",
+    "FixedIterationSchedule",
+    "PoissonSchedule",
+    "FaultInjector",
+    "MtbfEstimator",
+    "SystemClass",
+    "PETASCALE",
+    "EXASCALE",
+]

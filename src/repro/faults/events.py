@@ -1,0 +1,93 @@
+"""Fault taxonomy (paper Section 2.1).
+
+Soft faults cause erroneous deviation without interruption; hard faults
+crash a process, node or system.  The paper studies recovery for faults
+that are *detected* and *confined* to a subset of data structures [10]:
+the victim process's partition of the dynamic data x is erroneous or lost
+while the static data A and b can be restored from persistent storage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FaultKind(enum.Enum):
+    """Soft vs hard."""
+
+    SOFT = "soft"
+    HARD = "hard"
+
+
+class FaultClass(enum.Enum):
+    """The six fault classes the paper enumerates."""
+
+    #: Detected and Corrected Error (e.g. single-bit ECC correction).
+    DCE = ("DCE", FaultKind.SOFT)
+    #: Detected but Uncorrected Error (e.g. multi-bit ECC detection).
+    DUE = ("DUE", FaultKind.SOFT)
+    #: Silent Data Corruption.
+    SDC = ("SDC", FaultKind.SOFT)
+    #: System-Wide Outage.
+    SWO = ("SWO", FaultKind.HARD)
+    #: Single Node Failure.
+    SNF = ("SNF", FaultKind.HARD)
+    #: Link and Node Failure.
+    LNF = ("LNF", FaultKind.HARD)
+
+    def __init__(self, label: str, kind: FaultKind) -> None:
+        self.label = label
+        self.kind = kind
+
+    @property
+    def is_soft(self) -> bool:
+        return self.kind is FaultKind.SOFT
+
+    @property
+    def is_hard(self) -> bool:
+        return self.kind is FaultKind.HARD
+
+    @property
+    def needs_recovery(self) -> bool:
+        """DCE is corrected by hardware; everything else loses data."""
+        return self is not FaultClass.DCE
+
+
+class FaultScope(enum.Enum):
+    """Blast radius of one fault.
+
+    The paper's experiments confine every fault to a single process's
+    data (Figure 2b), which is ``PROCESS``.  The taxonomy's hard-fault
+    classes suggest wider radii — a single node failure (SNF) takes all
+    ranks bound to that node with it, a system-wide outage (SWO) takes
+    everything — provided as the ``NODE`` and ``SYSTEM`` extension
+    scopes (see the node-failure ablation benchmark).
+    """
+
+    PROCESS = "process"
+    NODE = "node"
+    SYSTEM = "system"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault striking at one iteration.
+
+    ``iteration`` is the CG iteration during which the fault strikes
+    (the paper schedules faults by iteration index); ``victim_rank`` is
+    the process whose partition of x is lost or corrupted — for wider
+    scopes, the anchor rank from which the blast radius is expanded
+    (its node, or the whole system).
+    """
+
+    iteration: int
+    victim_rank: int
+    fault_class: FaultClass = FaultClass.SNF
+    scope: FaultScope = FaultScope.PROCESS
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        if self.victim_rank < 0:
+            raise ValueError("victim rank must be non-negative")

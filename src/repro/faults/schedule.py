@@ -1,0 +1,147 @@
+"""Fault schedules.
+
+The paper's resilience experiments insert "10 faults evenly over the
+iterations required by the fault free execution (no more faults inserted
+after the fault free execution converges)" (Section 5.2); its analytical
+models assume a Poisson arrival process with rate lambda = 1/MTBF.  Both
+are provided, plus an explicit fixed-iteration schedule for targeted
+experiments like Figure 6(a)'s single fault at iteration 200.
+
+All schedules are deterministic given their arguments (Poisson takes an
+explicit seed) and yield :class:`~repro.faults.events.FaultEvent` objects
+sorted by iteration.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.faults.events import FaultClass, FaultEvent, FaultScope
+
+
+class FaultSchedule(abc.ABC):
+    """Produces the fault events for one solver run."""
+
+    @abc.abstractmethod
+    def events(self, *, nranks: int, horizon_iters: int) -> list[FaultEvent]:
+        """Fault events for a run of ``horizon_iters`` fault-free
+        iterations on ``nranks`` ranks, sorted by iteration."""
+
+    @staticmethod
+    def _validate(nranks: int, horizon_iters: int) -> None:
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        if horizon_iters < 0:
+            raise ValueError("horizon must be non-negative")
+
+
+@dataclass(frozen=True)
+class EmptySchedule(FaultSchedule):
+    """No faults — the fault-free baseline."""
+
+    def events(self, *, nranks: int, horizon_iters: int) -> list[FaultEvent]:
+        self._validate(nranks, horizon_iters)
+        return []
+
+
+@dataclass(frozen=True)
+class FixedIterationSchedule(FaultSchedule):
+    """Faults at explicitly given (iteration, victim) pairs."""
+
+    iterations: Sequence[int]
+    victims: Sequence[int] | None = None
+    fault_class: FaultClass = FaultClass.SNF
+    scope: FaultScope = FaultScope.PROCESS
+
+    def events(self, *, nranks: int, horizon_iters: int) -> list[FaultEvent]:
+        self._validate(nranks, horizon_iters)
+        if self.victims is not None and len(self.victims) != len(self.iterations):
+            raise ValueError("victims must match iterations in length")
+        out = []
+        for idx, it in enumerate(self.iterations):
+            victim = (
+                self.victims[idx] if self.victims is not None else idx % nranks
+            )
+            if not 0 <= victim < nranks:
+                raise ValueError(f"victim {victim} out of range")
+            out.append(
+                FaultEvent(int(it), int(victim), self.fault_class, self.scope)
+            )
+        return sorted(out, key=lambda e: e.iteration)
+
+
+@dataclass(frozen=True)
+class EvenlySpacedSchedule(FaultSchedule):
+    """``n_faults`` spread evenly over the fault-free iteration span.
+
+    Fault *j* (1-based) lands at ``round(j * horizon / (n_faults + 1))``,
+    so faults are interior: none at iteration 0, none after the fault-free
+    run would have converged — matching the paper's protocol.  Victims
+    rotate round-robin over ranks with a seed-controlled starting offset.
+    """
+
+    n_faults: int
+    fault_class: FaultClass = FaultClass.SNF
+    scope: FaultScope = FaultScope.PROCESS
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_faults < 0:
+            raise ValueError("n_faults must be non-negative")
+
+    def events(self, *, nranks: int, horizon_iters: int) -> list[FaultEvent]:
+        self._validate(nranks, horizon_iters)
+        if self.n_faults == 0 or horizon_iters == 0:
+            return []
+        rng = np.random.default_rng(self.seed)
+        start = int(rng.integers(0, nranks))
+        out = []
+        for j in range(1, self.n_faults + 1):
+            it = int(round(j * horizon_iters / (self.n_faults + 1)))
+            it = min(max(it, 1), max(horizon_iters - 1, 1))
+            victim = (start + j - 1) % nranks
+            out.append(FaultEvent(it, victim, self.fault_class, self.scope))
+        return out
+
+
+@dataclass(frozen=True)
+class PoissonSchedule(FaultSchedule):
+    """Memoryless fault arrivals with a given MTBF, in iteration units.
+
+    ``mtbf_iters`` is the mean number of iterations between faults; the
+    analytical models' failure rate is ``lambda = 1 / mtbf_iters``.  The
+    schedule draws i.i.d. exponential gaps.  Events beyond the fault-free
+    horizon are kept (faults do not stop arriving just because the
+    fault-free run would have finished) up to ``horizon_factor`` times the
+    horizon, a guard against schedules that outlive any realistic run.
+    """
+
+    mtbf_iters: float
+    seed: int = 0
+    fault_class: FaultClass = FaultClass.SNF
+    horizon_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf_iters <= 0:
+            raise ValueError("MTBF must be positive")
+        if self.horizon_factor < 1:
+            raise ValueError("horizon factor must be >= 1")
+
+    def events(self, *, nranks: int, horizon_iters: int) -> list[FaultEvent]:
+        self._validate(nranks, horizon_iters)
+        rng = np.random.default_rng(self.seed)
+        limit = self.horizon_factor * max(horizon_iters, 1)
+        out: list[FaultEvent] = []
+        t = 0.0
+        while True:
+            t += rng.exponential(self.mtbf_iters)
+            if t > limit:
+                break
+            it = max(1, int(round(t)))
+            victim = int(rng.integers(0, nranks))
+            out.append(FaultEvent(it, victim, self.fault_class))
+        return out

@@ -1,0 +1,168 @@
+"""Experiment driver.
+
+One :class:`Experiment` = one (matrix, rank count, fault load) cell of
+the paper's evaluation.  It caches the fault-free baseline so every
+scheme is normalized against the same run, and reproduces the paper's
+two protocols:
+
+* **iteration protocol** (Section 5.2: Figures 5-6, Table 4) —
+  ``n_faults`` evenly spaced over the fault-free horizon, CR pinned to a
+  fixed cadence (the paper's "every 100 iterations");
+* **cost protocol** (Section 5.3: Figures 3, 7, 8; Tables 5, 6) — same
+  fault load, but CR intervals derived from Young's formula with the
+  MTBF implied by the fault load (``MTBF = T_ff / n_faults``), matching
+  "The checkpointing frequency of CR is computed via Young's formula".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.recovery import make_scheme
+from repro.core.report import SolveReport
+from repro.core.solver import ResilientSolver, SolverConfig
+from repro.faults.schedule import EvenlySpacedSchedule, FaultSchedule
+from repro.matrices import suite as matrix_suite
+
+#: The paper's fixed CR cadence in the resilience study (Section 5.2).
+PAPER_CR_INTERVAL = 100
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of one experiment cell."""
+
+    matrix: str = "crystm02"
+    nranks: int = 16
+    n_faults: int = 10
+    tol: float = 1e-8
+    seed: int = 0
+    scale: float = 1.0
+    #: CR cadence policy: "paper" = fixed 100 iterations (Section 5.2);
+    #: "young" = Young's interval from the implied MTBF (Section 5.3);
+    #: an int pins the cadence explicitly.
+    cr_interval: str | int = "paper"
+    construct_tol: float = 1e-6
+    max_iters: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.n_faults < 0:
+            raise ValueError("n_faults must be non-negative")
+        if isinstance(self.cr_interval, str) and self.cr_interval not in (
+            "paper",
+            "young",
+        ):
+            raise ValueError("cr_interval must be 'paper', 'young' or an int")
+        if isinstance(self.cr_interval, int) and self.cr_interval < 1:
+            raise ValueError("explicit CR interval must be >= 1")
+
+
+class Experiment:
+    """A matrix + fault load, ready to run any scheme."""
+
+    def __init__(self, config: ExperimentConfig, *, a: sp.spmatrix | None = None):
+        self.config = config
+        if a is None:
+            a = matrix_suite.build(config.matrix, config.scale)
+        self.a = sp.csr_matrix(a)
+        n = self.a.shape[0]
+        rng = np.random.default_rng(config.seed)
+        self.x_true = rng.standard_normal(n)
+        self.b = self.a @ self.x_true
+        self._ff: SolveReport | None = None
+
+    # ------------------------------------------------------------------
+    def _solver_config(self, baseline: int | None) -> SolverConfig:
+        c = self.config
+        return SolverConfig(
+            nranks=c.nranks,
+            tol=c.tol,
+            max_iters=c.max_iters,
+            seed=c.seed,
+            baseline_iters=baseline,
+        )
+
+    @property
+    def fault_free(self) -> SolveReport:
+        """The cached fault-free baseline."""
+        if self._ff is None:
+            solver = ResilientSolver(
+                self.a, self.b, config=self._solver_config(None)
+            )
+            self._ff = solver.solve()
+            if not self._ff.converged:
+                raise RuntimeError(
+                    f"fault-free run did not converge on {self.config.matrix} "
+                    f"within {self.config.max_iters} iterations"
+                )
+        return self._ff
+
+    def schedule(self) -> FaultSchedule:
+        return EvenlySpacedSchedule(
+            n_faults=self.config.n_faults, seed=self.config.seed
+        )
+
+    def implied_mtbf_s(self) -> float:
+        """MTBF consistent with the injected fault load."""
+        if self.config.n_faults == 0:
+            raise ValueError("no faults: MTBF undefined")
+        return self.fault_free.time_s / self.config.n_faults
+
+    def _cr_kwargs(self) -> dict:
+        c = self.config
+        if c.cr_interval == "paper":
+            return {"interval_iters": PAPER_CR_INTERVAL}
+        if c.cr_interval == "young":
+            return {"mtbf_s": self.implied_mtbf_s()}
+        return {"interval_iters": int(c.cr_interval)}
+
+    def run(self, scheme_name: str) -> SolveReport:
+        """Run one scheme under the configured fault load."""
+        if scheme_name == "FF":
+            return self.fault_free
+        ff = self.fault_free
+        scheme = make_scheme(
+            scheme_name,
+            construct_tol=self.config.construct_tol,
+            **(self._cr_kwargs() if scheme_name.startswith("CR") else {}),
+        )
+        solver = ResilientSolver(
+            self.a,
+            self.b,
+            scheme=scheme,
+            schedule=self.schedule(),
+            config=self._solver_config(ff.iterations),
+        )
+        return solver.solve()
+
+    def run_all(self, scheme_names: list[str]) -> dict[str, SolveReport]:
+        return {name: self.run(name) for name in scheme_names}
+
+
+#: The scheme set of Figure 5 / Table 4.
+ITERATION_STUDY_SCHEMES = ["RD", "F0", "FI", "LI", "LSI", "CR-D"]
+#: The scheme set of Table 5 / Figure 8.
+COST_STUDY_SCHEMES = ["RD", "LI-DVFS", "LSI-DVFS", "CR-M", "CR-D"]
+
+
+def run_suite(
+    matrices: list[str] | None = None,
+    scheme_names: list[str] | None = None,
+    *,
+    base: ExperimentConfig | None = None,
+) -> dict[str, dict[str, SolveReport]]:
+    """Run a scheme set over a matrix set; returns
+    ``{matrix: {scheme_or_"FF": report}}`` with baselines included."""
+    base = base or ExperimentConfig()
+    matrices = matrices if matrices is not None else matrix_suite.names()
+    scheme_names = scheme_names or ITERATION_STUDY_SCHEMES
+    out: dict[str, dict[str, SolveReport]] = {}
+    for name in matrices:
+        exp = Experiment(replace(base, matrix=name))
+        reports = {"FF": exp.fault_free}
+        reports.update(exp.run_all(scheme_names))
+        out[name] = reports
+    return out

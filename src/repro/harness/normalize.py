@@ -1,0 +1,77 @@
+"""Per-matrix fault-free normalization.
+
+Every quantity the paper reports is normalized to the fault-free run of
+the *same* matrix at the *same* system size ("Each matrix uses its own
+normalization base, which is the fault free case", Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.report import SolveReport
+
+
+@dataclass(frozen=True)
+class NormalizedMetrics:
+    """One scheme's metrics relative to its fault-free baseline."""
+
+    scheme: str
+    iterations: float
+    time: float
+    energy: float
+    power: float
+    converged: bool
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "iterations": self.iterations,
+            "time": self.time,
+            "energy": self.energy,
+            "power": self.power,
+        }
+
+
+def normalize_report(report: SolveReport, baseline: SolveReport) -> NormalizedMetrics:
+    """Normalize one report against its fault-free baseline."""
+    return NormalizedMetrics(
+        scheme=report.scheme,
+        iterations=report.normalized_iterations(baseline),
+        time=report.normalized_time(baseline),
+        energy=report.normalized_energy(baseline),
+        power=report.normalized_power(baseline),
+        converged=report.converged,
+    )
+
+
+def normalize_reports(
+    reports: dict[str, SolveReport], *, baseline_key: str = "FF"
+) -> dict[str, NormalizedMetrics]:
+    """Normalize a ``{scheme: report}`` map against ``reports[baseline_key]``.
+
+    The baseline itself is included (all ratios exactly 1.0), matching
+    the FF rows of Tables 4-6.
+    """
+    if baseline_key not in reports:
+        raise KeyError(f"baseline {baseline_key!r} missing from reports")
+    baseline = reports[baseline_key]
+    return {
+        name: normalize_report(rep, baseline) for name, rep in reports.items()
+    }
+
+
+def suite_average(
+    per_matrix: dict[str, dict[str, "NormalizedMetrics"]], scheme: str
+) -> dict[str, float]:
+    """Average a scheme's normalized metrics over matrices (Table 5,
+    Figure 7b: "values are averaged over all the matrices under study")."""
+    rows = [m[scheme] for m in per_matrix.values() if scheme in m]
+    if not rows:
+        raise KeyError(f"scheme {scheme!r} absent from every matrix")
+    n = len(rows)
+    return {
+        "iterations": sum(r.iterations for r in rows) / n,
+        "time": sum(r.time for r in rows) / n,
+        "energy": sum(r.energy for r in rows) / n,
+        "power": sum(r.power for r in rows) / n,
+    }

@@ -1,0 +1,85 @@
+"""Plain-text rendering of tables and series.
+
+The benchmarks print their reproduced tables/figures through these
+helpers so every experiment's output reads like the paper's own rows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _fmt(value, width: int, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:>{width}.{precision}f}"
+    return f"{value!s:>{width}}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Fixed-width table with a header rule."""
+    if not headers:
+        raise ValueError("need at least one column")
+    ncols = len(headers)
+    for row in rows:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {ncols}"
+            )
+    widths = []
+    for c, h in enumerate(headers):
+        cells = [_fmt(r[c], 0, precision).strip() for r in rows]
+        widths.append(max(len(h), *(len(s) for s in cells)) if cells else len(h))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(v, w, precision) for v, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: dict[str, Sequence[float]],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """A figure's data as columns: x then one column per series."""
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected {len(x_values)}"
+            )
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(series[name][i] for name in series)]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title, precision=precision)
+
+
+def normalized_rows(
+    normalized: dict[str, "object"],
+    order: Sequence[str],
+    metrics: Sequence[str] = ("time", "power", "energy"),
+) -> list[list]:
+    """Rows of ``[scheme, metric...]`` in a fixed scheme order, skipping
+    schemes that were not run."""
+    rows = []
+    for name in order:
+        if name not in normalized:
+            continue
+        m = normalized[name]
+        rows.append([name, *(getattr(m, metric) for metric in metrics)])
+    return rows

@@ -1,0 +1,30 @@
+"""Problem substrate: SPD matrices, partitions, distributed views.
+
+Provides the block-row partition of Figure 2, synthetic SPD generators
+mirroring the character of the paper's SuiteSparse suite (Table 3), and a
+distributed-matrix view exposing exactly the per-rank blocks the recovery
+schemes need (``A_{p_i,p_i}``, ``A_{p_i,:}``, halo structure).
+"""
+
+from repro.matrices.partition import BlockRowPartition
+from repro.matrices.generators import (
+    stencil_5pt,
+    banded_spd,
+    irregular_spd,
+    tridiagonal_spd,
+)
+from repro.matrices.distributed import DistributedMatrix
+from repro.matrices.suite import MatrixSpec, SUITE, build, names
+
+__all__ = [
+    "BlockRowPartition",
+    "stencil_5pt",
+    "banded_spd",
+    "irregular_spd",
+    "tridiagonal_spd",
+    "DistributedMatrix",
+    "MatrixSpec",
+    "SUITE",
+    "build",
+    "names",
+]

@@ -1,0 +1,97 @@
+"""Block-row partitioning (Figure 2a).
+
+The matrix A, the iterate x and the right-hand side b are partitioned to
+``p`` processes in contiguous row blocks: process ``p_i`` owns rows
+``[start_i, stop_i)`` of A and the matching entries of x and b.  Blocks
+are as equal as possible (the first ``n % p`` blocks get one extra row),
+which is the standard PETSc/RAPtor layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BlockRowPartition:
+    """Contiguous near-equal row blocks of an ``n``-row system over
+    ``nranks`` processes."""
+
+    n: int
+    nranks: int
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("matrix must have at least one row")
+        if self.nranks < 1:
+            raise ValueError("need at least one rank")
+        if self.nranks > self.n:
+            raise ValueError(f"cannot split {self.n} rows over {self.nranks} ranks")
+
+    # ------------------------------------------------------------------
+    def start_of(self, rank: int) -> int:
+        self._check(rank)
+        base, extra = divmod(self.n, self.nranks)
+        return rank * base + min(rank, extra)
+
+    def stop_of(self, rank: int) -> int:
+        self._check(rank)
+        return self.start_of(rank) + self.size_of(rank)
+
+    def size_of(self, rank: int) -> int:
+        self._check(rank)
+        base, extra = divmod(self.n, self.nranks)
+        return base + (1 if rank < extra else 0)
+
+    def slice_of(self, rank: int) -> slice:
+        return slice(self.start_of(rank), self.stop_of(rank))
+
+    def range_of(self, rank: int) -> range:
+        return range(self.start_of(rank), self.stop_of(rank))
+
+    # ------------------------------------------------------------------
+    def owner_of(self, row: int) -> int:
+        """The rank owning global row ``row``."""
+        if not 0 <= row < self.n:
+            raise IndexError(f"row {row} out of range [0, {self.n})")
+        base, extra = divmod(self.n, self.nranks)
+        boundary = extra * (base + 1)
+        if row < boundary:
+            return row // (base + 1)
+        return extra + (row - boundary) // base
+
+    def owners_of(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`owner_of`."""
+        rows = np.asarray(rows)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.n):
+            raise IndexError("row index out of range")
+        base, extra = divmod(self.n, self.nranks)
+        boundary = extra * (base + 1)
+        low = rows // (base + 1)
+        high = extra + (rows - boundary) // max(base, 1)
+        return np.where(rows < boundary, low, high).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def starts(self) -> np.ndarray:
+        base, extra = divmod(self.n, self.nranks)
+        ranks = np.arange(self.nranks)
+        return ranks * base + np.minimum(ranks, extra)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        base, extra = divmod(self.n, self.nranks)
+        return base + (np.arange(self.nranks) < extra).astype(np.int64)
+
+    @property
+    def max_block(self) -> int:
+        return int(self.sizes.max())
+
+    def __iter__(self):
+        return (self.slice_of(r) for r in range(self.nranks))
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.nranks:
+            raise IndexError(f"rank {rank} out of range [0, {self.nranks})")

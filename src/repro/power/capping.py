@@ -1,0 +1,78 @@
+"""Machine power capping (RAPL-limit style).
+
+The paper's opening problem is a fixed facility budget: "to deliver the
+promised performance within the given power budget" (Section 1), and
+Section 2.3 observes that "the additional power required to provide
+resilience reduces the power available for computation and thus impacts
+the application's performance".  Real RAPL enforces such budgets by
+clamping the package power; the processor then settles at the highest
+sustainable frequency.
+
+:func:`frequency_under_cap` computes that operating point on the
+simulated machine: the highest ladder frequency at which the requested
+core population stays within the cap.  The solver uses it to derate the
+whole run when :class:`~repro.core.solver.SolverConfig` carries a
+``power_cap_w`` — compute slows proportionally to the clock (the
+paper's DVFS assumption) while power drops cubically, the classic
+energy/performance trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.model import CoreState, PowerModel
+
+
+class PowerCapError(ValueError):
+    """The cap cannot be met even at the lowest frequency."""
+
+
+@dataclass(frozen=True)
+class CapOperatingPoint:
+    """The sustainable operating point under a cap."""
+
+    f_ghz: float
+    power_w: float
+    cap_w: float
+
+    @property
+    def headroom_w(self) -> float:
+        """Unused budget at the chosen frequency."""
+        return self.cap_w - self.power_w
+
+
+def frequency_under_cap(
+    model: PowerModel, ncores: int, cap_w: float
+) -> CapOperatingPoint:
+    """Highest ladder frequency keeping ``ncores`` active cores <= cap.
+
+    Raises :class:`PowerCapError` when even f_min exceeds the cap (the
+    machine cannot host the job within the budget).
+    """
+    if ncores < 1:
+        raise ValueError("need at least one core")
+    if cap_w <= 0:
+        raise ValueError("power cap must be positive")
+    best = None
+    for f in model.ladder.steps:
+        p = model.uniform_power(ncores, f, CoreState.ACTIVE)
+        if p <= cap_w:
+            best = (f, p)
+    if best is None:
+        floor = model.uniform_power(
+            ncores, model.ladder.fmin_ghz, CoreState.ACTIVE
+        )
+        raise PowerCapError(
+            f"cap {cap_w:.1f} W below the {floor:.1f} W floor of "
+            f"{ncores} cores at {model.ladder.fmin_ghz} GHz"
+        )
+    f, p = best
+    return CapOperatingPoint(f_ghz=f, power_w=p, cap_w=cap_w)
+
+
+def slowdown_at(model: PowerModel, f_ghz: float) -> float:
+    """Compute-time slowdown at ``f_ghz`` vs f_max (rates scale with f)."""
+    if f_ghz <= 0:
+        raise ValueError("frequency must be positive")
+    return model.ladder.fmax_ghz / f_ghz

@@ -1,0 +1,128 @@
+"""Per-core power model, calibrated to the paper's measured ratios.
+
+Model
+-----
+A core in activity state *s* at frequency *f* draws
+
+    P(f, s) = P_static + u(s) * P_dyn * (f / f_max)^3
+
+where ``u(ACTIVE) = 1``, ``u(IDLE) = gamma < 1`` (an idle core still
+clocks its caches and snoops), and ``u(SLEEP) = 0`` with an extra static
+reduction for deep C-states.
+
+Calibration
+-----------
+Section 4.2 reports, for a 24-core node running LI reconstruction (one
+core active, 23 idle):
+
+* without DVFS (idle cores stay at f_max): node power = 0.75x compute;
+* with DVFS (idle cores at f_min = 1.2 GHz): node power = 0.45x compute.
+
+With f_min/f_max = 1.2/2.3 ((f_min/f_max)^3 = 0.142) these two equations
+pin the defaults: ``P_static = 0.374 * P_core``, ``P_dyn = 0.626 *
+P_core``, ``gamma = 0.583``, where ``P_core = P(f_max, ACTIVE)``.  The
+absolute scale is set to 10 W/core (a 120 W TDP / 12-core Haswell Xeon).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cluster.machine import FrequencyLadder
+
+
+class CoreState(enum.Enum):
+    """Activity state of a simulated core."""
+
+    ACTIVE = "active"
+    IDLE = "idle"
+    SLEEP = "sleep"
+
+
+#: Active core power at f_max, watts (E5-2670v3: 120 W TDP / 12 cores).
+DEFAULT_ACTIVE_W = 10.0
+#: Static (leakage + always-on) fraction of active power at f_max.
+DEFAULT_STATIC_FRACTION = 0.374
+#: Idle dynamic activity factor (fraction of active dynamic power).
+DEFAULT_IDLE_ACTIVITY = 0.583
+#: Sleeping cores power-gate most of the static power too.
+DEFAULT_SLEEP_W = 1.0
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Power of cores and nodes as a function of frequency and state."""
+
+    ladder: FrequencyLadder = FrequencyLadder()
+    active_w: float = DEFAULT_ACTIVE_W
+    static_fraction: float = DEFAULT_STATIC_FRACTION
+    idle_activity: float = DEFAULT_IDLE_ACTIVITY
+    sleep_w: float = DEFAULT_SLEEP_W
+
+    def __post_init__(self) -> None:
+        if self.active_w <= 0:
+            raise ValueError("active power must be positive")
+        if not 0 <= self.static_fraction < 1:
+            raise ValueError("static fraction must be in [0, 1)")
+        if not 0 <= self.idle_activity <= 1:
+            raise ValueError("idle activity must be in [0, 1]")
+        if not 0 <= self.sleep_w <= self.active_w:
+            raise ValueError("sleep power must be in [0, active_w]")
+
+    @property
+    def static_w(self) -> float:
+        return self.active_w * self.static_fraction
+
+    @property
+    def dynamic_w(self) -> float:
+        """Dynamic power of an active core at f_max."""
+        return self.active_w - self.static_w
+
+    def core_power(self, f_ghz: float, state: CoreState = CoreState.ACTIVE) -> float:
+        """Watts drawn by one core at ``f_ghz`` in ``state``."""
+        if f_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if state is CoreState.SLEEP:
+            return self.sleep_w
+        scale = (f_ghz / self.ladder.fmax_ghz) ** 3
+        u = 1.0 if state is CoreState.ACTIVE else self.idle_activity
+        return self.static_w + u * self.dynamic_w * scale
+
+    def node_power(self, core_states: list[tuple[float, CoreState]]) -> float:
+        """Watts drawn by a node given ``(f_ghz, state)`` per core."""
+        return sum(self.core_power(f, s) for f, s in core_states)
+
+    def uniform_power(self, ncores: int, f_ghz: float, state: CoreState = CoreState.ACTIVE) -> float:
+        """Watts for ``ncores`` identical cores."""
+        if ncores < 0:
+            raise ValueError("ncores must be non-negative")
+        return ncores * self.core_power(f_ghz, state)
+
+    # ------------------------------------------------------------------
+    # Named operating points used throughout the experiments
+    # ------------------------------------------------------------------
+    def compute_node_w(self, ncores: int) -> float:
+        """All cores active at f_max (the paper's 1.0x baseline)."""
+        return self.uniform_power(ncores, self.ladder.fmax_ghz, CoreState.ACTIVE)
+
+    def reconstruct_node_w(self, ncores: int, *, dvfs: bool) -> float:
+        """One core active at f_max, the rest idle.
+
+        With ``dvfs`` the idle cores sit at f_min (the LI-DVFS/LSI-DVFS
+        schedule); without, they idle at f_max (the plain LI/LSI case).
+        """
+        if ncores < 1:
+            raise ValueError("need at least one core")
+        f_idle = self.ladder.fmin_ghz if dvfs else self.ladder.fmax_ghz
+        return self.core_power(self.ladder.fmax_ghz, CoreState.ACTIVE) + (
+            ncores - 1
+        ) * self.core_power(f_idle, CoreState.IDLE)
+
+    def checkpoint_node_w(self, ncores: int) -> float:
+        """All cores idle-waiting on I/O at f_max.
+
+        "CPUs are not highly utilized during checkpointing and thus
+        consume less power than in computation phase" (Section 3.2).
+        """
+        return self.uniform_power(ncores, self.ladder.fmax_ghz, CoreState.IDLE)

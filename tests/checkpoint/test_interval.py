@@ -1,0 +1,74 @@
+"""Unit tests for Young's and Daly's checkpoint intervals."""
+
+import math
+
+import pytest
+
+from repro.checkpoint.interval import (
+    daly_interval,
+    interval_in_iterations,
+    young_interval,
+)
+
+
+class TestYoung:
+    def test_formula(self):
+        assert young_interval(1.0, 3600.0) == pytest.approx(math.sqrt(7200.0))
+
+    def test_grows_with_mtbf(self):
+        assert young_interval(1.0, 7200.0) > young_interval(1.0, 3600.0)
+
+    def test_grows_with_checkpoint_cost(self):
+        assert young_interval(4.0, 3600.0) == pytest.approx(
+            2 * young_interval(1.0, 3600.0)
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            young_interval(0.0, 100.0)
+        with pytest.raises(ValueError):
+            young_interval(1.0, 0.0)
+
+
+class TestDaly:
+    def test_close_to_young_for_small_tc(self):
+        """Daly reduces to Young when t_C << MTBF."""
+        t_c, mtbf = 0.001, 10_000.0
+        assert daly_interval(t_c, mtbf) == pytest.approx(
+            young_interval(t_c, mtbf), rel=1e-2
+        )
+
+    def test_below_young_for_large_tc(self):
+        """The -t_C correction bites when checkpointing is expensive."""
+        t_c, mtbf = 100.0, 3600.0
+        assert daly_interval(t_c, mtbf) < young_interval(t_c, mtbf)
+
+    def test_degenerate_regime_returns_mtbf(self):
+        assert daly_interval(10_000.0, 100.0) == pytest.approx(100.0)
+
+    def test_positive_everywhere(self):
+        for t_c in (0.01, 1.0, 50.0):
+            for mtbf in (10.0, 1000.0, 1e6):
+                assert daly_interval(t_c, mtbf) > 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            daly_interval(-1.0, 100.0)
+
+
+class TestIntervalInIterations:
+    def test_rounds_to_nearest(self):
+        assert interval_in_iterations(1.0, 0.3) == 3
+        assert interval_in_iterations(1.6, 1.0) == 2
+
+    def test_minimum_floor(self):
+        assert interval_in_iterations(0.001, 1.0) == 1
+        assert interval_in_iterations(0.001, 1.0, minimum=5) == 5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            interval_in_iterations(0.0, 1.0)
+        with pytest.raises(ValueError):
+            interval_in_iterations(1.0, 0.0)
+        with pytest.raises(ValueError):
+            interval_in_iterations(1.0, 1.0, minimum=0)

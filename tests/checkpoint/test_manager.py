@@ -1,0 +1,68 @@
+"""Unit tests for the checkpoint manager."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.manager import CheckpointManager
+from repro.checkpoint.store import MemoryStore
+
+
+@pytest.fixture()
+def mgr() -> CheckpointManager:
+    return CheckpointManager(MemoryStore(), interval_iters=10)
+
+
+class TestCadence:
+    def test_due_on_multiples(self, mgr):
+        assert mgr.due(10)
+        assert mgr.due(20)
+        assert not mgr.due(5)
+        assert not mgr.due(0)
+
+    def test_rejects_negative_iteration(self, mgr):
+        with pytest.raises(ValueError):
+            mgr.due(-1)
+
+    def test_rejects_zero_interval(self):
+        with pytest.raises(ValueError):
+            CheckpointManager(MemoryStore(), interval_iters=0)
+
+
+class TestCheckpointing:
+    def test_maybe_checkpoint_skips_off_cadence(self, mgr):
+        assert mgr.maybe_checkpoint(7, np.ones(8), 2) is None
+        assert mgr.writes == 0
+
+    def test_maybe_checkpoint_writes_on_cadence(self, mgr):
+        result = mgr.maybe_checkpoint(10, np.ones(8), 2)
+        assert result is not None
+        snap, write_s = result
+        assert snap.iteration == 10
+        assert write_s > 0
+        assert mgr.writes == 1
+
+    def test_snapshot_is_a_copy(self, mgr):
+        x = np.ones(8)
+        snap, _ = mgr.maybe_checkpoint(10, x, 2)
+        x[:] = -1
+        assert np.allclose(snap.x, 1.0)
+
+
+class TestRollback:
+    def test_rollback_returns_latest_before(self, mgr):
+        mgr.maybe_checkpoint(10, np.full(8, 1.0), 2)
+        mgr.maybe_checkpoint(20, np.full(8, 2.0), 2)
+        snap, read_s = mgr.rollback(25, 64, 2)
+        assert snap.iteration == 20
+        assert read_s > 0
+        assert mgr.rollbacks == 1
+
+    def test_rollback_without_checkpoint(self, mgr):
+        snap, read_s = mgr.rollback(5, 64, 2)
+        assert snap is None
+        assert read_s > 0
+
+    def test_rollback_exact_boundary(self, mgr):
+        mgr.maybe_checkpoint(10, np.full(8, 1.0), 2)
+        snap, _ = mgr.rollback(10, 64, 2)
+        assert snap.iteration == 10

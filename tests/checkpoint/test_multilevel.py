@@ -1,0 +1,95 @@
+"""Unit tests for the multi-level (SCR-style) checkpoint manager."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.multilevel import MultiLevelManager
+
+
+def mgr(**kw) -> MultiLevelManager:
+    defaults = dict(memory_interval=10, disk_every=3, memory_survival=1.0, seed=0)
+    defaults.update(kw)
+    return MultiLevelManager(**defaults)
+
+
+class TestCadence:
+    def test_memory_cadence(self):
+        m = mgr()
+        assert m.due(10) and m.due(20)
+        assert not m.due(5) and not m.due(0)
+
+    def test_disk_cadence_is_every_kth_memory_checkpoint(self):
+        m = mgr()
+        assert m.disk_due(30) and m.disk_due(60)
+        assert not m.disk_due(10) and not m.disk_due(20)
+        assert not m.disk_due(35)
+
+    def test_maybe_checkpoint_levels(self):
+        m = mgr()
+        x = np.ones(16)
+        assert m.maybe_checkpoint(5, x, 2) is None
+        write_s, wrote_disk = m.maybe_checkpoint(10, x, 2)
+        assert write_s > 0 and not wrote_disk
+        write_s2, wrote_disk2 = m.maybe_checkpoint(30, x, 2)
+        assert wrote_disk2
+        assert write_s2 > write_s  # disk flush costs extra
+        assert m.memory_writes == 2
+        assert m.disk_writes == 1
+
+
+class TestRollback:
+    def test_prefers_memory_when_alive(self):
+        m = mgr(memory_survival=1.0)
+        m.maybe_checkpoint(10, np.full(8, 1.0), 2)
+        m.maybe_checkpoint(30, np.full(8, 3.0), 2)  # also disk
+        restore = m.rollback(35, 64, 2)
+        assert restore.level == "memory"
+        assert restore.snapshot.iteration == 30
+        assert m.memory_restores == 1
+
+    def test_falls_back_to_disk_when_memory_lost(self):
+        m = mgr(memory_survival=0.0)
+        m.maybe_checkpoint(10, np.full(8, 1.0), 2)
+        m.maybe_checkpoint(30, np.full(8, 3.0), 2)
+        m.maybe_checkpoint(40, np.full(8, 4.0), 2)  # memory only
+        restore = m.rollback(45, 64, 2)
+        assert restore.level == "disk"
+        assert restore.snapshot.iteration == 30  # newest *disk* copy
+        assert m.disk_restores == 1
+
+    def test_initial_when_nothing_stored(self):
+        restore = mgr(memory_survival=0.0).rollback(5, 64, 2)
+        assert restore.level == "initial"
+        assert restore.snapshot is None
+        assert restore.read_time_s > 0
+
+    def test_disk_restore_slower_than_memory(self):
+        m_mem = mgr(memory_survival=1.0)
+        m_disk = mgr(memory_survival=0.0)
+        for m in (m_mem, m_disk):
+            m.maybe_checkpoint(30, np.full(1024, 3.0), 2)
+        nbytes = 1024 * 8
+        fast = m_mem.rollback(35, nbytes, 2)
+        slow = m_disk.rollback(35, nbytes, 2)
+        assert fast.read_time_s < slow.read_time_s
+
+    def test_survival_is_seeded(self):
+        outcomes = []
+        for _ in range(2):
+            m = mgr(memory_survival=0.5, seed=7)
+            m.maybe_checkpoint(10, np.full(8, 1.0), 2)
+            m.maybe_checkpoint(30, np.full(8, 3.0), 2)
+            outcomes.append([m.rollback(35, 64, 2).level for _ in range(5)])
+        assert outcomes[0] == outcomes[1]
+
+
+class TestValidation:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            mgr(memory_interval=0)
+        with pytest.raises(ValueError):
+            mgr(disk_every=0)
+        with pytest.raises(ValueError):
+            mgr(memory_survival=1.5)
+        with pytest.raises(ValueError):
+            mgr().due(-1)

@@ -1,0 +1,119 @@
+"""Unit tests for the simulated communicator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.comm import SimComm
+from repro.cluster.machine import MachineSpec, NodeSpec
+
+
+def comm(nranks: int, cores_per_node: int = 4) -> SimComm:
+    machine = MachineSpec(
+        nodes=max(1, -(-nranks // cores_per_node)),
+        node=NodeSpec(sockets=1, cores_per_socket=cores_per_node),
+    )
+    return SimComm(machine, nranks)
+
+
+class TestSimCommBasics:
+    def test_machine_grows_to_fit(self):
+        machine = MachineSpec(nodes=1, node=NodeSpec(sockets=1, cores_per_socket=4))
+        c = SimComm(machine, 10)
+        assert c.machine.total_cores >= 10
+
+    def test_clocks_start_at_zero(self):
+        assert comm(4).now == 0.0
+
+
+class TestPointToPoint:
+    def test_send_recv_synchronises_both_ends(self):
+        c = comm(8)
+        c.clocks.advance_rank(0, 1.0)
+        done = c.send_recv(0, 5, 1024)
+        assert c.clocks.times[0] == pytest.approx(done)
+        assert c.clocks.times[5] == pytest.approx(done)
+        assert done > 1.0
+
+    def test_self_send_is_free(self):
+        c = comm(4)
+        t = c.send_recv(2, 2, 10_000)
+        assert t == 0.0
+        assert c.traffic.messages == 0
+
+    def test_intra_node_cheaper(self):
+        c1, c2 = comm(8), comm(8)
+        t_intra = c1.send_recv(0, 1, 4096)
+        t_inter = c2.send_recv(0, 5, 4096)
+        assert t_intra < t_inter
+
+    def test_traffic_accounting(self):
+        c = comm(4)
+        c.send_recv(0, 1, 100)
+        c.send_recv(1, 2, 200)
+        assert c.traffic.bytes_p2p == pytest.approx(300)
+        assert c.traffic.messages == 2
+
+
+class TestCollectives:
+    def test_allreduce_synchronises_all(self):
+        c = comm(8)
+        c.clocks.advance([0, 1, 2, 3, 0, 1, 2, 3])
+        t = c.allreduce(8)
+        assert np.allclose(c.clocks.times, t)
+        assert t > 3.0
+
+    def test_allreduce_counts_traffic(self):
+        c = comm(8)
+        c.allreduce(8)
+        assert c.traffic.bytes_collective == pytest.approx(64)
+        assert c.traffic.collectives == 1
+
+    def test_barrier_advances_to_max(self):
+        c = comm(4)
+        c.clocks.advance([5, 0, 0, 0])
+        t = c.barrier()
+        assert t >= 5.0
+        assert np.allclose(c.clocks.times, t)
+
+    def test_bcast_single_rank_free(self):
+        c = comm(1)
+        assert c.bcast(1024) == 0.0
+
+
+class TestHaloExchange:
+    def test_advances_participants_only(self):
+        c = comm(8)
+        c.halo_exchange({(0, 1): 800.0, (1, 0): 800.0})
+        assert c.clocks.times[0] > 0
+        assert c.clocks.times[1] > 0
+        assert c.clocks.times[2] == 0.0
+
+    def test_ignores_self_pairs(self):
+        c = comm(4)
+        c.halo_exchange({(2, 2): 1000.0})
+        assert c.now == 0.0
+        assert c.traffic.messages == 0
+
+    def test_rejects_negative_volume(self):
+        c = comm(4)
+        with pytest.raises(ValueError):
+            c.halo_exchange({(0, 1): -5.0})
+
+    def test_volume_accumulates(self):
+        c = comm(4)
+        c.halo_exchange({(0, 1): 100.0, (2, 3): 50.0})
+        assert c.traffic.bytes_p2p == pytest.approx(150.0)
+        assert c.traffic.messages == 2
+
+
+class TestCompute:
+    def test_per_rank_compute(self):
+        c = comm(4)
+        c.compute([1.0, 2.0, 3.0, 4.0])
+        assert c.now == 4.0
+
+    def test_compute_rank(self):
+        c = comm(4)
+        c.compute_rank(2, 7.0)
+        assert c.clocks.times[2] == 7.0
+        assert c.clocks.times[0] == 0.0

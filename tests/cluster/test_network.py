@@ -1,0 +1,107 @@
+"""Unit tests for the Hockney network model and collective costs."""
+
+import math
+
+import pytest
+
+from repro.cluster.machine import MachineSpec, NodeSpec
+from repro.cluster.network import CollectiveCosts, LinkParams, NetworkModel
+from repro.cluster.topology import ProcessBinding
+
+
+def binding(nranks: int, cores_per_node: int = 4) -> ProcessBinding:
+    machine = MachineSpec(
+        nodes=max(1, -(-nranks // cores_per_node)),
+        node=NodeSpec(sockets=1, cores_per_socket=cores_per_node),
+    )
+    return ProcessBinding(machine, nranks)
+
+
+class TestLinkParams:
+    def test_message_time_is_alpha_plus_beta_n(self):
+        link = LinkParams(latency_s=1e-6, bandwidth_gbps=1.0)
+        assert link.message_time(0) == pytest.approx(1e-6)
+        assert link.message_time(1e9) == pytest.approx(1e-6 + 1.0)
+
+    def test_monotone_in_bytes(self):
+        link = LinkParams(latency_s=1e-6, bandwidth_gbps=5.0)
+        assert link.message_time(2000) > link.message_time(1000)
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ValueError):
+            LinkParams(1e-6, 1.0).message_time(-1)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LinkParams(latency_s=-1.0, bandwidth_gbps=1.0)
+        with pytest.raises(ValueError):
+            LinkParams(latency_s=1e-6, bandwidth_gbps=0.0)
+
+
+class TestNetworkModel:
+    def test_intra_node_is_faster(self):
+        net = NetworkModel()
+        nbytes = 8192
+        assert net.p2p_time(nbytes, same_node=True) < net.p2p_time(
+            nbytes, same_node=False
+        )
+
+    def test_link_for_uses_binding(self):
+        net = NetworkModel()
+        b = binding(8, cores_per_node=4)
+        assert net.link_for(b, 0, 1) is net.intra
+        assert net.link_for(b, 0, 5) is net.inter
+
+
+class TestCollectiveCosts:
+    def test_single_rank_collectives_are_free(self):
+        c = CollectiveCosts(NetworkModel(), binding(1))
+        assert c.barrier() == 0.0
+        assert c.allreduce(8) == 0.0
+        assert c.bcast(8) == 0.0
+        assert c.allgather(8) == 0.0
+
+    def test_allreduce_scales_logarithmically(self):
+        net = NetworkModel()
+        t4 = CollectiveCosts(net, binding(4, 1)).allreduce(8)
+        t16 = CollectiveCosts(net, binding(16, 1)).allreduce(8)
+        t256 = CollectiveCosts(net, binding(256, 1)).allreduce(8)
+        # doubling rounds: log2(16)/log2(4) = 2, log2(256)/log2(4) = 4
+        assert t16 / t4 == pytest.approx(2.0, rel=1e-6)
+        assert t256 / t4 == pytest.approx(4.0, rel=1e-6)
+
+    def test_allreduce_is_two_rounds_of_bcast(self):
+        c = CollectiveCosts(NetworkModel(), binding(8, 1))
+        assert c.allreduce(64) == pytest.approx(2 * c.bcast(64))
+
+    def test_multinode_uses_inter_level(self):
+        net = NetworkModel()
+        one_node = CollectiveCosts(net, binding(4, cores_per_node=4))
+        two_node = CollectiveCosts(net, binding(8, cores_per_node=4))
+        # same round count (log2(4)=2 vs log2(8)=3) — compare per round
+        per_round_1 = one_node.bcast(1024) / 2
+        per_round_2 = two_node.bcast(1024) / 3
+        assert per_round_2 > per_round_1
+
+    def test_allgather_bandwidth_term_covers_all_ranks(self):
+        c = CollectiveCosts(NetworkModel(), binding(8, 1))
+        small = c.allgather(8)
+        big = c.allgather(8 * 1024 * 1024)
+        link = NetworkModel().inter
+        expected_bw = 7 * 8 * 1024 * 1024 * link.beta_s_per_byte
+        assert big - small == pytest.approx(
+            expected_bw - 7 * 8 * link.beta_s_per_byte, rel=1e-9
+        )
+
+    def test_barrier_has_no_bandwidth_term(self):
+        c = CollectiveCosts(NetworkModel(), binding(16, 1))
+        rounds = math.ceil(math.log2(16))
+        assert c.barrier() == pytest.approx(rounds * NetworkModel().inter.latency_s)
+
+    def test_reduce_equals_bcast(self):
+        c = CollectiveCosts(NetworkModel(), binding(8, 1))
+        assert c.reduce(512) == pytest.approx(c.bcast(512))
+
+    def test_gather_matches_allgather_shape(self):
+        c = CollectiveCosts(NetworkModel(), binding(8, 1))
+        assert c.gather(512) == pytest.approx(c.allgather(512))

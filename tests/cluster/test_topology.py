@@ -1,0 +1,50 @@
+"""Unit tests for process-to-core binding."""
+
+import pytest
+
+from repro.cluster.machine import MachineSpec, NodeSpec
+from repro.cluster.topology import ProcessBinding
+
+
+def machine(nodes: int, cores: int) -> MachineSpec:
+    return MachineSpec(nodes=nodes, node=NodeSpec(sockets=1, cores_per_socket=cores))
+
+
+class TestProcessBinding:
+    def test_block_placement(self):
+        b = ProcessBinding(machine(2, 4), 8)
+        assert [b.node_of(r) for r in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_core_within_node(self):
+        b = ProcessBinding(machine(2, 4), 8)
+        assert [b.core_of(r) for r in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_same_node(self):
+        b = ProcessBinding(machine(2, 4), 8)
+        assert b.same_node(0, 3)
+        assert not b.same_node(3, 4)
+
+    def test_ranks_on_node(self):
+        b = ProcessBinding(machine(2, 4), 6)
+        assert list(b.ranks_on_node(0)) == [0, 1, 2, 3]
+        assert list(b.ranks_on_node(1)) == [4, 5]
+
+    def test_nodes_used_partial(self):
+        assert ProcessBinding(machine(4, 4), 6).nodes_used == 2
+        assert ProcessBinding(machine(4, 4), 4).nodes_used == 1
+        assert ProcessBinding(machine(4, 4), 16).nodes_used == 4
+
+    def test_rejects_too_many_ranks(self):
+        with pytest.raises(ValueError):
+            ProcessBinding(machine(1, 4), 5)
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            ProcessBinding(machine(1, 4), 0)
+
+    def test_rank_out_of_range(self):
+        b = ProcessBinding(machine(1, 4), 4)
+        with pytest.raises(IndexError):
+            b.node_of(4)
+        with pytest.raises(IndexError):
+            b.core_of(-1)

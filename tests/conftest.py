@@ -1,0 +1,81 @@
+"""Shared fixtures: small, fast systems for unit/integration tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.cluster.machine import MachineSpec, NodeSpec
+from repro.core.solver import ResilientSolver, SolverConfig
+from repro.matrices.distributed import DistributedMatrix
+from repro.matrices.generators import banded_spd, irregular_spd, stencil_5pt
+from repro.matrices.partition import BlockRowPartition
+
+
+@pytest.fixture(scope="session")
+def small_banded() -> sp.csr_matrix:
+    """96x96 banded SPD, well conditioned (fast CG)."""
+    return banded_spd(96, 5, dominance=0.05, seed=0)
+
+
+@pytest.fixture(scope="session")
+def medium_banded() -> sp.csr_matrix:
+    """600x600 banded SPD, moderately conditioned."""
+    return banded_spd(600, 9, dominance=1e-3, seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_irregular() -> sp.csr_matrix:
+    return irregular_spd(120, 7, dominance=0.05, seed=2, value_spread=0.5)
+
+
+@pytest.fixture(scope="session")
+def small_stencil() -> sp.csr_matrix:
+    return stencil_5pt(10)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def small_system(small_banded, rng):
+    """(DistributedMatrix over 4 ranks, b, x_true) for the small matrix."""
+    n = small_banded.shape[0]
+    x_true = rng.standard_normal(n)
+    b = small_banded @ x_true
+    dmat = DistributedMatrix(small_banded, BlockRowPartition(n, 4))
+    return dmat, b, x_true
+
+
+def quick_config(nranks: int = 4, **kw) -> SolverConfig:
+    """Small machine, loose tolerance — keeps unit tests fast."""
+    defaults = dict(
+        nranks=nranks,
+        tol=1e-8,
+        max_iters=20_000,
+        machine=MachineSpec(nodes=2, node=NodeSpec(sockets=1, cores_per_socket=4)),
+    )
+    defaults.update(kw)
+    return SolverConfig(**defaults)
+
+
+@pytest.fixture()
+def solver_factory(small_banded, rng):
+    """Factory building a ResilientSolver on the small system."""
+    n = small_banded.shape[0]
+    x_true = rng.standard_normal(n)
+    b = small_banded @ x_true
+
+    def build(scheme=None, schedule=None, nranks: int = 4, **cfg_kw):
+        return ResilientSolver(
+            small_banded,
+            b,
+            scheme=scheme,
+            schedule=schedule,
+            config=quick_config(nranks=nranks, **cfg_kw),
+        )
+
+    return build

@@ -1,0 +1,94 @@
+"""Unit tests for the generalized T/P/E models (Equations 1-8)."""
+
+import pytest
+
+from repro.core.models.general import GeneralModel, WorkloadParams
+
+
+@pytest.fixture()
+def workload() -> WorkloadParams:
+    return WorkloadParams(t_solve_s=100.0, p1_w=10.0)
+
+
+class TestWorkloadParams:
+    def test_e1_is_p1_t1(self, workload):
+        """Equation 6."""
+        assert workload.e1_j == pytest.approx(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(t_solve_s=0.0, p1_w=10.0)
+        with pytest.raises(ValueError):
+            WorkloadParams(t_solve_s=1.0, p1_w=-1.0)
+
+
+class TestTime:
+    def test_fixed_time_scaling(self, workload):
+        """Equation 2: constant time absent parallel overhead."""
+        m1 = GeneralModel(workload, n_cores=1)
+        m64 = GeneralModel(workload, n_cores=64)
+        assert m1.time_fault_free_s() == m64.time_fault_free_s() == 100.0
+
+    def test_constant_overhead(self, workload):
+        m = GeneralModel(workload, n_cores=16, parallel_overhead_s=5.0)
+        assert m.time_fault_free_s() == pytest.approx(105.0)
+
+    def test_callable_overhead(self, workload):
+        import math
+
+        m = GeneralModel(
+            workload, n_cores=1024, parallel_overhead_s=lambda n: math.log2(n)
+        )
+        assert m.t_overhead_s == pytest.approx(10.0)
+
+    def test_resilience_term(self, workload):
+        """Equation 3."""
+        m = GeneralModel(workload, n_cores=4, parallel_overhead_s=5.0)
+        assert m.time_s(t_res_s=20.0) == pytest.approx(125.0)
+
+    def test_rejects_negative_t_res(self, workload):
+        with pytest.raises(ValueError):
+            GeneralModel(workload, n_cores=4).time_s(-1.0)
+
+    def test_rejects_negative_overhead(self, workload):
+        with pytest.raises(ValueError):
+            GeneralModel(workload, n_cores=4, parallel_overhead_s=-1.0).t_overhead_s
+
+
+class TestPower:
+    def test_execution_power_scales_with_cores(self, workload):
+        """Equation 4."""
+        assert GeneralModel(workload, n_cores=64).power_execution_w() == pytest.approx(640.0)
+
+    def test_overlapped_power_adds(self, workload):
+        """Equation 5, overlapped phase."""
+        m = GeneralModel(workload, n_cores=10)
+        assert m.power_overlapped_w(100.0) == pytest.approx(200.0)
+
+    def test_average_power_time_weighted(self, workload):
+        m = GeneralModel(workload, n_cores=1)
+        avg = m.average_power_w([(1.0, 100.0), (3.0, 50.0)])
+        assert avg == pytest.approx((100 + 150) / 4)
+
+    def test_average_power_validation(self, workload):
+        m = GeneralModel(workload, n_cores=1)
+        with pytest.raises(ValueError):
+            m.average_power_w([])
+        with pytest.raises(ValueError):
+            m.average_power_w([(-1.0, 10.0)])
+
+
+class TestEnergy:
+    def test_fault_free_energy(self, workload):
+        """Equation 7."""
+        m = GeneralModel(workload, n_cores=8, parallel_overhead_s=25.0)
+        assert m.energy_fault_free_j() == pytest.approx(8 * 10 * 125.0)
+
+    def test_faulty_energy(self, workload):
+        """Equation 8."""
+        m = GeneralModel(workload, n_cores=2, parallel_overhead_s=0.0)
+        assert m.energy_j(t_res_s=50.0, p_avg_w=18.0) == pytest.approx(18 * 150.0)
+
+    def test_rejects_negative_power(self, workload):
+        with pytest.raises(ValueError):
+            GeneralModel(workload, n_cores=2).energy_j(0.0, -1.0)

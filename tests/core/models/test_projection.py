@@ -1,0 +1,123 @@
+"""Unit tests for the Section-6 weak-scaling projection (Figure 9)."""
+
+import pytest
+
+from repro.core.models.projection import (
+    FIGURE9_SCHEMES,
+    ProjectionConfig,
+    project,
+    project_scheme,
+)
+
+SIZES = [192, 1536, 12_288, 49_152, 98_304]
+
+
+@pytest.fixture()
+def cfg() -> ProjectionConfig:
+    return ProjectionConfig()
+
+
+class TestScalingLaws:
+    def test_rate_linear_in_size(self, cfg):
+        assert cfg.rate_per_s(2000) == pytest.approx(2 * cfg.rate_per_s(1000))
+
+    def test_system_mtbf_shrinks(self, cfg):
+        assert cfg.system_mtbf_s(10_000) < cfg.system_mtbf_s(100)
+
+    def test_disk_tc_linear(self, cfg):
+        assert cfg.t_c_disk_at(2 * cfg.n0) == pytest.approx(2 * cfg.t_c_disk_s)
+
+    def test_const_linear(self, cfg):
+        assert cfg.t_const_at(4 * cfg.n0) == pytest.approx(4 * cfg.t_const_s)
+
+    def test_overhead_grows_with_n(self, cfg):
+        assert cfg.t_overhead_s(1_000_000) > cfg.t_overhead_s(1000) > 0
+        assert cfg.t_overhead_s(1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProjectionConfig(t_solve_s=-1.0)
+        with pytest.raises(ValueError):
+            ProjectionConfig(extra_fraction=1.5)
+
+
+class TestFigure9Trends:
+    """The qualitative trends the paper reads off Figure 9."""
+
+    def test_rd_flat(self, cfg):
+        pts = [project_scheme("RD", n, cfg) for n in SIZES]
+        assert all(p.t_res_ratio == 0.0 for p in pts)
+        assert all(p.e_res_ratio == pytest.approx(1.0) for p in pts)
+        assert all(p.power_ratio == pytest.approx(2.0) for p in pts)
+
+    def test_fw_grows_monotonically(self, cfg):
+        """'T_res and E_res of FW increases roughly linearly'."""
+        pts = [project_scheme("FW", n, cfg) for n in SIZES]
+        ratios = [p.t_res_ratio for p in pts]
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] / ratios[0] > 50
+
+    def test_crd_grows_faster_than_fw(self, cfg):
+        """'T_res and E_res of CR-D increases faster'."""
+        big = SIZES[-1]
+        crd = project_scheme("CR-D", big, cfg)
+        fw = project_scheme("FW", big, cfg)
+        assert crd.t_res_ratio > fw.t_res_ratio
+        assert crd.e_res_ratio > fw.e_res_ratio
+
+    def test_crm_overhead_stays_small(self, cfg):
+        """'T_res and E_res of CR-M decreases because of its negligible
+        t_C' — CR-M stays far below the fault-free time at every size."""
+        pts = [project_scheme("CR-M", n, cfg) for n in SIZES]
+        assert all(p.t_res_ratio < 0.5 for p in pts)
+        crd = [project_scheme("CR-D", n, cfg) for n in SIZES]
+        assert all(m.t_res_ratio < d.t_res_ratio for m, d in zip(pts, crd))
+
+    def test_fw_and_crd_power_drops_at_scale(self, cfg):
+        """'P of FW and CR-D drops as the time cost in recovery or
+        reconstruction becomes dominant.'"""
+        for scheme in ("FW", "CR-D"):
+            small = project_scheme(scheme, SIZES[0], cfg)
+            large = project_scheme(scheme, SIZES[-1], cfg)
+            assert large.power_ratio < small.power_ratio
+
+    def test_crd_overhead_dominates_at_scale(self, cfg):
+        """'T_res and E_res for FW and CR-D become larger than time and
+        energy required for the fault-free case' at large sizes."""
+        p = project_scheme("CR-D", SIZES[-1], cfg)
+        assert p.t_res_ratio > 1.0
+        assert p.e_res_ratio > 1.0
+
+    def test_progress_halts_beyond_the_plot(self, cfg):
+        """'if MTBF continues to decrease, workload progress can
+        possibly halt' — the halt point is reported, not crashed on."""
+        p = project_scheme("CR-D", 400_000, cfg)
+        assert p.halted
+        fw = project_scheme("FW", 400_000, cfg)
+        assert fw.halted
+        crm = project_scheme("CR-M", 400_000, cfg)
+        assert not crm.halted
+
+
+class TestProjectDriver:
+    def test_all_schemes_all_sizes(self):
+        out = project(SIZES)
+        assert set(out) == set(FIGURE9_SCHEMES)
+        for pts in out.values():
+            assert [p.n for p in pts] == sorted(SIZES)
+
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(ValueError):
+            project([])
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            project([0, 100])
+
+    def test_unknown_scheme(self, cfg):
+        with pytest.raises(ValueError):
+            project_scheme("TMR", 100, cfg)
+
+    def test_points_carry_mtbf(self, cfg):
+        p = project_scheme("FW", 1000, cfg)
+        assert p.system_mtbf_s == pytest.approx(cfg.mtbf_per_proc_s / 1000)

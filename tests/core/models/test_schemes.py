@@ -1,0 +1,168 @@
+"""Unit tests for the per-scheme cost models (Equations 9-16)."""
+
+import math
+
+import pytest
+
+from repro.checkpoint.interval import young_interval
+from repro.core.models.general import GeneralModel, WorkloadParams
+from repro.core.models.schemes import (
+    CheckpointModel,
+    ForwardRecoveryModel,
+    RedundancyModel,
+)
+
+
+@pytest.fixture()
+def gm() -> GeneralModel:
+    return GeneralModel(
+        WorkloadParams(t_solve_s=1000.0, p1_w=10.0),
+        n_cores=64,
+        parallel_overhead_s=50.0,
+    )
+
+
+class TestRedundancyModel:
+    def test_no_time_overhead(self, gm):
+        assert RedundancyModel(gm).t_res_s() == 0.0
+
+    def test_p_res_equals_n_p1(self, gm):
+        """Equation 12."""
+        assert RedundancyModel(gm).p_res_w() == pytest.approx(640.0)
+
+    def test_energy_overhead_equals_fault_free(self, gm):
+        m = RedundancyModel(gm)
+        assert m.e_res_j() == pytest.approx(gm.energy_fault_free_j())
+
+    def test_average_power_doubles(self, gm):
+        assert RedundancyModel(gm).average_power_w() == pytest.approx(1280.0)
+
+
+class TestCheckpointModel:
+    def test_default_interval_is_young(self, gm):
+        m = CheckpointModel(gm, t_c_s=4.0, rate_per_s=1 / 3600.0)
+        assert m.effective_interval_s == pytest.approx(young_interval(4.0, 3600.0))
+
+    def test_explicit_interval_respected(self, gm):
+        m = CheckpointModel(gm, t_c_s=4.0, rate_per_s=1 / 3600.0, interval_s=100.0)
+        assert m.effective_interval_s == 100.0
+
+    def test_t_chkpt_formula(self, gm):
+        """Equation 10: T_chkpt = t_C T / I_C."""
+        m = CheckpointModel(gm, t_c_s=2.0, rate_per_s=0.0, interval_s=100.0)
+        assert m.t_chkpt_s(1000.0) == pytest.approx(20.0)
+
+    def test_t_lost_formula(self, gm):
+        """Equation 11: T_lost = (I_C/2) lambda T."""
+        m = CheckpointModel(gm, t_c_s=2.0, rate_per_s=0.01, interval_s=100.0)
+        assert m.t_lost_s(1000.0) == pytest.approx(0.5 * 100 * 0.01 * 1000)
+
+    def test_zero_rate_means_interval_infinite_no_loss(self, gm):
+        m = CheckpointModel(gm, t_c_s=2.0, rate_per_s=0.0)
+        assert math.isinf(m.effective_interval_s)
+        assert m.t_res_s() == 0.0
+
+    def test_fixed_point_consistency(self, gm):
+        """T_res solves T = T_ff + T_chkpt(T) + T_lost(T)."""
+        m = CheckpointModel(gm, t_c_s=2.0, rate_per_s=1e-3, interval_s=60.0)
+        t_res = m.t_res_s()
+        total = gm.time_fault_free_s() + t_res
+        assert t_res == pytest.approx(m.t_chkpt_s(total) + m.t_lost_s(total), rel=1e-9)
+
+    def test_t_res_grows_with_rate(self, gm):
+        lo = CheckpointModel(gm, t_c_s=2.0, rate_per_s=1e-4).t_res_s()
+        hi = CheckpointModel(gm, t_c_s=2.0, rate_per_s=1e-2).t_res_s()
+        assert hi > lo
+
+    def test_t_res_grows_with_checkpoint_cost(self, gm):
+        cheap = CheckpointModel(gm, t_c_s=0.5, rate_per_s=1e-3).t_res_s()
+        pricey = CheckpointModel(gm, t_c_s=8.0, rate_per_s=1e-3).t_res_s()
+        assert pricey > cheap
+
+    def test_checkpoint_power_below_execution(self, gm):
+        m = CheckpointModel(gm, t_c_s=2.0, rate_per_s=1e-3)
+        assert m.p_res_w() < gm.power_execution_w()
+
+    def test_average_power_below_execution(self, gm):
+        m = CheckpointModel(gm, t_c_s=2.0, rate_per_s=1e-3)
+        assert m.average_power_w() < gm.power_execution_w()
+
+    def test_diverging_rate_raises(self, gm):
+        with pytest.raises(ValueError):
+            CheckpointModel(gm, t_c_s=2.0, rate_per_s=10.0, interval_s=1.0).t_res_s()
+
+    def test_validation(self, gm):
+        with pytest.raises(ValueError):
+            CheckpointModel(gm, t_c_s=0.0, rate_per_s=1e-3)
+        with pytest.raises(ValueError):
+            CheckpointModel(gm, t_c_s=1.0, rate_per_s=-1.0)
+        with pytest.raises(ValueError):
+            CheckpointModel(gm, t_c_s=1.0, rate_per_s=1e-3, checkpoint_power_fraction=0.0)
+
+
+class TestForwardRecoveryModel:
+    def make(self, gm, **kw):
+        defaults = dict(rate_per_s=1e-3, t_const_s=5.0, t_extra_s=20.0,
+                        n_active=1, idle_power_fraction=0.45)
+        defaults.update(kw)
+        return ForwardRecoveryModel(gm, **defaults)
+
+    def test_t_res_splits_const_and_extra(self, gm):
+        """Equation 13."""
+        m = self.make(gm)
+        assert m.t_res_s() == pytest.approx(
+            m.t_const_total_s() + m.t_extra_total_s(), rel=1e-9
+        )
+
+    def test_t_const_proportional_to_rate(self, gm):
+        """Equation 14 (at low rates the fixed point is ~linear)."""
+        lo = self.make(gm, rate_per_s=1e-5).t_const_total_s()
+        hi = self.make(gm, rate_per_s=2e-5).t_const_total_s()
+        assert hi / lo == pytest.approx(2.0, rel=1e-2)
+
+    def test_assignment_schemes_have_zero_const(self, gm):
+        """F0/FI: t_const = 0 (Section 3.2)."""
+        m = self.make(gm, t_const_s=0.0)
+        assert m.t_const_total_s() == 0.0
+        assert m.t_res_s() == pytest.approx(m.t_extra_total_s())
+
+    def test_p_const_formula(self, gm):
+        """Equation 15: P_const = N~ P1 + (N - N~) P_idle."""
+        m = self.make(gm)
+        assert m.p_const_w() == pytest.approx(1 * 10 + 63 * 0.45 * 10)
+
+    def test_p_const_below_execution(self, gm):
+        assert self.make(gm).p_const_w() < gm.power_execution_w()
+
+    def test_dvfs_lowers_construction_power(self, gm):
+        plain = self.make(gm, idle_power_fraction=0.74).p_const_w()
+        dvfs = self.make(gm, idle_power_fraction=0.45).p_const_w()
+        assert dvfs < plain
+
+    def test_e_res_formula(self, gm):
+        """Equation 16."""
+        m = self.make(gm)
+        expected = (
+            m.p_const_w() * m.t_const_total_s()
+            + gm.power_execution_w() * m.t_extra_total_s()
+        )
+        assert m.e_res_j() == pytest.approx(expected, rel=1e-9)
+
+    def test_average_power_below_execution(self, gm):
+        assert self.make(gm).average_power_w() < gm.power_execution_w()
+
+    def test_all_cores_active_matches_execution_power(self, gm):
+        m = self.make(gm, n_active=64)
+        assert m.p_const_w() == pytest.approx(gm.power_execution_w())
+
+    def test_validation(self, gm):
+        with pytest.raises(ValueError):
+            self.make(gm, rate_per_s=-1.0)
+        with pytest.raises(ValueError):
+            self.make(gm, t_const_s=-1.0)
+        with pytest.raises(ValueError):
+            self.make(gm, n_active=0)
+        with pytest.raises(ValueError):
+            self.make(gm, n_active=100)
+        with pytest.raises(ValueError):
+            self.make(gm, idle_power_fraction=1.5)

@@ -1,0 +1,93 @@
+"""Unit tests for the Table-6 model-vs-experiment validation."""
+
+import pytest
+
+from repro.core.models.validation import ModelValidation, validate_scheme
+from repro.core.recovery import make_scheme
+from repro.faults.schedule import EvenlySpacedSchedule
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """FF + three faulty runs on the small system."""
+    import numpy as np
+
+    from repro.core.solver import ResilientSolver
+    from repro.matrices.generators import banded_spd
+    from tests.conftest import quick_config
+
+    a = banded_spd(200, 7, dominance=5e-3, seed=0)
+    b = a @ np.random.default_rng(0).standard_normal(200)
+    ff = ResilientSolver(a, b, config=quick_config(nranks=4)).solve()
+
+    def run(scheme):
+        return ResilientSolver(
+            a,
+            b,
+            scheme=scheme,
+            schedule=EvenlySpacedSchedule(n_faults=3),
+            config=quick_config(nranks=4, baseline_iters=ff.iterations),
+        ).solve()
+
+    return {
+        "FF": ff,
+        "RD": run(make_scheme("RD")),
+        "CR-M": run(make_scheme("CR-M", interval_iters=10)),
+        "LI-DVFS": run(make_scheme("LI-DVFS")),
+    }
+
+
+class TestValidation:
+    def test_ff_row_is_exact(self, reports):
+        v = validate_scheme(reports["FF"], reports["FF"], nranks=4)
+        assert v.model_t_res == 0.0
+        assert v.model_p == pytest.approx(1.0)
+        assert v.exp_t_res == 0.0
+        assert v.exp_p == pytest.approx(1.0)
+
+    def test_rd_model_matches_experiment_exactly(self, reports):
+        """'FF and RD uses the same data in the models and in the
+        experiments' — both give T_res=0, P=2, E_res=1."""
+        v = validate_scheme(reports["FF"], reports["RD"], nranks=4)
+        assert v.model_t_res == 0.0
+        assert v.model_p == pytest.approx(2.0)
+        assert v.model_e_res == pytest.approx(1.0, rel=0.02)
+        assert v.exp_p == pytest.approx(2.0, rel=0.05)
+        assert v.exp_e_res == pytest.approx(1.0, rel=0.1)
+
+    def test_cr_model_in_the_ballpark(self, reports):
+        v = validate_scheme(reports["FF"], reports["CR-M"], nranks=4)
+        assert v.model_t_res > 0
+        assert v.model_e_res > 0
+        assert 0.5 < v.model_p <= 1.01
+        # relative agreement: same order of magnitude as experiment
+        assert v.model_t_res == pytest.approx(v.exp_t_res, rel=2.0, abs=0.5)
+
+    def test_fw_model_present_and_positive(self, reports):
+        v = validate_scheme(reports["FF"], reports["LI-DVFS"], nranks=4)
+        assert v.model_t_res > 0
+        assert v.model_e_res > 0
+        assert v.model_p < 1.01
+
+    def test_scheme_ordering_preserved(self, reports):
+        """'our main goal is to provide comparison and relative order
+        between the schemes' — RD has more power than CR and FW in both
+        model and experiment."""
+        rows = {
+            name: validate_scheme(reports["FF"], reports[name], nranks=4)
+            for name in ("RD", "CR-M", "LI-DVFS")
+        }
+        assert rows["RD"].model_p > rows["CR-M"].model_p
+        assert rows["RD"].model_p > rows["LI-DVFS"].model_p
+        assert rows["RD"].exp_p > rows["CR-M"].exp_p
+        assert rows["RD"].exp_p > rows["LI-DVFS"].exp_p
+
+    def test_as_row_shape(self, reports):
+        v = validate_scheme(reports["FF"], reports["RD"], nranks=4)
+        row = v.as_row()
+        assert row[0] == "RD"
+        assert len(row) == 7
+
+    def test_rejects_bad_nranks(self, reports):
+        with pytest.raises(ValueError):
+            validate_scheme(reports["FF"], reports["RD"], nranks=0)

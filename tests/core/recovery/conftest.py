@@ -1,0 +1,105 @@
+"""Fixtures for recovery-scheme unit tests: a fake services object so
+schemes are tested in isolation from the solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.core.cg import DistributedCG
+from repro.matrices.distributed import DistributedMatrix
+from repro.matrices.generators import banded_spd
+from repro.matrices.partition import BlockRowPartition
+from repro.power.energy import PhaseTag
+
+
+@dataclass
+class FakeServices:
+    """Minimal RecoveryServices implementation with charge recording."""
+
+    dmat: DistributedMatrix
+    b: np.ndarray
+    x0: np.ndarray
+    charges: list = field(default_factory=list)
+    overlapped: list = field(default_factory=list)
+    dvfs_calls: list = field(default_factory=list)
+    compute_rate: float = 1e9
+
+    @property
+    def partition(self) -> BlockRowPartition:
+        return self.dmat.partition
+
+    @property
+    def nranks(self) -> int:
+        return self.dmat.nranks
+
+    @property
+    def iteration_wall_s(self) -> float:
+        return 1e-4
+
+    def charge_phase(self, tag, duration_s, power_w):
+        assert duration_s >= 0 and power_w >= 0
+        self.charges.append((tag, duration_s, power_w))
+
+    def charge_overlapped(self, tag, energy_j):
+        self.overlapped.append((tag, energy_j))
+
+    def power_compute_w(self):
+        return 100.0
+
+    def power_checkpoint_w(self):
+        return 74.0
+
+    def power_reconstruct_w(self, *, dvfs):
+        return 45.0 if dvfs else 75.0
+
+    def power_idle_w(self):
+        return 74.0
+
+    def local_compute_s(self, flops, *, kind="spmv"):
+        rate = {"spmv": 1.0, "dense": 2.0, "factor": 0.25}[kind] * self.compute_rate
+        return flops / rate
+
+    def collective_allreduce_s(self, nbytes):
+        return 1e-6 + nbytes * 1e-10
+
+    def p2p_s(self, src, dst, nbytes):
+        if src == dst:
+            return 0.0
+        return 1e-6 + nbytes * 1e-10
+
+    def interconnect_p2p_s(self, nbytes):
+        return 1.5e-6 + nbytes * 2e-10
+
+    def restart_cost_s(self):
+        return 1e-4
+
+    def apply_dvfs_reconstruct(self, victim_rank):
+        self.dvfs_calls.append(("apply", victim_rank))
+
+    def release_dvfs(self):
+        self.dvfs_calls.append(("release", None))
+
+    # -- helpers for assertions -----------------------------------------
+    def time_of(self, tag: PhaseTag) -> float:
+        return sum(d for t, d, _ in self.charges if t is tag)
+
+
+@pytest.fixture()
+def services(rng) -> FakeServices:
+    a = banded_spd(96, 5, dominance=0.05, seed=0)
+    x_true = rng.standard_normal(96)
+    b = a @ x_true
+    dmat = DistributedMatrix(a, BlockRowPartition(96, 4))
+    return FakeServices(dmat=dmat, b=b, x0=np.zeros(96))
+
+
+@pytest.fixture()
+def midsolve_state(services):
+    """A CG state 20 iterations into the solve (not yet converged)."""
+    cg = DistributedCG(services.dmat, services.b, tol=1e-12)
+    for _ in range(20):
+        cg.step()
+    return cg.state

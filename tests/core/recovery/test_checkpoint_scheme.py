@@ -1,0 +1,113 @@
+"""Unit tests for the CR recovery scheme."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.store import DiskStore, MemoryStore
+from repro.core.recovery.checkpoint import CheckpointRestart
+from repro.faults.events import FaultEvent
+from repro.power.energy import PhaseTag
+
+
+def scheme_with(services, interval=5, store=None):
+    s = CheckpointRestart(store or MemoryStore(), interval_iters=interval)
+    s.setup(services)
+    return s
+
+
+class TestCadence:
+    def test_checkpoints_on_interval(self, services, midsolve_state):
+        s = scheme_with(services, interval=5)
+        midsolve_state.iteration = 5
+        s.on_iteration_end(services, midsolve_state)
+        assert s.manager.writes == 1
+        midsolve_state.iteration = 7
+        s.on_iteration_end(services, midsolve_state)
+        assert s.manager.writes == 1
+
+    def test_checkpoint_charges_checkpoint_phase_at_low_power(
+        self, services, midsolve_state
+    ):
+        s = scheme_with(services, interval=5)
+        midsolve_state.iteration = 10
+        s.on_iteration_end(services, midsolve_state)
+        charges = [(t, p) for t, d, p in services.charges if t is PhaseTag.CHECKPOINT]
+        assert charges
+        assert charges[0][1] == pytest.approx(74.0)  # checkpoint power < compute
+
+    def test_young_interval_derived_from_mtbf(self, services):
+        s = CheckpointRestart(MemoryStore(), mtbf_s=1.0)
+        s.setup(services)
+        assert s.interval_iters >= 1
+
+    def test_interval_accessible_only_after_setup(self):
+        s = CheckpointRestart(MemoryStore(), interval_iters=10)
+        with pytest.raises(RuntimeError):
+            _ = s.interval_iters
+
+
+class TestRollback:
+    def test_rollback_restores_checkpointed_x(self, services, midsolve_state):
+        s = scheme_with(services, interval=5)
+        midsolve_state.iteration = 5
+        saved = midsolve_state.x.copy()
+        s.on_iteration_end(services, midsolve_state)
+        # keep iterating: x changes, then fault
+        midsolve_state.x += 1.0
+        midsolve_state.iteration = 8
+        out = s.recover(services, midsolve_state, FaultEvent(8, 1))
+        assert out.needs_restart
+        assert np.array_equal(midsolve_state.x, saved)
+        assert out.detail["rolled_back_iters"] == 3
+
+    def test_rollback_without_checkpoint_restarts_from_x0(
+        self, services, midsolve_state
+    ):
+        s = scheme_with(services, interval=1000)
+        midsolve_state.iteration = 8
+        s.recover(services, midsolve_state, FaultEvent(8, 1))
+        assert np.array_equal(midsolve_state.x, services.x0)
+        assert s.rollback_reexecute_iters == 8
+
+    def test_restore_charged_at_checkpoint_power(self, services, midsolve_state):
+        s = scheme_with(services, interval=5)
+        midsolve_state.iteration = 6
+        s.recover(services, midsolve_state, FaultEvent(6, 0))
+        restores = [(d, p) for t, d, p in services.charges if t is PhaseTag.RESTORE]
+        assert restores and restores[0][0] > 0
+        assert restores[0][1] == pytest.approx(74.0)
+
+    def test_reexecution_accumulates(self, services, midsolve_state):
+        s = scheme_with(services, interval=5)
+        midsolve_state.iteration = 5
+        s.on_iteration_end(services, midsolve_state)
+        midsolve_state.iteration = 9
+        s.recover(services, midsolve_state, FaultEvent(9, 0))
+        midsolve_state.iteration = 13
+        s.recover(services, midsolve_state, FaultEvent(13, 0))
+        # 9->5 (4 lost) and 13->5 (8 lost; no newer checkpoint was taken)
+        assert s.rollback_reexecute_iters == 12
+
+
+class TestNaming:
+    def test_store_based_names(self):
+        assert CheckpointRestart(MemoryStore(), interval_iters=1).name == "CR-M"
+        assert CheckpointRestart(DiskStore(), interval_iters=1).name == "CR-D"
+
+    def test_explicit_name(self):
+        s = CheckpointRestart(MemoryStore(), interval_iters=1, name="CR-X")
+        assert s.name == "CR-X"
+
+
+class TestValidation:
+    def test_needs_interval_or_mtbf(self):
+        with pytest.raises(ValueError):
+            CheckpointRestart(MemoryStore())
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            CheckpointRestart(MemoryStore(), interval_iters=0)
+
+    def test_rejects_bad_mtbf(self):
+        with pytest.raises(ValueError):
+            CheckpointRestart(MemoryStore(), mtbf_s=-1.0)

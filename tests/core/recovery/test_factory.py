@@ -1,0 +1,69 @@
+"""Unit tests for the scheme factory."""
+
+import pytest
+
+from repro.checkpoint.store import DiskStore, MemoryStore
+from repro.core.recovery import make_scheme, scheme_names
+from repro.core.recovery.checkpoint import CheckpointRestart
+from repro.core.recovery.fill import InitialGuessFill, ZeroFill
+from repro.core.recovery.interpolation import (
+    LeastSquaresInterpolation,
+    LinearInterpolation,
+)
+from repro.core.recovery.redundancy import Redundancy
+
+
+class TestFactory:
+    def test_all_names_buildable(self):
+        for name in scheme_names():
+            scheme = make_scheme(name)
+            assert scheme is not None
+
+    def test_paper_table2_schemes_present(self):
+        names = set(scheme_names())
+        assert {"CR-M", "CR-D", "RD", "F0", "FI", "LI", "LSI"} <= names
+
+    def test_optimized_variants_present(self):
+        names = set(scheme_names())
+        assert {"LI-DVFS", "LSI-DVFS", "LI-LU", "LSI-QR"} <= names
+
+    def test_types(self):
+        assert isinstance(make_scheme("RD"), Redundancy)
+        assert isinstance(make_scheme("F0"), ZeroFill)
+        assert isinstance(make_scheme("FI"), InitialGuessFill)
+        assert isinstance(make_scheme("LI"), LinearInterpolation)
+        assert isinstance(make_scheme("LSI"), LeastSquaresInterpolation)
+        assert isinstance(make_scheme("CR-M"), CheckpointRestart)
+
+    def test_store_wiring(self):
+        assert isinstance(make_scheme("CR-M").store, MemoryStore)
+        assert isinstance(make_scheme("CR-D").store, DiskStore)
+
+    def test_method_wiring(self):
+        assert make_scheme("LI").method == "cg"
+        assert make_scheme("LI-LU").method == "lu"
+        assert make_scheme("LSI-QR").method == "qr"
+
+    def test_dvfs_wiring(self):
+        assert make_scheme("LI-DVFS").dvfs
+        assert make_scheme("LSI-DVFS").dvfs
+        assert not make_scheme("LI").dvfs
+
+    def test_cr_interval_default_is_papers_100(self):
+        assert make_scheme("CR-D")._requested_interval == 100
+
+    def test_cr_explicit_interval(self):
+        assert make_scheme("CR-M", interval_iters=7)._requested_interval == 7
+
+    def test_cr_mtbf_takes_precedence_over_default(self):
+        scheme = make_scheme("CR-D", mtbf_s=10.0)
+        assert scheme._requested_interval is None
+        assert scheme.mtbf_s == 10.0
+
+    def test_construct_tol_passthrough(self):
+        assert make_scheme("LI", construct_tol=1e-2).construct_tol == 1e-2
+        assert make_scheme("LSI-DVFS", construct_tol=1e-4).construct_tol == 1e-4
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_scheme("quintuple-redundancy")

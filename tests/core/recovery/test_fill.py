@@ -1,0 +1,58 @@
+"""Unit tests for F0 / FI assignment-based recovery."""
+
+import numpy as np
+
+from repro.core.recovery.fill import InitialGuessFill, ZeroFill
+from repro.faults.events import FaultEvent
+
+
+class TestZeroFill:
+    def test_assigns_zero_to_victim_block(self, services, midsolve_state):
+        sl = services.partition.slice_of(1)
+        midsolve_state.x[sl] = np.nan
+        out = ZeroFill().recover(services, midsolve_state, FaultEvent(20, 1))
+        assert np.allclose(midsolve_state.x[sl], 0.0)
+        assert out.needs_restart
+
+    def test_leaves_other_blocks_alone(self, services, midsolve_state):
+        before = midsolve_state.x.copy()
+        sl = services.partition.slice_of(2)
+        midsolve_state.x[sl] = np.nan
+        ZeroFill().recover(services, midsolve_state, FaultEvent(20, 2))
+        mask = np.ones(96, bool)
+        mask[sl] = False
+        assert np.array_equal(midsolve_state.x[mask], before[mask])
+
+    def test_no_construction_cost(self, services, midsolve_state):
+        """'F0 and FI are assignment based and thus do not incur a
+        construction cost — i.e., T_const = 0' (Section 3.2)."""
+        ZeroFill().recover(services, midsolve_state, FaultEvent(20, 0))
+        assert services.charges == []
+
+    def test_name(self):
+        assert ZeroFill().name == "F0"
+
+
+class TestInitialGuessFill:
+    def test_assigns_initial_guess(self, services, midsolve_state):
+        services.x0 = np.full(96, 7.0)
+        sl = services.partition.slice_of(3)
+        midsolve_state.x[sl] = np.nan
+        out = InitialGuessFill().recover(services, midsolve_state, FaultEvent(20, 3))
+        assert np.allclose(midsolve_state.x[sl], 7.0)
+        assert out.needs_restart
+
+    def test_equals_f0_for_zero_guess(self, services, midsolve_state):
+        """With x0 = 0, FI degenerates to F0 (why the two overlap in
+        Figure 6)."""
+        sl = services.partition.slice_of(1)
+        midsolve_state.x[sl] = np.nan
+        InitialGuessFill().recover(services, midsolve_state, FaultEvent(20, 1))
+        assert np.allclose(midsolve_state.x[sl], 0.0)
+
+    def test_no_construction_cost(self, services, midsolve_state):
+        InitialGuessFill().recover(services, midsolve_state, FaultEvent(20, 0))
+        assert services.charges == []
+
+    def test_name(self):
+        assert InitialGuessFill().name == "FI"

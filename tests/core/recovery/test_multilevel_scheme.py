@@ -1,0 +1,100 @@
+"""Tests for the CR-ML recovery scheme (multi-level checkpoint/restart)."""
+
+import numpy as np
+import pytest
+
+from repro.core.recovery import make_scheme
+from repro.core.recovery.multilevel import MultiLevelCheckpointRestart
+from repro.faults.events import FaultEvent
+from repro.faults.schedule import EvenlySpacedSchedule
+from repro.power.energy import PhaseTag
+
+
+class TestScheme:
+    def test_factory(self):
+        s = make_scheme("CR-ML")
+        assert isinstance(s, MultiLevelCheckpointRestart)
+        assert s.name == "CR-ML"
+
+    def test_factory_interval_passthrough(self):
+        s = make_scheme("CR-ML", interval_iters=7)
+        s2 = MultiLevelCheckpointRestart(memory_interval=7)
+        assert s._args["memory_interval"] == s2._args["memory_interval"] == 7
+
+    def test_checkpoints_and_charges(self, services, midsolve_state):
+        s = MultiLevelCheckpointRestart(memory_interval=5, disk_every=2)
+        s.setup(services)
+        midsolve_state.iteration = 5
+        s.on_iteration_end(services, midsolve_state)   # memory only
+        midsolve_state.iteration = 10
+        s.on_iteration_end(services, midsolve_state)   # memory + disk
+        assert s.manager.memory_writes == 2
+        assert s.manager.disk_writes == 1
+        assert services.time_of(PhaseTag.CHECKPOINT) > 0
+
+    def test_recover_rolls_back_and_tracks_level(self, services, midsolve_state):
+        s = MultiLevelCheckpointRestart(
+            memory_interval=5, disk_every=2, memory_survival=1.0
+        )
+        s.setup(services)
+        midsolve_state.iteration = 5
+        saved = midsolve_state.x.copy()
+        s.on_iteration_end(services, midsolve_state)
+        midsolve_state.x += 1.0
+        midsolve_state.iteration = 8
+        out = s.recover(services, midsolve_state, FaultEvent(8, 1))
+        assert out.needs_restart
+        assert np.array_equal(midsolve_state.x, saved)
+        assert s.restore_levels == ["memory"]
+        assert s.rollback_reexecute_iters == 3
+
+    def test_disk_fallback_loses_more_iterations(self, services, midsolve_state):
+        s = MultiLevelCheckpointRestart(
+            memory_interval=5, disk_every=4, memory_survival=0.0
+        )
+        s.setup(services)
+        for it in (5, 10, 15, 20):
+            midsolve_state.iteration = it
+            s.on_iteration_end(services, midsolve_state)
+        midsolve_state.iteration = 22
+        out = s.recover(services, midsolve_state, FaultEvent(22, 0))
+        # only iteration 20 went to disk
+        assert out.detail["level"] == "disk"
+        assert out.detail["rolled_back_iters"] == 2 or s.restore_levels == ["disk"]
+
+
+class TestEndToEnd:
+    def test_converges_under_faults(self, solver_factory):
+        report = solver_factory(
+            scheme=make_scheme("CR-ML", interval_iters=10),
+            schedule=EvenlySpacedSchedule(n_faults=3),
+        ).solve()
+        assert report.converged
+        details = report.details["scheme_details"]
+        assert details["memory_writes"] > details["disk_writes"] > 0
+        assert len(details["restore_levels"]) == 3
+
+    def test_cheaper_checkpointing_than_pure_disk(self, solver_factory):
+        ml = solver_factory(
+            scheme=make_scheme("CR-ML", interval_iters=10),
+            schedule=EvenlySpacedSchedule(n_faults=3),
+        ).solve()
+        crd = solver_factory(
+            scheme=make_scheme("CR-D", interval_iters=10),
+            schedule=EvenlySpacedSchedule(n_faults=3),
+        ).solve()
+        # same cadence: CR-ML flushes to disk only every 4th checkpoint
+        assert ml.account.time(PhaseTag.CHECKPOINT) < crd.account.time(
+            PhaseTag.CHECKPOINT
+        )
+
+    def test_survives_memory_level_loss(self, solver_factory):
+        scheme = MultiLevelCheckpointRestart(
+            memory_interval=10, disk_every=2, memory_survival=0.0
+        )
+        report = solver_factory(
+            scheme=scheme, schedule=EvenlySpacedSchedule(n_faults=3)
+        ).solve()
+        assert report.converged
+        levels = report.details["scheme_details"]["restore_levels"]
+        assert all(lv in ("disk", "initial") for lv in levels)

@@ -1,0 +1,74 @@
+"""Unit tests for DMR redundancy."""
+
+import numpy as np
+import pytest
+
+from repro.core.recovery.redundancy import Redundancy
+from repro.faults.events import FaultEvent
+from repro.power.energy import PhaseTag
+
+
+class TestRedundancy:
+    def test_energy_multiplier_is_double(self):
+        assert Redundancy().energy_multiplier == 2.0
+
+    def test_replica_restores_exactly(self, services, midsolve_state):
+        scheme = Redundancy()
+        scheme.setup(services)
+        scheme.on_iteration_end(services, midsolve_state)
+        before = midsolve_state.copy()
+        sl = services.partition.slice_of(2)
+        midsolve_state.x[sl] = np.nan
+        midsolve_state.r[sl] = np.nan
+        midsolve_state.p[sl] = np.nan
+        out = scheme.recover(services, midsolve_state, FaultEvent(20, 2))
+        assert not out.needs_restart  # exact recovery, no restart needed
+        assert np.array_equal(midsolve_state.x, before.x)
+        assert np.array_equal(midsolve_state.r, before.r)
+        assert np.array_equal(midsolve_state.p, before.p)
+        assert midsolve_state.rz == before.rz
+
+    def test_replica_is_a_copy_not_a_view(self, services, midsolve_state):
+        scheme = Redundancy()
+        scheme.setup(services)
+        scheme.on_iteration_end(services, midsolve_state)
+        midsolve_state.x[:] = 0.0
+        assert not np.allclose(scheme._replica.x, 0.0)
+
+    def test_fault_before_first_iteration_restores_initial_state(
+        self, services, midsolve_state
+    ):
+        scheme = Redundancy()
+        scheme.setup(services)  # no on_iteration_end yet
+        sl = services.partition.slice_of(1)
+        midsolve_state.x[sl] = np.nan
+        out = scheme.recover(services, midsolve_state, FaultEvent(0, 1))
+        assert out.needs_restart
+        assert np.allclose(midsolve_state.x[sl], services.x0[sl])
+
+    def test_transfer_cost_is_charged_but_small(self, services, midsolve_state):
+        scheme = Redundancy()
+        scheme.setup(services)
+        scheme.on_iteration_end(services, midsolve_state)
+        sl = services.partition.slice_of(0)
+        midsolve_state.x[sl] = np.nan
+        scheme.recover(services, midsolve_state, FaultEvent(20, 0))
+        restore = services.time_of(PhaseTag.RESTORE)
+        assert 0 < restore < 1e-3  # "negligible" (Section 3.2)
+
+    def test_recovery_counter(self, services, midsolve_state):
+        scheme = Redundancy()
+        scheme.setup(services)
+        scheme.on_iteration_end(services, midsolve_state)
+        for k in range(3):
+            scheme.recover(services, midsolve_state, FaultEvent(20, k))
+        assert scheme.recoveries == 3
+
+    def test_setup_resets(self, services, midsolve_state):
+        scheme = Redundancy()
+        scheme.setup(services)
+        scheme.on_iteration_end(services, midsolve_state)
+        scheme.recover(services, midsolve_state, FaultEvent(20, 0))
+        scheme.setup(services)
+        assert scheme.recoveries == 0
+        assert scheme._replica is None

@@ -1,0 +1,96 @@
+"""Tests for the TMR extension (triple modular redundancy).
+
+The paper studies DMR and names TMR among the redundancy mechanisms
+(Section 7); its future work asks to "extend our models to capture more
+resilience mechanisms".  TMR = 3 modular copies: 3x power/energy, exact
+recovery, and enough copies to out-vote a single silently corrupted one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.models.general import GeneralModel, WorkloadParams
+from repro.core.models.schemes import RedundancyModel
+from repro.core.recovery import make_scheme
+from repro.core.recovery.redundancy import Redundancy
+from repro.faults.events import FaultClass, FaultEvent
+from repro.faults.schedule import EvenlySpacedSchedule
+
+
+class TestTmrScheme:
+    def test_factory(self):
+        s = make_scheme("TMR")
+        assert isinstance(s, Redundancy)
+        assert s.replicas == 3
+        assert s.name == "TMR"
+
+    def test_energy_multiplier_is_three(self):
+        assert make_scheme("TMR").energy_multiplier == 3.0
+
+    def test_sdc_voting_capability(self):
+        assert make_scheme("TMR").can_outvote_sdc
+        assert not make_scheme("RD").can_outvote_sdc
+
+    def test_generic_replica_count_names(self):
+        assert Redundancy(replicas=5).name == "5MR"
+
+    def test_rejects_single_copy(self):
+        with pytest.raises(ValueError):
+            Redundancy(replicas=1)
+
+    def test_exact_recovery(self, services, midsolve_state):
+        scheme = Redundancy(replicas=3)
+        scheme.setup(services)
+        scheme.on_iteration_end(services, midsolve_state)
+        before = midsolve_state.copy()
+        sl = services.partition.slice_of(1)
+        midsolve_state.x[sl] = np.nan
+        out = scheme.recover(services, midsolve_state, FaultEvent(20, 1))
+        assert not out.needs_restart
+        assert np.array_equal(midsolve_state.x, before.x)
+
+
+class TestTmrEndToEnd:
+    def test_triples_energy_and_power(self, solver_factory):
+        ff = solver_factory().solve()
+        tmr = solver_factory(
+            scheme=make_scheme("TMR"), schedule=EvenlySpacedSchedule(n_faults=2)
+        ).solve()
+        assert tmr.iterations == ff.iterations
+        assert tmr.normalized_energy(ff) == pytest.approx(3.0, rel=0.05)
+        assert tmr.normalized_power(ff) == pytest.approx(3.0, rel=0.05)
+        assert tmr.normalized_time(ff) == pytest.approx(1.0, rel=0.05)
+
+    def test_recovers_sdc(self, solver_factory):
+        from repro.faults.schedule import FixedIterationSchedule
+
+        report = solver_factory(
+            scheme=make_scheme("TMR"),
+            schedule=FixedIterationSchedule(
+                iterations=[10], fault_class=FaultClass.SDC
+            ),
+        ).solve()
+        assert report.converged
+
+
+class TestTmrModel:
+    @pytest.fixture()
+    def gm(self):
+        return GeneralModel(WorkloadParams(t_solve_s=100.0, p1_w=10.0), n_cores=8)
+
+    def test_power_triples(self, gm):
+        m = RedundancyModel(gm, replicas=3)
+        assert m.average_power_w() == pytest.approx(3 * gm.power_execution_w())
+
+    def test_e_res_doubles_ff(self, gm):
+        m = RedundancyModel(gm, replicas=3)
+        assert m.e_res_j() == pytest.approx(2 * gm.energy_fault_free_j())
+
+    def test_dmr_default_unchanged(self, gm):
+        m = RedundancyModel(gm)
+        assert m.average_power_w() == pytest.approx(2 * gm.power_execution_w())
+        assert m.e_res_j() == pytest.approx(gm.energy_fault_free_j())
+
+    def test_rejects_bad_replicas(self, gm):
+        with pytest.raises(ValueError):
+            RedundancyModel(gm, replicas=1)

@@ -1,0 +1,133 @@
+"""Tests for the adaptive scheme advisor."""
+
+import math
+
+import pytest
+
+from repro.core.advisor import (
+    ADVISOR_SCHEMES,
+    Objective,
+    SchemeAdvisor,
+    Situation,
+)
+
+
+def situation(**kw) -> Situation:
+    defaults = dict(
+        t_solve_s=600.0,
+        p1_w=10.0,
+        n_cores=192,
+        rate_per_s=1e-3,
+    )
+    defaults.update(kw)
+    return Situation(**defaults)
+
+
+class TestSituation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            situation(t_solve_s=0.0)
+        with pytest.raises(ValueError):
+            situation(n_cores=0)
+        with pytest.raises(ValueError):
+            situation(rate_per_s=-1.0)
+        with pytest.raises(ValueError):
+            situation(power_budget_w=0.0)
+
+
+class TestEstimates:
+    def test_every_scheme_estimable(self):
+        adv = SchemeAdvisor(situation())
+        for s in ADVISOR_SCHEMES:
+            est = adv.estimate(s)
+            assert est.total_time_s > 0
+            assert est.total_energy_j > 0
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            SchemeAdvisor(situation()).estimate("ABFT")
+
+    def test_rd_profile(self):
+        adv = SchemeAdvisor(situation())
+        rd = adv.estimate("RD")
+        assert rd.avg_power_w == pytest.approx(2 * 192 * 10.0)
+        # no time overhead
+        crm = adv.estimate("CR-M")
+        assert rd.total_time_s <= crm.total_time_s
+
+    def test_tmr_costs_more_than_rd(self):
+        adv = SchemeAdvisor(situation())
+        assert adv.estimate("TMR").total_energy_j > adv.estimate("RD").total_energy_j
+        assert adv.estimate("TMR").avg_power_w == pytest.approx(3 * 1920.0)
+
+    def test_dvfs_saves_energy_over_plain_fw(self):
+        adv = SchemeAdvisor(situation(rate_per_s=5e-3, t_const_s=2.0))
+        assert (
+            adv.estimate("FW-DVFS").total_energy_j
+            < adv.estimate("FW").total_energy_j
+        )
+
+    def test_halting_scheme_flagged_not_raised(self):
+        # enormous fault rate: CR-D cannot make progress
+        adv = SchemeAdvisor(situation(rate_per_s=10.0, t_c_disk_s=10.0))
+        est = adv.estimate("CR-D")
+        assert est.halted
+        assert not est.feasible
+        assert math.isinf(est.total_time_s)
+
+
+class TestBudget:
+    def test_redundancy_infeasible_under_tight_budget(self):
+        # budget covers 1x execution power but not 2x
+        budget = 192 * 10.0 * 1.5
+        adv = SchemeAdvisor(situation(power_budget_w=budget))
+        assert not adv.estimate("RD").feasible
+        assert not adv.estimate("TMR").feasible
+        assert adv.estimate("FW").feasible
+        assert adv.estimate("CR-M").feasible
+
+    def test_recommendation_respects_budget(self):
+        budget = 192 * 10.0 * 1.5
+        best = SchemeAdvisor(
+            situation(power_budget_w=budget)
+        ).recommend(Objective.TIME)
+        assert best.scheme not in ("RD", "TMR")
+
+    def test_no_feasible_scheme_raises(self):
+        adv = SchemeAdvisor(situation(power_budget_w=1.0, rate_per_s=10.0,
+                                      t_c_disk_s=10.0, t_c_mem_s=5.0,
+                                      t_const_s=10.0, extra_fraction=0.9))
+        with pytest.raises(RuntimeError):
+            adv.recommend()
+
+
+class TestRanking:
+    def test_time_objective_prefers_redundancy_unbudgeted(self):
+        best = SchemeAdvisor(situation()).recommend(Objective.TIME)
+        assert best.scheme == "RD"
+
+    def test_energy_objective_never_picks_redundancy_at_low_rates(self):
+        best = SchemeAdvisor(situation(rate_per_s=1e-5)).recommend(
+            Objective.ENERGY
+        )
+        assert best.scheme not in ("RD", "TMR")
+
+    def test_rank_is_sorted(self):
+        ranked = SchemeAdvisor(situation()).rank(Objective.ENERGY)
+        feasible = [e for e in ranked if e.feasible]
+        energies = [e.total_energy_j for e in feasible]
+        assert energies == sorted(energies)
+        # infeasible entries, if any, come last
+        flags = [e.feasible for e in ranked]
+        assert flags == sorted(flags, reverse=True)
+
+    def test_adaptivity_rate_changes_the_winner(self):
+        """The paper's headline: the right scheme depends on the fault
+        rate.  At extreme rates forward recovery / checkpointing drown in
+        recovery work and redundancy's flat profile wins even on energy."""
+        low = SchemeAdvisor(situation(rate_per_s=1e-5)).recommend(Objective.ENERGY)
+        high = SchemeAdvisor(
+            situation(rate_per_s=40.0, t_const_s=1.0, extra_fraction=0.5)
+        ).recommend(Objective.ENERGY)
+        assert low.scheme != high.scheme
+        assert high.scheme == "RD"

@@ -1,0 +1,185 @@
+"""Unit tests for the distributed CG stepper."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.comm import SimComm
+from repro.cluster.machine import MachineSpec, NodeSpec
+from repro.core.cg import DistributedCG, IterationCosts
+from repro.matrices.distributed import DistributedMatrix
+from repro.matrices.generators import banded_spd, stencil_5pt
+from repro.matrices.partition import BlockRowPartition
+
+
+def system(n=96, nranks=4, nnz=5, seed=0):
+    a = banded_spd(n, nnz, dominance=0.05, seed=seed)
+    rng = np.random.default_rng(seed)
+    x_true = rng.standard_normal(n)
+    b = a @ x_true
+    dmat = DistributedMatrix(a, BlockRowPartition(n, nranks))
+    return dmat, b, x_true
+
+
+class TestConvergence:
+    def test_solves_to_tolerance(self):
+        dmat, b, x_true = system()
+        cg = DistributedCG(dmat, b, tol=1e-10)
+        iters = cg.solve_fault_free()
+        assert cg.converged
+        assert iters < 200
+        assert np.linalg.norm(cg.state.x - x_true) / np.linalg.norm(x_true) < 1e-7
+
+    def test_residual_history_matches_iterations(self):
+        dmat, b, _ = system()
+        cg = DistributedCG(dmat, b, tol=1e-8)
+        cg.solve_fault_free()
+        assert len(cg.residual_history) == cg.iteration
+        assert cg.residual_history[-1] <= 1e-8
+
+    def test_distribution_does_not_change_numerics(self):
+        """Block-row distributed CG is mathematically the global CG."""
+        results = []
+        for nranks in (1, 3, 8):
+            dmat, b, _ = system(nranks=nranks)
+            cg = DistributedCG(dmat, b, tol=1e-9)
+            cg.solve_fault_free()
+            results.append((cg.iteration, cg.state.x.copy()))
+        base_it, base_x = results[0]
+        for it, x in results[1:]:
+            assert it == base_it
+            assert np.allclose(x, base_x)
+
+    def test_zero_rhs_converges_immediately(self):
+        dmat, _, _ = system()
+        cg = DistributedCG(dmat, np.zeros(96), tol=1e-8)
+        assert cg.converged
+        assert cg.solve_fault_free() == 0
+
+    def test_respects_max_iters(self):
+        dmat, b, _ = system()
+        cg = DistributedCG(dmat, b, tol=1e-300, max_iters=5)
+        cg.solve_fault_free()
+        assert cg.iteration == 5
+        assert not cg.converged
+
+    def test_custom_initial_guess(self):
+        dmat, b, x_true = system()
+        cg = DistributedCG(dmat, b, x0=x_true, tol=1e-8)
+        assert cg.converged  # starts at the solution
+
+    def test_stencil_iterations_scale_with_grid_edge(self):
+        def iters(nx):
+            a = stencil_5pt(nx)
+            n = a.shape[0]
+            b = a @ np.ones(n)
+            d = DistributedMatrix(a, BlockRowPartition(n, 1))
+            return DistributedCG(d, b, tol=1e-8).solve_fault_free()
+
+        small, big = iters(10), iters(40)
+        assert 2.0 < big / small < 8.0  # ~linear in nx
+
+
+class TestRestart:
+    def test_restart_preserves_solution_trajectory(self):
+        dmat, b, _ = system()
+        cg = DistributedCG(dmat, b, tol=1e-9)
+        for _ in range(10):
+            cg.step()
+        x_before = cg.state.x.copy()
+        cg.restart()
+        assert np.allclose(cg.state.x, x_before)
+        assert cg.restarts == 1
+        # residual is the true residual
+        assert np.allclose(cg.state.r, b - dmat.matvec(cg.state.x))
+        assert np.allclose(cg.state.p, cg.state.r)
+
+    def test_restart_preserves_iteration_count(self):
+        dmat, b, _ = system()
+        cg = DistributedCG(dmat, b, tol=1e-9)
+        for _ in range(7):
+            cg.step()
+        cg.restart()
+        assert cg.iteration == 7
+
+    def test_converges_after_restart(self):
+        dmat, b, x_true = system()
+        cg = DistributedCG(dmat, b, tol=1e-10)
+        for _ in range(5):
+            cg.step()
+        cg.restart()
+        cg.solve_fault_free()
+        assert cg.converged
+
+    def test_nan_state_recovers_via_internal_restart(self):
+        """A poisoned state that is repaired in x but not r/p must not
+        kill the solve: step() re-anchors on the true residual."""
+        dmat, b, _ = system()
+        cg = DistributedCG(dmat, b, tol=1e-8)
+        for _ in range(3):
+            cg.step()
+        cg.state.r[:10] = np.nan
+        cg.state.p[:10] = np.nan
+        cg.step()  # triggers breakdown path -> restart
+        assert np.all(np.isfinite(cg.state.r))
+        cg.solve_fault_free()
+        assert cg.converged
+
+
+class TestStateCopy:
+    def test_copy_is_deep(self):
+        dmat, b, _ = system()
+        cg = DistributedCG(dmat, b)
+        cg.step()
+        snap = cg.state.copy()
+        cg.step()
+        assert snap.iteration == 1
+        assert not np.allclose(snap.x, cg.state.x)
+
+
+class TestValidation:
+    def test_rejects_mismatched_rhs(self):
+        dmat, _, _ = system()
+        with pytest.raises(ValueError):
+            DistributedCG(dmat, np.ones(5))
+
+    def test_rejects_bad_tolerance(self):
+        dmat, b, _ = system()
+        with pytest.raises(ValueError):
+            DistributedCG(dmat, b, tol=0.0)
+
+    def test_rejects_bad_x0(self):
+        dmat, b, _ = system()
+        with pytest.raises(ValueError):
+            DistributedCG(dmat, b, x0=np.ones(3))
+
+
+class TestIterationCosts:
+    @pytest.fixture()
+    def costs(self):
+        dmat, b, _ = system(n=96, nranks=4)
+        machine = MachineSpec(nodes=1, node=NodeSpec(sockets=1, cores_per_socket=4))
+        comm = SimComm(machine, 4)
+        return IterationCosts.measure(dmat, comm)
+
+    def test_wall_is_compute_plus_comm(self, costs):
+        assert costs.wall_s == pytest.approx(costs.compute_max_s + costs.comm_s)
+
+    def test_compute_per_rank_positive(self, costs):
+        assert np.all(costs.compute_s > 0)
+        assert costs.compute_s.shape == (4,)
+
+    def test_two_allreduces_per_iteration(self, costs):
+        machine = MachineSpec(nodes=1, node=NodeSpec(sockets=1, cores_per_socket=4))
+        comm = SimComm(machine, 4)
+        single = comm.collectives.allreduce(8)
+        assert costs.allreduce_s == pytest.approx(2 * single)
+
+    def test_single_rank_has_no_comm(self):
+        dmat, b, _ = system(nranks=1)
+        machine = MachineSpec(nodes=1, node=NodeSpec(sockets=1, cores_per_socket=4))
+        comm = SimComm(machine, 1)
+        costs = IterationCosts.measure(dmat, comm)
+        assert costs.comm_s == 0.0
+
+    def test_bytes_include_halo_and_collectives(self, costs):
+        assert costs.bytes_per_iter > 0

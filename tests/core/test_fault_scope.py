@@ -1,0 +1,119 @@
+"""Tests for wide-scope faults (node / system blast radii)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import MachineSpec, NodeSpec
+from repro.core.recovery import make_scheme
+from repro.core.solver import ResilientSolver, SolverConfig
+from repro.faults.events import FaultClass, FaultEvent, FaultScope
+from repro.faults.schedule import EvenlySpacedSchedule, FixedIterationSchedule
+from repro.matrices.generators import banded_spd
+
+
+@pytest.fixture(scope="module")
+def system():
+    a = banded_spd(400, 7, dominance=1e-4, scaling_spread=0.5, seed=2)
+    b = a @ np.random.default_rng(0).standard_normal(400)
+    return a, b
+
+
+MACHINE = MachineSpec(nodes=4, node=NodeSpec(sockets=1, cores_per_socket=4))
+
+
+def config(**kw) -> SolverConfig:
+    return SolverConfig(nranks=16, machine=MACHINE, **kw)
+
+
+@pytest.fixture(scope="module")
+def ff(system):
+    a, b = system
+    return ResilientSolver(a, b, config=config()).solve()
+
+
+def run(system, ff, scheme_name, scope, victims=(5,), iteration=None):
+    a, b = system
+    it = iteration if iteration is not None else ff.iterations // 2
+    return ResilientSolver(
+        a,
+        b,
+        scheme=make_scheme(scheme_name, interval_iters=20),
+        schedule=FixedIterationSchedule(
+            iterations=[it] * len(victims), victims=list(victims), scope=scope
+        ),
+        config=config(baseline_iters=ff.iterations),
+    ).solve()
+
+
+class TestScopeExpansion:
+    def test_process_scope_damages_one_block(self, system, ff):
+        rep = run(system, ff, "F0", FaultScope.PROCESS)
+        assert rep.converged
+
+    @pytest.mark.parametrize(
+        "scheme", ["F0", "FI", "LI", "LSI", "RD", "CR-M", "CR-D", "CR-ML"]
+    )
+    def test_every_scheme_survives_node_loss(self, system, ff, scheme):
+        rep = run(system, ff, scheme, FaultScope.NODE)
+        assert rep.converged, scheme
+        assert rep.final_relative_residual <= 1e-8
+
+    @pytest.mark.parametrize("scheme", ["F0", "LI", "RD", "CR-D"])
+    def test_every_scheme_survives_system_outage(self, system, ff, scheme):
+        rep = run(system, ff, scheme, FaultScope.SYSTEM)
+        assert rep.converged, scheme
+
+    def test_rd_exact_at_every_scope(self, system, ff):
+        for scope in FaultScope:
+            rep = run(system, ff, "RD", scope)
+            assert rep.iterations == ff.iterations, scope
+
+    def test_cr_rollback_invariant_to_scope(self, system, ff):
+        """A rollback restores the whole state, so its cost does not
+        depend on how many blocks were lost."""
+        proc = run(system, ff, "CR-D", FaultScope.PROCESS)
+        node = run(system, ff, "CR-D", FaultScope.NODE)
+        system_ = run(system, ff, "CR-D", FaultScope.SYSTEM)
+        assert proc.iterations == node.iterations == system_.iterations
+
+    def test_interpolation_degrades_with_blast_radius(self, system, ff):
+        """LI reconstructs from surviving neighbours; wider damage means
+        poorer neighbours and more extra iterations."""
+        proc = run(system, ff, "LI", FaultScope.PROCESS)
+        sys_wide = run(system, ff, "LI", FaultScope.SYSTEM)
+        assert sys_wide.iterations >= proc.iterations
+
+    def test_node_scope_counts_one_event(self, system, ff):
+        rep = run(system, ff, "F0", FaultScope.NODE)
+        assert rep.n_faults == 1  # one event, many blocks
+
+    def test_victim_rank_out_of_range(self, system, ff):
+        a, b = system
+        solver = ResilientSolver(
+            a,
+            b,
+            scheme=make_scheme("F0"),
+            schedule=FixedIterationSchedule(
+                iterations=[5], victims=[15], scope=FaultScope.NODE
+            ),
+            config=config(baseline_iters=ff.iterations),
+        )
+        rep = solver.solve()  # rank 15 exists: fine
+        assert rep.converged
+
+
+class TestScheduleScope:
+    def test_fixed_schedule_carries_scope(self):
+        evs = FixedIterationSchedule(
+            iterations=[3], victims=[1], scope=FaultScope.NODE
+        ).events(nranks=4, horizon_iters=10)
+        assert evs[0].scope is FaultScope.NODE
+
+    def test_evenly_spaced_carries_scope(self):
+        evs = EvenlySpacedSchedule(n_faults=2, scope=FaultScope.SYSTEM).events(
+            nranks=4, horizon_iters=100
+        )
+        assert all(e.scope is FaultScope.SYSTEM for e in evs)
+
+    def test_default_scope_is_process(self):
+        assert FaultEvent(1, 0).scope is FaultScope.PROCESS

@@ -1,0 +1,117 @@
+"""Tests for the Jacobi-PCG extension.
+
+The paper's future work: "study the performance and energy optimization
+for more applications."  Jacobi-preconditioned CG is the first such
+application: same recovery schemes, same cost accounting, different
+iteration operator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cg import DistributedCG
+from repro.core.recovery import make_scheme, scheme_names
+from repro.core.solver import ResilientSolver, SolverConfig
+from repro.faults.schedule import EvenlySpacedSchedule
+from repro.matrices.distributed import DistributedMatrix
+from repro.matrices.generators import banded_spd
+from repro.matrices.partition import BlockRowPartition
+from tests.conftest import quick_config
+
+
+@pytest.fixture(scope="module")
+def scaled_system():
+    """Badly row-scaled system where Jacobi shines."""
+    a = banded_spd(600, 9, dominance=1e-5, scaling_spread=0.8, seed=3)
+    b = a @ np.random.default_rng(1).standard_normal(600)
+    return a, b
+
+
+class TestPcgNumerics:
+    def test_converges_to_same_solution(self, scaled_system):
+        a, b = scaled_system
+        d = DistributedMatrix(a, BlockRowPartition(600, 4))
+        plain = DistributedCG(d, b, tol=1e-10)
+        plain.solve_fault_free()
+        pcg = DistributedCG(d, b, tol=1e-10, preconditioner="jacobi")
+        pcg.solve_fault_free()
+        assert np.allclose(plain.state.x, pcg.state.x, rtol=1e-5, atol=1e-8)
+
+    def test_jacobi_much_faster_on_scaled_systems(self, scaled_system):
+        a, b = scaled_system
+        d = DistributedMatrix(a, BlockRowPartition(600, 4))
+        plain = DistributedCG(d, b, tol=1e-8)
+        pcg = DistributedCG(d, b, tol=1e-8, preconditioner="jacobi")
+        assert pcg.solve_fault_free() < plain.solve_fault_free() / 3
+
+    def test_residual_criterion_is_true_residual(self, scaled_system):
+        a, b = scaled_system
+        d = DistributedMatrix(a, BlockRowPartition(600, 4))
+        pcg = DistributedCG(d, b, tol=1e-8, preconditioner="jacobi")
+        pcg.solve_fault_free()
+        true_rel = np.linalg.norm(b - a @ pcg.state.x) / np.linalg.norm(b)
+        assert true_rel <= 1.1e-8
+
+    def test_restart_preserves_preconditioning(self, scaled_system):
+        a, b = scaled_system
+        d = DistributedMatrix(a, BlockRowPartition(600, 4))
+        pcg = DistributedCG(d, b, tol=1e-8, preconditioner="jacobi")
+        for _ in range(10):
+            pcg.step()
+        pcg.restart()
+        pcg.solve_fault_free()
+        assert pcg.converged
+        assert pcg.iteration < 1000  # still preconditioned after restart
+
+    def test_rejects_unknown_preconditioner(self, scaled_system):
+        a, b = scaled_system
+        d = DistributedMatrix(a, BlockRowPartition(600, 4))
+        with pytest.raises(ValueError):
+            DistributedCG(d, b, preconditioner="ilu")
+
+    def test_rejects_nonpositive_diagonal(self):
+        import scipy.sparse as sp
+
+        a = sp.diags([-1.0, 1.0, 1.0, 1.0]).tocsr()
+        d = DistributedMatrix(a, BlockRowPartition(4, 2))
+        with pytest.raises(ValueError):
+            DistributedCG(d, np.ones(4), preconditioner="jacobi")
+
+
+class TestPcgResilience:
+    @pytest.mark.parametrize("name", ["RD", "CR-M", "F0", "LI", "LSI-DVFS"])
+    def test_every_scheme_works_under_pcg(self, scaled_system, name):
+        a, b = scaled_system
+        report = ResilientSolver(
+            a,
+            b,
+            scheme=make_scheme(name, interval_iters=10),
+            schedule=EvenlySpacedSchedule(n_faults=3),
+            config=quick_config(nranks=8, preconditioner="jacobi"),
+        ).solve()
+        assert report.converged, name
+        assert report.final_relative_residual <= 1e-8
+
+    def test_rd_still_overlaps_fault_free(self, scaled_system):
+        a, b = scaled_system
+        cfg = lambda **kw: quick_config(nranks=8, preconditioner="jacobi", **kw)
+        ff = ResilientSolver(a, b, config=cfg()).solve()
+        rd = ResilientSolver(
+            a,
+            b,
+            scheme=make_scheme("RD"),
+            schedule=EvenlySpacedSchedule(n_faults=3),
+            config=cfg(baseline_iters=ff.iterations),
+        ).solve()
+        assert rd.iterations == ff.iterations
+
+    def test_pcg_costs_more_per_iteration_but_fewer_iterations(self, scaled_system):
+        a, b = scaled_system
+        plain = ResilientSolver(a, b, config=quick_config(nranks=8)).solve()
+        pcg = ResilientSolver(
+            a, b, config=quick_config(nranks=8, preconditioner="jacobi")
+        ).solve()
+        assert pcg.details["iteration_wall_s"] > plain.details["iteration_wall_s"]
+        assert pcg.iterations < plain.iterations
+        assert pcg.time_s < plain.time_s  # net win on this system
+        assert pcg.energy_j < plain.energy_j

@@ -1,0 +1,79 @@
+"""Unit tests for SolveReport."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import SolveReport
+from repro.power.energy import EnergyAccount, PhaseTag
+from repro.power.rapl import RaplMeter
+
+
+def make_report(scheme="FF", iterations=100, time_s=10.0, solve_j=1000.0,
+                extra_j=0.0, baseline=None):
+    acc = EnergyAccount()
+    acc.charge(PhaseTag.SOLVE, time_s=time_s, power_w=solve_j / time_s)
+    if extra_j:
+        acc.charge(PhaseTag.EXTRA, time_s=1.0, power_w=extra_j)
+    return SolveReport(
+        scheme=scheme,
+        converged=True,
+        iterations=iterations,
+        final_relative_residual=1e-9,
+        residual_history=np.geomspace(1, 1e-9, iterations),
+        time_s=time_s + (1.0 if extra_j else 0.0),
+        account=acc,
+        rapl=RaplMeter(),
+        baseline_iters=baseline,
+    )
+
+
+class TestDerivedMetrics:
+    def test_energy_and_power(self):
+        r = make_report()
+        assert r.energy_j == pytest.approx(1000.0)
+        assert r.average_power_w == pytest.approx(100.0)
+
+    def test_resilience_split(self):
+        r = make_report(extra_j=50.0)
+        assert r.resilience_energy_j == pytest.approx(50.0)
+        assert r.resilience_time_s == pytest.approx(1.0)
+
+    def test_extra_iterations(self):
+        assert make_report(iterations=150, baseline=100).extra_iterations == 50
+        assert make_report(iterations=90, baseline=100).extra_iterations == 0
+        assert make_report(iterations=90).extra_iterations == 0
+
+
+class TestNormalization:
+    def test_ratios(self):
+        base = make_report()
+        faulty = make_report(scheme="F0", iterations=220, time_s=20.0, solve_j=2500.0)
+        assert faulty.normalized_iterations(base) == pytest.approx(2.2)
+        assert faulty.normalized_time(base) == pytest.approx(2.0)
+        assert faulty.normalized_energy(base) == pytest.approx(2.5)
+
+    def test_self_normalization_is_one(self):
+        r = make_report()
+        assert r.normalized_iterations(r) == 1.0
+        assert r.normalized_time(r) == 1.0
+        assert r.normalized_energy(r) == 1.0
+        assert r.normalized_power(r) == 1.0
+
+    def test_zero_baseline_rejected(self):
+        base = make_report(iterations=0)
+        with pytest.raises(ValueError):
+            make_report().normalized_iterations(base)
+
+
+class TestPresentation:
+    def test_phase_summary_keys(self):
+        r = make_report(extra_j=10.0)
+        summary = r.phase_summary()
+        assert set(summary) == {"solve", "extra"}
+        t, e = summary["solve"]
+        assert t == pytest.approx(10.0)
+
+    def test_summary_text(self):
+        text = make_report(scheme="LI").summary()
+        assert "scheme=LI" in text
+        assert "converged=True" in text

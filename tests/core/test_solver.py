@@ -1,0 +1,203 @@
+"""Integration-level tests for the resilient solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.recovery import make_scheme
+from repro.core.solver import ResilientSolver, SolverConfig
+from repro.faults.schedule import EvenlySpacedSchedule, FixedIterationSchedule
+from repro.power.energy import PhaseTag
+
+from tests.conftest import quick_config
+
+
+class TestFaultFree:
+    def test_converges_and_reports(self, solver_factory):
+        report = solver_factory().solve()
+        assert report.converged
+        assert report.scheme == "FF"
+        assert report.iterations > 0
+        assert report.time_s > 0
+        assert report.energy_j > 0
+        assert report.n_faults == 0
+
+    def test_energy_account_consistency(self, solver_factory):
+        """Sum of phase energies equals the RAPL counter's total."""
+        report = solver_factory().solve()
+        assert report.energy_j == pytest.approx(report.rapl.energy_j(), rel=1e-9)
+
+    def test_time_matches_iterations(self, solver_factory):
+        report = solver_factory().solve()
+        wall = report.details["iteration_wall_s"]
+        assert report.time_s == pytest.approx(report.iterations * wall, rel=1e-6)
+
+    def test_power_is_compute_power(self, solver_factory):
+        solver = solver_factory()
+        report = solver.solve()
+        assert report.average_power_w == pytest.approx(
+            solver.power_compute_w(), rel=0.01
+        )
+
+    def test_no_resilience_charges(self, solver_factory):
+        report = solver_factory().solve()
+        assert report.resilience_time_s == 0.0
+        assert report.resilience_energy_j == 0.0
+
+    def test_deterministic(self, small_banded, rng):
+        b = small_banded @ np.ones(96)
+        r1 = ResilientSolver(small_banded, b, config=quick_config()).solve()
+        r2 = ResilientSolver(small_banded, b, config=quick_config()).solve()
+        assert r1.iterations == r2.iterations
+        assert r1.time_s == r2.time_s
+        assert r1.energy_j == r2.energy_j
+
+
+class TestFaultyRuns:
+    @pytest.mark.parametrize(
+        "scheme_name",
+        ["RD", "CR-M", "CR-D", "F0", "FI", "LI", "LSI", "LI-DVFS", "LSI-DVFS"],
+    )
+    def test_every_scheme_converges_under_faults(self, solver_factory, scheme_name):
+        report = solver_factory(
+            scheme=make_scheme(scheme_name, interval_iters=10),
+            schedule=EvenlySpacedSchedule(n_faults=3),
+        ).solve()
+        assert report.converged, scheme_name
+        assert report.n_faults == 3
+        assert report.final_relative_residual <= 1e-8
+
+    def test_faults_require_a_scheme(self, solver_factory):
+        solver = solver_factory(schedule=EvenlySpacedSchedule(n_faults=2))
+        with pytest.raises(RuntimeError):
+            solver.solve()
+
+    def test_rd_matches_fault_free_trajectory(self, solver_factory):
+        """RD overlaps the FF residual curve (Figure 6)."""
+        ff = solver_factory().solve()
+        rd = solver_factory(
+            scheme=make_scheme("RD"), schedule=EvenlySpacedSchedule(n_faults=3)
+        ).solve()
+        assert rd.iterations == ff.iterations
+        assert np.allclose(rd.residual_history, ff.residual_history)
+
+    def test_rd_doubles_energy_and_power(self, solver_factory):
+        ff = solver_factory().solve()
+        rd = solver_factory(
+            scheme=make_scheme("RD"), schedule=EvenlySpacedSchedule(n_faults=2)
+        ).solve()
+        assert rd.normalized_energy(ff) == pytest.approx(2.0, rel=0.05)
+        assert rd.normalized_power(ff) == pytest.approx(2.0, rel=0.05)
+        assert rd.normalized_time(ff) == pytest.approx(1.0, rel=0.05)
+
+    def test_fill_schemes_cost_iterations_not_reconstruction(self, solver_factory):
+        report = solver_factory(
+            scheme=make_scheme("F0"), schedule=EvenlySpacedSchedule(n_faults=3)
+        ).solve()
+        assert report.account.time(PhaseTag.RECONSTRUCT) == 0.0
+
+    def test_li_charges_reconstruction(self, solver_factory):
+        report = solver_factory(
+            scheme=make_scheme("LI"), schedule=EvenlySpacedSchedule(n_faults=3)
+        ).solve()
+        assert report.account.time(PhaseTag.RECONSTRUCT) > 0
+
+    def test_cr_charges_checkpoint_and_restore(self, solver_factory):
+        report = solver_factory(
+            scheme=make_scheme("CR-M", interval_iters=10),
+            schedule=EvenlySpacedSchedule(n_faults=2),
+        ).solve()
+        assert report.account.time(PhaseTag.CHECKPOINT) > 0
+        assert report.account.time(PhaseTag.RESTORE) > 0
+
+    def test_extra_iterations_split(self, solver_factory):
+        """With a baseline given, iterations beyond it land in EXTRA."""
+        ff = solver_factory().solve()
+        faulty = solver_factory(
+            scheme=make_scheme("F0"),
+            schedule=EvenlySpacedSchedule(n_faults=3),
+            baseline_iters=ff.iterations,
+        ).solve()
+        assert faulty.iterations > ff.iterations
+        assert faulty.extra_iterations == faulty.iterations - ff.iterations
+        assert faulty.account.time(PhaseTag.EXTRA) > 0
+
+    def test_baseline_computed_internally_when_missing(self, solver_factory):
+        faulty = solver_factory(
+            scheme=make_scheme("F0"), schedule=EvenlySpacedSchedule(n_faults=2)
+        ).solve()
+        assert faulty.baseline_iters is not None
+        assert faulty.baseline_iters > 0
+
+    def test_dce_needs_no_recovery(self, solver_factory):
+        """DCE events are corrected in hardware: no scheme required."""
+        from repro.faults.events import FaultClass
+
+        report = solver_factory(
+            schedule=FixedIterationSchedule(
+                iterations=[5], fault_class=FaultClass.DCE
+            )
+        ).solve()
+        assert report.converged
+        assert report.n_faults == 1
+
+    def test_dvfs_transitions_recorded(self, solver_factory):
+        report = solver_factory(
+            scheme=make_scheme("LI-DVFS"),
+            schedule=EvenlySpacedSchedule(n_faults=2),
+        ).solve()
+        assert report.details["dvfs_transitions"] > 0
+
+    def test_dvfs_saves_energy_vs_plain_li(self, solver_factory):
+        li = solver_factory(
+            scheme=make_scheme("LI"), schedule=EvenlySpacedSchedule(n_faults=3)
+        ).solve()
+        dvfs = solver_factory(
+            scheme=make_scheme("LI-DVFS"), schedule=EvenlySpacedSchedule(n_faults=3)
+        ).solve()
+        assert dvfs.iterations == li.iterations  # no performance impact
+        assert dvfs.energy_j <= li.energy_j
+
+    def test_victims_damage_matching_blocks(self, solver_factory):
+        schedule = FixedIterationSchedule(iterations=[5, 10], victims=[1, 3])
+        report = solver_factory(
+            scheme=make_scheme("F0"), schedule=schedule
+        ).solve()
+        assert [e.victim_rank for e in report.faults] == [1, 3]
+
+
+class TestConfigValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            SolverConfig(nranks=0)
+        with pytest.raises(ValueError):
+            SolverConfig(tol=-1.0)
+        with pytest.raises(ValueError):
+            SolverConfig(max_iters=0)
+
+    def test_distributed_matrix_rank_mismatch(self, small_system):
+        dmat, b, _ = small_system  # 4 ranks
+        with pytest.raises(ValueError):
+            ResilientSolver(dmat, b, config=quick_config(nranks=8))
+
+    def test_accepts_predistributed_matrix(self, small_system):
+        dmat, b, _ = small_system
+        report = ResilientSolver(dmat, b, config=quick_config(nranks=4)).solve()
+        assert report.converged
+
+
+class TestRaplTrace:
+    def test_trace_shows_compute_plateau(self, solver_factory):
+        solver = solver_factory()
+        report = solver.solve()
+        times, watts = report.rapl.power_trace(report.time_s / 20)
+        assert np.all(watts[:-1] > 0)
+        # plateau near compute power
+        assert np.median(watts) == pytest.approx(solver.power_compute_w(), rel=0.05)
+
+    def test_rd_trace_doubles(self, solver_factory):
+        solver = solver_factory(
+            scheme=make_scheme("RD"), schedule=EvenlySpacedSchedule(n_faults=1)
+        )
+        report = solver.solve()
+        _, watts = report.rapl.power_trace(report.time_s / 10)
+        assert np.median(watts) == pytest.approx(2 * solver.power_compute_w(), rel=0.1)

@@ -1,0 +1,165 @@
+"""Tests for the solver's bookkeeping: details dict, traffic counters,
+phase structure, capped/preconditioned interplay."""
+
+import numpy as np
+import pytest
+
+from repro.core.recovery import make_scheme
+from repro.core.solver import ResilientSolver
+from repro.faults.schedule import EvenlySpacedSchedule
+from repro.matrices.generators import banded_spd
+from repro.power.energy import PhaseTag
+from tests.conftest import quick_config
+
+
+@pytest.fixture(scope="module")
+def system():
+    a = banded_spd(300, 7, dominance=5e-3, seed=1)
+    b = a @ np.random.default_rng(1).standard_normal(300)
+    return a, b
+
+
+class TestDetails:
+    def test_fault_free_details(self, system):
+        a, b = system
+        rep = ResilientSolver(a, b, config=quick_config(nranks=8)).solve()
+        d = rep.details
+        assert d["restarts"] == 0
+        assert d["iteration_wall_s"] > 0
+        assert d["dvfs_transitions"] == 0
+        assert d["operating_frequency_ghz"] == pytest.approx(2.3)
+
+    def test_restart_count_matches_faults_for_restarting_schemes(self, system):
+        a, b = system
+        rep = ResilientSolver(
+            a,
+            b,
+            scheme=make_scheme("F0"),
+            schedule=EvenlySpacedSchedule(n_faults=3),
+            config=quick_config(nranks=8),
+        ).solve()
+        assert rep.details["restarts"] == 3
+
+    def test_cr_details(self, system):
+        a, b = system
+        rep = ResilientSolver(
+            a,
+            b,
+            scheme=make_scheme("CR-M", interval_iters=10),
+            schedule=EvenlySpacedSchedule(n_faults=2),
+            config=quick_config(nranks=8),
+        ).solve()
+        sd = rep.details["scheme_details"]
+        assert sd["interval_iters"] == 10
+        assert sd["checkpoints_written"] > 0
+        assert sd["rollback_reexecute_iters"] >= 0
+
+    def test_interpolation_constructions_recorded(self, system):
+        a, b = system
+        rep = ResilientSolver(
+            a,
+            b,
+            scheme=make_scheme("LI"),
+            schedule=EvenlySpacedSchedule(n_faults=2),
+            config=quick_config(nranks=8),
+        ).solve()
+        constructions = rep.details["scheme_details"]["constructions"]
+        assert len(constructions) == 2
+        assert all(c["method"] == "cg" for c in constructions)
+
+
+class TestTraffic:
+    def test_traffic_scales_with_iterations(self, system):
+        a, b = system
+        rep = ResilientSolver(a, b, config=quick_config(nranks=8)).solve()
+        assert rep.traffic is not None
+        assert rep.traffic.bytes_total > 0
+        assert rep.traffic.collectives == 2 * rep.iterations
+
+    def test_single_rank_moves_collective_bytes_only(self, system):
+        a, b = system
+        rep = ResilientSolver(a, b, config=quick_config(nranks=1)).solve()
+        # one rank: no halo traffic; allreduce degenerates but is counted
+        assert rep.traffic.bytes_p2p == pytest.approx(
+            rep.iterations * rep.traffic.bytes_p2p / rep.iterations
+        )
+
+
+class TestPhaseStructure:
+    def test_fault_free_has_only_solve_and_overhead(self, system):
+        a, b = system
+        rep = ResilientSolver(a, b, config=quick_config(nranks=8)).solve()
+        assert set(rep.phase_summary()) <= {"solve", "overhead"}
+
+    def test_faulty_run_adds_resilience_phases(self, system):
+        a, b = system
+        rep = ResilientSolver(
+            a,
+            b,
+            scheme=make_scheme("CR-D", interval_iters=10),
+            schedule=EvenlySpacedSchedule(n_faults=2),
+            config=quick_config(nranks=8),
+        ).solve()
+        tags = set(rep.phase_summary())
+        assert {"checkpoint", "restore", "extra"} <= tags
+
+    def test_extra_charged_even_without_baseline_for_restarts(self, system):
+        """The post-recovery restart cost always lands in EXTRA."""
+        a, b = system
+        rep = ResilientSolver(
+            a,
+            b,
+            scheme=make_scheme("F0"),
+            schedule=EvenlySpacedSchedule(n_faults=1),
+            config=quick_config(nranks=8),
+        ).solve()
+        assert rep.account.time(PhaseTag.EXTRA) > 0
+
+
+class TestFeatureInterplay:
+    def test_cap_plus_preconditioner(self, system):
+        a, b = system
+        rep = ResilientSolver(
+            a,
+            b,
+            scheme=make_scheme("LI"),
+            schedule=EvenlySpacedSchedule(n_faults=2),
+            config=quick_config(
+                nranks=8, preconditioner="jacobi", power_cap_w=8 * 7.0
+            ),
+        ).solve()
+        assert rep.converged
+        assert rep.average_power_w <= 8 * 7.0 * 1.0001
+        assert rep.details["operating_frequency_ghz"] < 2.3
+
+    def test_cap_plus_dvfs_recovery(self, system):
+        """The DVFS schedule must respect the cap's operating frequency
+        when it releases."""
+        a, b = system
+        cap = 8 * 7.0
+        rep = ResilientSolver(
+            a,
+            b,
+            scheme=make_scheme("LI-DVFS"),
+            schedule=EvenlySpacedSchedule(n_faults=2),
+            config=quick_config(nranks=8, power_cap_w=cap),
+        ).solve()
+        assert rep.converged
+        assert rep.average_power_w <= cap * 1.0001
+
+    def test_rd_under_cap_doubles_capped_power(self, system):
+        a, b = system
+        cap = 8 * 7.0
+        ff = ResilientSolver(
+            a, b, config=quick_config(nranks=8, power_cap_w=cap)
+        ).solve()
+        rd = ResilientSolver(
+            a,
+            b,
+            scheme=make_scheme("RD"),
+            schedule=EvenlySpacedSchedule(n_faults=1),
+            config=quick_config(nranks=8, power_cap_w=cap),
+        ).solve()
+        assert rd.average_power_w == pytest.approx(
+            2 * ff.average_power_w, rel=0.05
+        )

@@ -1,0 +1,49 @@
+"""Unit tests for the fault taxonomy."""
+
+import pytest
+
+from repro.faults.events import FaultClass, FaultEvent, FaultKind
+
+
+class TestFaultClass:
+    def test_soft_hard_split_matches_paper(self):
+        softs = {c for c in FaultClass if c.is_soft}
+        hards = {c for c in FaultClass if c.is_hard}
+        assert softs == {FaultClass.DCE, FaultClass.DUE, FaultClass.SDC}
+        assert hards == {FaultClass.SWO, FaultClass.SNF, FaultClass.LNF}
+
+    def test_kinds_are_exclusive(self):
+        for c in FaultClass:
+            assert c.is_soft != c.is_hard
+
+    def test_dce_needs_no_recovery(self):
+        assert not FaultClass.DCE.needs_recovery
+        for c in FaultClass:
+            if c is not FaultClass.DCE:
+                assert c.needs_recovery
+
+    def test_labels(self):
+        assert FaultClass.SNF.label == "SNF"
+        assert FaultClass.SDC.kind is FaultKind.SOFT
+
+
+class TestFaultEvent:
+    def test_construction(self):
+        e = FaultEvent(iteration=10, victim_rank=3)
+        assert e.iteration == 10
+        assert e.victim_rank == 3
+        assert e.fault_class is FaultClass.SNF
+
+    def test_rejects_negative_iteration(self):
+        with pytest.raises(ValueError):
+            FaultEvent(iteration=-1, victim_rank=0)
+
+    def test_rejects_negative_victim(self):
+        with pytest.raises(ValueError):
+            FaultEvent(iteration=0, victim_rank=-2)
+
+    def test_is_hashable_and_frozen(self):
+        e = FaultEvent(1, 1)
+        assert hash(e) == hash(FaultEvent(1, 1))
+        with pytest.raises(AttributeError):
+            e.iteration = 5

@@ -1,0 +1,73 @@
+"""Unit tests for fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.faults.events import FaultClass, FaultEvent
+from repro.faults.injector import FaultInjector
+from repro.matrices.partition import BlockRowPartition
+
+
+@pytest.fixture()
+def injector() -> FaultInjector:
+    return FaultInjector(BlockRowPartition(100, 4), seed=0)
+
+
+class TestHardFaults:
+    def test_poisons_victim_block_with_nan(self, injector):
+        x = np.ones(100)
+        sl = injector.inject(FaultEvent(5, victim_rank=1), x)
+        assert np.all(np.isnan(x[sl]))
+
+    def test_leaves_other_blocks_untouched(self, injector):
+        x = np.arange(100, dtype=float)
+        sl = injector.inject(FaultEvent(5, victim_rank=2), x)
+        mask = np.ones(100, bool)
+        mask[sl] = False
+        assert np.array_equal(x[mask], np.arange(100, dtype=float)[mask])
+
+    def test_damages_all_given_vectors(self, injector):
+        x, r, p = np.ones(100), np.ones(100), np.ones(100)
+        sl = injector.inject(FaultEvent(5, victim_rank=0), x, r, p)
+        for v in (x, r, p):
+            assert np.all(np.isnan(v[sl]))
+
+    def test_returned_slice_matches_partition(self, injector):
+        sl = injector.inject(FaultEvent(0, victim_rank=3), np.ones(100))
+        assert sl == BlockRowPartition(100, 4).slice_of(3)
+
+
+class TestSoftFaults:
+    def test_sdc_corrupts_but_stays_finite(self, injector):
+        x = np.ones(100)
+        sl = injector.inject(FaultEvent(5, victim_rank=1, fault_class=FaultClass.SDC), x)
+        assert np.all(np.isfinite(x[sl]))
+        # at least one entry was changed
+        assert not np.allclose(x[sl], 1.0)
+
+    def test_sdc_touches_only_victim(self, injector):
+        x = np.ones(100)
+        sl = injector.inject(FaultEvent(5, victim_rank=1, fault_class=FaultClass.SDC), x)
+        mask = np.ones(100, bool)
+        mask[sl] = False
+        assert np.allclose(x[mask], 1.0)
+
+    def test_sdc_deterministic_given_seed(self):
+        part = BlockRowPartition(100, 4)
+        xs = []
+        for _ in range(2):
+            inj = FaultInjector(part, seed=42)
+            x = np.ones(100)
+            inj.inject(FaultEvent(5, 1, FaultClass.SDC), x)
+            xs.append(x)
+        assert np.array_equal(xs[0], xs[1])
+
+
+class TestValidation:
+    def test_rejects_wrong_length(self, injector):
+        with pytest.raises(ValueError):
+            injector.inject(FaultEvent(0, 0), np.ones(99))
+
+    def test_rejects_2d(self, injector):
+        with pytest.raises(ValueError):
+            injector.inject(FaultEvent(0, 0), np.ones((10, 10)))

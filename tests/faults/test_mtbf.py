@@ -1,0 +1,91 @@
+"""Unit tests for the Figure-1 MTBF estimator."""
+
+import pytest
+
+from repro.faults.events import FaultClass
+from repro.faults.mtbf import (
+    EXASCALE,
+    PETASCALE,
+    MtbfEstimator,
+    SystemClass,
+)
+
+HOURS_PER_DAY = 24.0
+
+
+@pytest.fixture()
+def est() -> MtbfEstimator:
+    return MtbfEstimator()
+
+
+class TestSystemClasses:
+    def test_paper_machine_sizes(self):
+        assert PETASCALE.nodes == 20_000
+        assert EXASCALE.nodes == 1_000_000
+
+    def test_exascale_technology_degrades_every_class(self):
+        for cls in FaultClass:
+            assert EXASCALE.factor(cls) > 1.0
+
+    def test_default_factor_is_one(self):
+        s = SystemClass("test", nodes=10)
+        assert s.factor(FaultClass.SNF) == 1.0
+
+    def test_rejects_empty_system(self):
+        with pytest.raises(ValueError):
+            SystemClass("bad", nodes=0)
+
+
+class TestEstimates:
+    def test_system_mtbf_scales_inversely_with_nodes(self, est):
+        small = SystemClass("s", nodes=100)
+        large = SystemClass("l", nodes=10_000)
+        ratio = est.system_mtbf(FaultClass.SNF, small) / est.system_mtbf(
+            FaultClass.SNF, large
+        )
+        assert ratio == pytest.approx(100.0)
+
+    def test_petascale_mtbf_is_days(self, est):
+        """The paper's 1-7 day band for petascale systems."""
+        for cls in FaultClass:
+            mtbf_days = est.system_mtbf(cls, PETASCALE) / HOURS_PER_DAY
+            assert 1.0 <= mtbf_days <= 7.5, f"{cls.label}: {mtbf_days:.2f} days"
+
+    def test_exascale_mtbf_within_an_hour(self, est):
+        """'the MTBF of an exascale system is within an hour'."""
+        for cls in FaultClass:
+            assert est.system_mtbf(cls, EXASCALE) <= 4.0
+        assert est.combined_system_mtbf(EXASCALE) < 1.0
+
+    def test_rate_is_reciprocal(self, est):
+        r = est.system_rate_per_hour(FaultClass.SNF, PETASCALE)
+        assert r * est.system_mtbf(FaultClass.SNF, PETASCALE) == pytest.approx(1.0)
+
+    def test_combined_rates_add(self, est):
+        combined = est.combined_system_mtbf(
+            PETASCALE, [FaultClass.SNF, FaultClass.LNF]
+        )
+        r = est.system_rate_per_hour(
+            FaultClass.SNF, PETASCALE
+        ) + est.system_rate_per_hour(FaultClass.LNF, PETASCALE)
+        assert combined == pytest.approx(1.0 / r)
+
+    def test_combined_below_any_single(self, est):
+        combined = est.combined_system_mtbf(PETASCALE)
+        singles = [est.system_mtbf(c, PETASCALE) for c in FaultClass]
+        assert combined < min(singles)
+
+    def test_figure1_table_structure(self, est):
+        table = est.figure1_table()
+        assert set(table) == {"petascale", "exascale"}
+        assert set(table["petascale"]) == {c.label for c in FaultClass}
+        for cls in FaultClass:
+            assert table["exascale"][cls.label] < table["petascale"][cls.label]
+
+    def test_rejects_nonpositive_mtbf(self):
+        with pytest.raises(ValueError):
+            MtbfEstimator(node_mtbf_h={FaultClass.SNF: -1.0})
+
+    def test_combined_requires_classes(self, est):
+        with pytest.raises(ValueError):
+            est.combined_system_mtbf(PETASCALE, [])

@@ -1,0 +1,131 @@
+"""Unit tests for fault schedules."""
+
+import numpy as np
+import pytest
+
+from repro.faults.events import FaultClass
+from repro.faults.schedule import (
+    EmptySchedule,
+    EvenlySpacedSchedule,
+    FixedIterationSchedule,
+    PoissonSchedule,
+)
+
+
+class TestEmptySchedule:
+    def test_no_events(self):
+        assert EmptySchedule().events(nranks=4, horizon_iters=100) == []
+
+    def test_validates_args(self):
+        with pytest.raises(ValueError):
+            EmptySchedule().events(nranks=0, horizon_iters=10)
+
+
+class TestFixedIterationSchedule:
+    def test_explicit_pairs(self):
+        s = FixedIterationSchedule(iterations=[5, 10], victims=[1, 2])
+        evs = s.events(nranks=4, horizon_iters=100)
+        assert [(e.iteration, e.victim_rank) for e in evs] == [(5, 1), (10, 2)]
+
+    def test_default_victims_round_robin(self):
+        s = FixedIterationSchedule(iterations=[1, 2, 3, 4, 5])
+        evs = s.events(nranks=3, horizon_iters=10)
+        assert [e.victim_rank for e in evs] == [0, 1, 2, 0, 1]
+
+    def test_sorted_output(self):
+        s = FixedIterationSchedule(iterations=[30, 10, 20])
+        evs = s.events(nranks=2, horizon_iters=100)
+        assert [e.iteration for e in evs] == [10, 20, 30]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            FixedIterationSchedule(iterations=[1, 2], victims=[0]).events(
+                nranks=2, horizon_iters=10
+            )
+
+    def test_victim_out_of_range(self):
+        with pytest.raises(ValueError):
+            FixedIterationSchedule(iterations=[1], victims=[9]).events(
+                nranks=2, horizon_iters=10
+            )
+
+    def test_fault_class_propagates(self):
+        s = FixedIterationSchedule(iterations=[1], fault_class=FaultClass.SDC)
+        assert s.events(nranks=2, horizon_iters=5)[0].fault_class is FaultClass.SDC
+
+
+class TestEvenlySpacedSchedule:
+    def test_count(self):
+        evs = EvenlySpacedSchedule(n_faults=10).events(nranks=8, horizon_iters=1000)
+        assert len(evs) == 10
+
+    def test_faults_are_interior(self):
+        """No fault at iteration 0 and none after the FF horizon."""
+        evs = EvenlySpacedSchedule(n_faults=10).events(nranks=4, horizon_iters=500)
+        for e in evs:
+            assert 1 <= e.iteration <= 499
+
+    def test_even_spacing(self):
+        evs = EvenlySpacedSchedule(n_faults=4).events(nranks=4, horizon_iters=100)
+        assert [e.iteration for e in evs] == [20, 40, 60, 80]
+
+    def test_victims_rotate(self):
+        evs = EvenlySpacedSchedule(n_faults=6, seed=0).events(
+            nranks=3, horizon_iters=600
+        )
+        victims = [e.victim_rank for e in evs]
+        # round robin: consecutive victims differ
+        assert all(victims[i] != victims[i + 1] for i in range(5))
+        assert set(victims) == {0, 1, 2}
+
+    def test_deterministic_given_seed(self):
+        a = EvenlySpacedSchedule(n_faults=5, seed=3).events(nranks=7, horizon_iters=300)
+        b = EvenlySpacedSchedule(n_faults=5, seed=3).events(nranks=7, horizon_iters=300)
+        assert a == b
+
+    def test_zero_faults(self):
+        assert EvenlySpacedSchedule(n_faults=0).events(nranks=4, horizon_iters=100) == []
+
+    def test_zero_horizon(self):
+        assert EvenlySpacedSchedule(n_faults=5).events(nranks=4, horizon_iters=0) == []
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            EvenlySpacedSchedule(n_faults=-1)
+
+
+class TestPoissonSchedule:
+    def test_deterministic_given_seed(self):
+        a = PoissonSchedule(mtbf_iters=50, seed=1).events(nranks=4, horizon_iters=1000)
+        b = PoissonSchedule(mtbf_iters=50, seed=1).events(nranks=4, horizon_iters=1000)
+        assert a == b
+
+    def test_mean_gap_approximates_mtbf(self):
+        evs = PoissonSchedule(mtbf_iters=100, seed=7, horizon_factor=50).events(
+            nranks=4, horizon_iters=10_000
+        )
+        gaps = np.diff([0] + [e.iteration for e in evs])
+        assert abs(gaps.mean() - 100) / 100 < 0.15
+
+    def test_events_sorted(self):
+        evs = PoissonSchedule(mtbf_iters=20, seed=2).events(nranks=4, horizon_iters=500)
+        iters = [e.iteration for e in evs]
+        assert iters == sorted(iters)
+
+    def test_horizon_factor_bounds_events(self):
+        evs = PoissonSchedule(mtbf_iters=10, seed=0, horizon_factor=2.0).events(
+            nranks=4, horizon_iters=100
+        )
+        assert all(e.iteration <= 200 for e in evs)
+
+    def test_victims_in_range(self):
+        evs = PoissonSchedule(mtbf_iters=5, seed=0).events(nranks=3, horizon_iters=100)
+        assert all(0 <= e.victim_rank < 3 for e in evs)
+
+    def test_rejects_bad_mtbf(self):
+        with pytest.raises(ValueError):
+            PoissonSchedule(mtbf_iters=0)
+
+    def test_rejects_bad_horizon_factor(self):
+        with pytest.raises(ValueError):
+            PoissonSchedule(mtbf_iters=10, horizon_factor=0.5)

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_cr_interval, main
+
+
+class TestCli:
+    def test_mtbf(self, capsys):
+        assert main(["mtbf"]) == 0
+        out = capsys.readouterr().out
+        assert "petascale" in out
+        assert "SNF" in out
+
+    def test_project(self, capsys):
+        assert main(["project", "--sizes", "192", "12288", "400000"]) == 0
+        out = capsys.readouterr().out
+        assert "CR-D" in out
+        assert "HALT" in out  # 400k procs is past the halt point
+
+    def test_run_small(self, capsys):
+        code = main(
+            [
+                "run",
+                "--matrix",
+                "wathen100",
+                "--scheme",
+                "F0",
+                "--faults",
+                "2",
+                "--ranks",
+                "8",
+                "--scale",
+                "0.25",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault-free:" in out
+        assert "normalized:" in out
+
+    def test_run_preconditioned(self, capsys):
+        code = main(
+            [
+                "run",
+                "--matrix",
+                "msc01050",
+                "--scheme",
+                "LI",
+                "--faults",
+                "2",
+                "--ranks",
+                "8",
+                "--scale",
+                "0.5",
+                "--precond",
+                "jacobi",
+            ]
+        )
+        assert code == 0
+
+    def test_suite_small(self, capsys):
+        code = main(
+            [
+                "suite",
+                "--matrices",
+                "wathen100",
+                "--schemes",
+                "RD",
+                "F0",
+                "--faults",
+                "2",
+                "--ranks",
+                "8",
+                "--scale",
+                "0.25",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wathen100" in out
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scheme", "MAGIC"])
+
+    def test_rejects_unknown_matrix(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--matrix", "not-a-matrix"])
+
+    def test_cr_interval_parsing(self):
+        assert _parse_cr_interval("paper") == "paper"
+        assert _parse_cr_interval("young") == "young"
+        assert _parse_cr_interval("50") == 50
+        with pytest.raises(SystemExit):
+            _parse_cr_interval("weekly")
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,122 @@
+"""Tests for the experiment driver."""
+
+import pytest
+
+from repro.harness.experiment import (
+    COST_STUDY_SCHEMES,
+    ITERATION_STUDY_SCHEMES,
+    PAPER_CR_INTERVAL,
+    Experiment,
+    ExperimentConfig,
+    run_suite,
+)
+from repro.matrices.generators import banded_spd
+
+
+@pytest.fixture(scope="module")
+def small_exp():
+    """Experiment on a custom small matrix (fast)."""
+    a = banded_spd(200, 7, dominance=5e-3, seed=0)
+    return Experiment(
+        ExperimentConfig(matrix="custom", nranks=4, n_faults=3), a=a
+    )
+
+
+class TestExperiment:
+    def test_fault_free_is_cached(self, small_exp):
+        assert small_exp.fault_free is small_exp.fault_free
+
+    def test_ff_alias(self, small_exp):
+        assert small_exp.run("FF") is small_exp.fault_free
+
+    def test_run_scheme_converges(self, small_exp):
+        report = small_exp.run("LI")
+        assert report.converged
+        assert report.n_faults == 3
+        assert report.baseline_iters == small_exp.fault_free.iterations
+
+    def test_run_all(self, small_exp):
+        reports = small_exp.run_all(["RD", "F0"])
+        assert set(reports) == {"RD", "F0"}
+
+    def test_implied_mtbf(self, small_exp):
+        assert small_exp.implied_mtbf_s() == pytest.approx(
+            small_exp.fault_free.time_s / 3
+        )
+
+    def test_implied_mtbf_without_faults(self):
+        a = banded_spd(100, 5, dominance=0.05, seed=0)
+        exp = Experiment(ExperimentConfig(matrix="c", nranks=2, n_faults=0), a=a)
+        with pytest.raises(ValueError):
+            exp.implied_mtbf_s()
+
+    def test_paper_cr_interval(self, small_exp):
+        report = small_exp.run("CR-M")
+        assert report.details["scheme_details"]["interval_iters"] == PAPER_CR_INTERVAL
+
+    def test_young_cr_interval(self):
+        a = banded_spd(200, 7, dominance=5e-3, seed=0)
+        exp = Experiment(
+            ExperimentConfig(matrix="c", nranks=4, n_faults=3, cr_interval="young"),
+            a=a,
+        )
+        report = exp.run("CR-M")
+        interval = report.details["scheme_details"]["interval_iters"]
+        assert interval != PAPER_CR_INTERVAL
+        assert interval >= 1
+
+    def test_explicit_cr_interval(self):
+        a = banded_spd(200, 7, dominance=5e-3, seed=0)
+        exp = Experiment(
+            ExperimentConfig(matrix="c", nranks=4, n_faults=2, cr_interval=17), a=a
+        )
+        report = exp.run("CR-D")
+        assert report.details["scheme_details"]["interval_iters"] == 17
+
+    def test_builds_suite_matrix_by_name(self):
+        exp = Experiment(
+            ExperimentConfig(matrix="Kuu", nranks=4, n_faults=0, scale=0.3)
+        )
+        assert exp.a.shape[0] == max(16, round(660 * 0.3))
+
+    def test_deterministic(self):
+        a = banded_spd(200, 7, dominance=5e-3, seed=0)
+        cfg = ExperimentConfig(matrix="c", nranks=4, n_faults=2)
+        r1 = Experiment(cfg, a=a).run("F0")
+        r2 = Experiment(cfg, a=a).run("F0")
+        assert r1.iterations == r2.iterations
+        assert r1.energy_j == r2.energy_j
+
+
+class TestConfigValidation:
+    def test_bad_cr_interval_string(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(cr_interval="daily")
+
+    def test_bad_cr_interval_int(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(cr_interval=0)
+
+    def test_bad_fault_count(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_faults=-1)
+
+
+class TestSchemeSets:
+    def test_iteration_study_matches_figure5(self):
+        assert ITERATION_STUDY_SCHEMES == ["RD", "F0", "FI", "LI", "LSI", "CR-D"]
+
+    def test_cost_study_matches_table5(self):
+        assert COST_STUDY_SCHEMES == ["RD", "LI-DVFS", "LSI-DVFS", "CR-M", "CR-D"]
+
+
+class TestRunSuite:
+    def test_small_sweep(self):
+        out = run_suite(
+            matrices=["Kuu"],
+            scheme_names=["RD", "F0"],
+            base=ExperimentConfig(nranks=4, n_faults=2, scale=0.3),
+        )
+        assert set(out) == {"Kuu"}
+        assert set(out["Kuu"]) == {"FF", "RD", "F0"}
+        assert out["Kuu"]["FF"].converged

@@ -1,0 +1,88 @@
+"""Tests for normalization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import SolveReport
+from repro.harness.normalize import (
+    NormalizedMetrics,
+    normalize_report,
+    normalize_reports,
+    suite_average,
+)
+from repro.power.energy import EnergyAccount, PhaseTag
+from repro.power.rapl import RaplMeter
+
+
+def report(scheme, iterations, time_s, energy_j):
+    acc = EnergyAccount()
+    acc.charge(PhaseTag.SOLVE, time_s=time_s, power_w=energy_j / time_s)
+    return SolveReport(
+        scheme=scheme,
+        converged=True,
+        iterations=iterations,
+        final_relative_residual=1e-9,
+        residual_history=np.array([1e-9]),
+        time_s=time_s,
+        account=acc,
+        rapl=RaplMeter(),
+    )
+
+
+@pytest.fixture()
+def reports():
+    return {
+        "FF": report("FF", 100, 10.0, 1000.0),
+        "F0": report("F0", 220, 22.0, 2200.0),
+        "RD": report("RD", 100, 10.0, 2000.0),
+    }
+
+
+class TestNormalizeReport:
+    def test_ratios(self, reports):
+        m = normalize_report(reports["F0"], reports["FF"])
+        assert m.iterations == pytest.approx(2.2)
+        assert m.time == pytest.approx(2.2)
+        assert m.energy == pytest.approx(2.2)
+        assert m.power == pytest.approx(1.0)
+
+    def test_rd_power(self, reports):
+        m = normalize_report(reports["RD"], reports["FF"])
+        assert m.power == pytest.approx(2.0)
+        assert m.time == pytest.approx(1.0)
+
+    def test_as_dict(self, reports):
+        d = normalize_report(reports["FF"], reports["FF"]).as_dict()
+        assert set(d) == {"iterations", "time", "energy", "power"}
+
+
+class TestNormalizeReports:
+    def test_baseline_included_as_ones(self, reports):
+        out = normalize_reports(reports)
+        assert out["FF"].iterations == pytest.approx(1.0)
+        assert out["FF"].energy == pytest.approx(1.0)
+
+    def test_missing_baseline(self, reports):
+        del reports["FF"]
+        with pytest.raises(KeyError):
+            normalize_reports(reports)
+
+
+class TestSuiteAverage:
+    def test_average_over_matrices(self, reports):
+        per_matrix = {
+            "a": normalize_reports(reports),
+            "b": normalize_reports(
+                {
+                    "FF": report("FF", 100, 10.0, 1000.0),
+                    "F0": report("F0", 180, 18.0, 1800.0),
+                    "RD": report("RD", 100, 10.0, 2000.0),
+                }
+            ),
+        }
+        avg = suite_average(per_matrix, "F0")
+        assert avg["iterations"] == pytest.approx((2.2 + 1.8) / 2)
+
+    def test_missing_scheme(self, reports):
+        with pytest.raises(KeyError):
+            suite_average({"a": normalize_reports(reports)}, "LSI")

@@ -1,0 +1,67 @@
+"""Tests for the plain-text table/series renderers."""
+
+import pytest
+
+from repro.harness.normalize import NormalizedMetrics
+from repro.harness.reporting import format_series, format_table, normalized_rows
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        out = format_table(
+            ["scheme", "T", "E"],
+            [["FF", 1.0, 1.0], ["RD", 1.0, 2.0]],
+            title="Table X",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Table X"
+        assert "scheme" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "RD" in lines[4]
+        assert "2.00" in lines[4]
+
+    def test_column_count_enforced(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_precision(self):
+        out = format_table(["v"], [[3.14159]], precision=4)
+        assert "3.1416" in out
+
+    def test_mixed_types(self):
+        out = format_table(["n", "x"], [[256, 0.5]])
+        assert "256" in out
+
+
+class TestFormatSeries:
+    def test_render(self):
+        out = format_series(
+            "N", [10, 20], {"FW": [0.1, 0.2], "CR": [0.3, 0.4]}, title="Fig"
+        )
+        assert "FW" in out and "CR" in out
+        assert "0.400" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("N", [1, 2], {"s": [1.0]})
+
+
+class TestNormalizedRows:
+    def make(self, scheme, t, p, e):
+        return NormalizedMetrics(
+            scheme=scheme, iterations=1.0, time=t, energy=e, power=p, converged=True
+        )
+
+    def test_fixed_order_skips_missing(self):
+        normalized = {"FF": self.make("FF", 1, 1, 1), "RD": self.make("RD", 1, 2, 2)}
+        rows = normalized_rows(normalized, ["FF", "LI", "RD"])
+        assert [r[0] for r in rows] == ["FF", "RD"]
+
+    def test_metric_selection(self):
+        normalized = {"FF": self.make("FF", 1.0, 1.5, 2.0)}
+        rows = normalized_rows(normalized, ["FF"], metrics=("energy",))
+        assert rows == [["FF", 2.0]]

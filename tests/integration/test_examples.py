@@ -1,0 +1,53 @@
+"""Smoke tests: the runnable examples must run clean end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "fault-free baseline" in out
+        assert "converged to relative residual" in out
+
+    def test_exascale_projection(self):
+        out = run_example("exascale_projection.py")
+        assert "HALT" in out
+        assert "CR-D" in out
+
+    def test_soft_error_study(self):
+        out = run_example("soft_error_study.py")
+        assert "SDC" in out
+        assert "can_outvote_sdc = True" in out
+
+    def test_adaptive_scheme_selection(self):
+        out = run_example("adaptive_scheme_selection.py")
+        assert "facility power budget" in out
+        assert "full ranking" in out
+
+    @pytest.mark.slow
+    def test_power_managed_recovery(self):
+        out = run_example("power_managed_recovery.py")
+        assert "LI-DVFS" in out
+        assert "DVFS transitions" in out
+
+    @pytest.mark.slow
+    def test_compare_recovery_schemes(self):
+        out = run_example("compare_recovery_schemes.py", "wathen100")
+        assert "best scheme per optimization target" in out

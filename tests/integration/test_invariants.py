@@ -1,0 +1,99 @@
+"""Cross-cutting invariants tying the metrics together.
+
+The paper's three metrics obey E = P * T by definition (Equation 6);
+every report this library produces must satisfy the same identity, and
+the normalized ratios it prints must therefore be mutually consistent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import FrequencyLadder
+from repro.core.recovery import make_scheme, scheme_names
+from repro.core.solver import ResilientSolver
+from repro.faults.schedule import EvenlySpacedSchedule
+from repro.matrices.generators import banded_spd
+from repro.power.rapl import RaplMeter
+from tests.conftest import quick_config
+
+
+@pytest.fixture(scope="module")
+def reports():
+    a = banded_spd(300, 7, dominance=5e-3, seed=1)
+    b = a @ np.random.default_rng(1).standard_normal(300)
+    ff = ResilientSolver(a, b, config=quick_config(nranks=8)).solve()
+    out = {"FF": ff}
+    for name in ("RD", "TMR", "CR-M", "CR-D", "CR-ML", "F0", "LI-DVFS", "LSI"):
+        out[name] = ResilientSolver(
+            a,
+            b,
+            scheme=make_scheme(name, interval_iters=15),
+            schedule=EvenlySpacedSchedule(n_faults=2),
+            config=quick_config(nranks=8, baseline_iters=ff.iterations),
+        ).solve()
+    return out
+
+
+class TestMetricIdentity:
+    def test_energy_equals_power_times_time(self, reports):
+        """E = P_avg * T for every report (Equation 6)."""
+        for name, rep in reports.items():
+            assert rep.energy_j == pytest.approx(
+                rep.average_power_w * rep.time_s, rel=1e-9
+            ), name
+
+    def test_normalized_ratios_consistent(self, reports):
+        """E-ratio = P-ratio * T-ratio for every scheme."""
+        ff = reports["FF"]
+        for name, rep in reports.items():
+            assert rep.normalized_energy(ff) == pytest.approx(
+                rep.normalized_power(ff) * rep.normalized_time(ff), rel=1e-9
+            ), name
+
+    def test_account_time_is_wall_clock(self, reports):
+        for name, rep in reports.items():
+            assert rep.account.total_time_s == pytest.approx(
+                rep.time_s, rel=1e-9
+            ), name
+
+    def test_rapl_counter_matches_account_energy(self, reports):
+        for name, rep in reports.items():
+            assert rep.rapl.energy_j() == pytest.approx(
+                rep.energy_j, rel=1e-9
+            ), name
+
+    def test_solve_plus_resilience_partitions_energy(self, reports):
+        for name, rep in reports.items():
+            total = rep.account.solve_energy_j + rep.resilience_energy_j
+            assert total == pytest.approx(rep.energy_j, rel=1e-9), name
+
+    def test_residual_history_length_equals_iterations(self, reports):
+        for name, rep in reports.items():
+            assert len(rep.residual_history) == rep.iterations, name
+
+    def test_all_schemes_reach_tolerance(self, reports):
+        for name, rep in reports.items():
+            assert rep.converged, name
+            assert rep.final_relative_residual <= 1e-8, name
+
+
+class TestMiscEdgeCases:
+    def test_single_step_frequency_ladder(self):
+        ladder = FrequencyLadder(fmin_ghz=2.0, fmax_ghz=2.0, fstep_ghz=0.1)
+        assert ladder.steps == (2.0,)
+        assert ladder.clamp(1.0) == 2.0
+
+    def test_rapl_trace_respects_t_end(self):
+        m = RaplMeter()
+        m.record("x", 0.0, 10.0, 100.0)
+        times, watts = m.power_trace(1.0, t_end=5.0)
+        assert times[-1] <= 5.0 + 1e-9
+        assert np.allclose(watts, 100.0)
+
+    def test_all_factory_schemes_share_the_contract(self):
+        """Every factory scheme exposes the attributes the solver reads."""
+        for name in scheme_names():
+            s = make_scheme(name, interval_iters=10)
+            assert isinstance(s.name, str) and s.name
+            assert s.energy_multiplier >= 1.0
+            assert isinstance(s.recovers_globally, bool)

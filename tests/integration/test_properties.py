@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint.interval import daly_interval, young_interval
+from repro.cluster.machine import MachineSpec, NodeSpec
+from repro.cluster.network import CollectiveCosts, LinkParams, NetworkModel
+from repro.cluster.simtime import ClockArray
+from repro.cluster.topology import ProcessBinding
+from repro.matrices.generators import banded_spd, irregular_spd
+from repro.matrices.partition import BlockRowPartition
+from repro.power.energy import EnergyAccount, PhaseTag
+from repro.power.model import CoreState, PowerModel
+
+
+class TestPartitionProperties:
+    @given(n=st.integers(1, 5000), nranks=st.integers(1, 64))
+    def test_blocks_tile_rows_exactly(self, n, nranks):
+        if nranks > n:
+            return
+        p = BlockRowPartition(n, nranks)
+        assert int(p.sizes.sum()) == n
+        assert p.start_of(0) == 0
+        assert p.stop_of(nranks - 1) == n
+
+    @given(n=st.integers(1, 5000), nranks=st.integers(1, 64))
+    def test_block_sizes_balanced(self, n, nranks):
+        """No block differs from another by more than one row."""
+        if nranks > n:
+            return
+        sizes = BlockRowPartition(n, nranks).sizes
+        assert sizes.max() - sizes.min() <= 1
+
+    @given(
+        n=st.integers(2, 2000),
+        nranks=st.integers(1, 32),
+        row=st.integers(0, 1_000_000),
+    )
+    def test_owner_consistent_with_slice(self, n, nranks, row):
+        if nranks > n:
+            return
+        p = BlockRowPartition(n, nranks)
+        row = row % n
+        owner = p.owner_of(row)
+        assert p.start_of(owner) <= row < p.stop_of(owner)
+
+
+class TestNetworkProperties:
+    @given(
+        a=st.floats(0, 1e-3),
+        bw=st.floats(0.1, 100),
+        n1=st.floats(0, 1e8),
+        n2=st.floats(0, 1e8),
+    )
+    def test_message_time_monotone_and_superadditive(self, a, bw, n1, n2):
+        link = LinkParams(latency_s=a, bandwidth_gbps=bw)
+        t1, t2 = link.message_time(n1), link.message_time(n2)
+        both = link.message_time(n1 + n2)
+        assert both <= t1 + t2 + 1e-12  # one message beats two (latency)
+        if n1 <= n2:
+            assert t1 <= t2 + 1e-15
+
+    @given(p=st.integers(2, 4096), nbytes=st.floats(0, 1e6))
+    def test_allreduce_nonnegative_and_grows_with_ranks(self, p, nbytes):
+        def cost(nranks):
+            machine = MachineSpec(
+                nodes=-(-nranks // 24), node=NodeSpec()
+            )
+            return CollectiveCosts(
+                NetworkModel(), ProcessBinding(machine, nranks)
+            ).allreduce(nbytes)
+
+        assert cost(p) >= 0
+        assert cost(2 * p) >= cost(p)
+
+
+class TestClockProperties:
+    @given(durations=st.lists(st.floats(0, 1e3), min_size=1, max_size=32))
+    def test_now_is_max(self, durations):
+        c = ClockArray(len(durations))
+        c.advance(durations)
+        assert c.now == pytest.approx(max(durations))
+
+    @given(
+        durations=st.lists(st.floats(0, 1e3), min_size=1, max_size=16),
+        extra=st.floats(0, 100),
+    )
+    def test_synchronize_dominates_every_clock(self, durations, extra):
+        c = ClockArray(len(durations))
+        c.advance(durations)
+        t = c.synchronize(extra)
+        assert all(abs(x - t) < 1e-12 for x in c.times)
+        assert t >= max(durations)
+
+
+class TestEnergyAccountProperties:
+    @given(
+        charges=st.lists(
+            st.tuples(
+                st.sampled_from(list(PhaseTag)),
+                st.floats(0, 1e4),
+                st.floats(0, 1e4),
+            ),
+            max_size=50,
+        )
+    )
+    def test_totals_are_sums(self, charges):
+        acc = EnergyAccount()
+        expected_t = expected_e = 0.0
+        for tag, t, p in charges:
+            acc.charge(tag, time_s=t, power_w=p)
+            expected_t += t
+            expected_e += t * p
+        assert acc.total_time_s == pytest.approx(expected_t)
+        assert acc.total_energy_j == pytest.approx(expected_e)
+
+    @given(
+        charges=st.lists(
+            st.tuples(
+                st.sampled_from(list(PhaseTag)),
+                st.floats(0, 1e3),
+                st.floats(0, 1e3),
+            ),
+            max_size=30,
+        )
+    )
+    def test_solve_plus_resilience_covers_everything(self, charges):
+        acc = EnergyAccount()
+        for tag, t, p in charges:
+            acc.charge(tag, time_s=t, power_w=p)
+        assert acc.solve_energy_j + acc.resilience_energy_j == pytest.approx(
+            acc.total_energy_j
+        )
+
+
+class TestPowerModelProperties:
+    @given(f=st.floats(1.2, 2.3))
+    def test_state_ordering_at_any_frequency(self, f):
+        pm = PowerModel()
+        active = pm.core_power(f, CoreState.ACTIVE)
+        idle = pm.core_power(f, CoreState.IDLE)
+        sleep = pm.core_power(f, CoreState.SLEEP)
+        assert sleep <= idle <= active
+
+    @given(f1=st.floats(1.2, 2.3), f2=st.floats(1.2, 2.3))
+    def test_power_monotone_in_frequency(self, f1, f2):
+        pm = PowerModel()
+        if f1 <= f2:
+            assert pm.core_power(f1) <= pm.core_power(f2) + 1e-12
+
+
+class TestIntervalProperties:
+    @given(t_c=st.floats(1e-6, 1e3), mtbf=st.floats(1e-3, 1e7))
+    def test_young_positive_and_scales(self, t_c, mtbf):
+        i = young_interval(t_c, mtbf)
+        assert i > 0
+        assert young_interval(4 * t_c, mtbf) == pytest.approx(2 * i, rel=1e-9)
+
+    @given(t_c=st.floats(1e-6, 1e2), mtbf=st.floats(1.0, 1e7))
+    def test_daly_never_exceeds_mtbf_plus_young(self, t_c, mtbf):
+        d = daly_interval(t_c, mtbf)
+        assert 0 < d <= max(mtbf, young_interval(t_c, mtbf) * 1.5)
+
+
+class TestGeneratorProperties:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        n=st.integers(8, 300),
+        nnz=st.integers(3, 15),
+        dominance=st.floats(1e-4, 1.0),
+        seed=st.integers(0, 1000),
+    )
+    def test_banded_always_spd_by_gershgorin(self, n, nnz, dominance, seed):
+        a = banded_spd(n, nnz, dominance=dominance, seed=seed)
+        # symmetric
+        assert (abs(a - a.T) > 1e-12).nnz == 0
+        # strictly diagonally dominant with positive diagonal => SPD
+        d = a.diagonal()
+        off = np.abs(a).sum(axis=1).A1 - np.abs(d) if hasattr(
+            np.abs(a).sum(axis=1), "A1"
+        ) else np.asarray(np.abs(a).sum(axis=1)).ravel() - np.abs(d)
+        assert np.all(d > 0)
+        assert np.all(d >= off - 1e-9)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        n=st.integers(8, 200),
+        nnz=st.integers(3, 11),
+        seed=st.integers(0, 1000),
+        sigma=st.floats(0.0, 1.5),
+    )
+    def test_irregular_spd_rayleigh(self, n, nnz, seed, sigma):
+        a = irregular_spd(
+            n, nnz, dominance=0.01, seed=seed, scaling_spread=sigma
+        )
+        rng = np.random.default_rng(seed)
+        for _ in range(4):
+            v = rng.standard_normal(n)
+            assert float(v @ (a @ v)) > 0

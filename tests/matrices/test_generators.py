@@ -1,0 +1,151 @@
+"""Unit tests for the SPD generators."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices.generators import (
+    banded_spd,
+    irregular_spd,
+    is_spd_sample,
+    stencil_5pt,
+    tridiagonal_spd,
+)
+
+
+def smallest_eig(a: sp.spmatrix) -> float:
+    return float(np.linalg.eigvalsh(a.toarray()).min())
+
+
+class TestTridiagonal:
+    def test_spd(self):
+        a = tridiagonal_spd(50)
+        assert is_spd_sample(a)
+        assert smallest_eig(a) > 0
+
+    def test_pattern(self):
+        a = tridiagonal_spd(10)
+        assert a.nnz == 10 + 2 * 9
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            tridiagonal_spd(1)
+
+
+class TestStencil:
+    def test_is_exact_poisson(self):
+        a = stencil_5pt(4)
+        d = a.diagonal()
+        assert np.allclose(d, 4.0)
+        assert a.shape == (16, 16)
+
+    def test_spd(self):
+        assert is_spd_sample(stencil_5pt(8))
+        assert smallest_eig(stencil_5pt(6)) > 0
+
+    def test_rectangular_grid(self):
+        a = stencil_5pt(4, 6)
+        assert a.shape == (24, 24)
+
+    def test_symmetry(self):
+        a = stencil_5pt(7)
+        assert (a != a.T).nnz == 0
+
+    def test_nnz_per_row_near_5(self):
+        a = stencil_5pt(20)
+        assert 4.5 < a.nnz / a.shape[0] <= 5.0
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            stencil_5pt(1)
+
+
+class TestBanded:
+    def test_spd_with_and_without_scaling(self):
+        for sigma in (0.0, 0.5):
+            a = banded_spd(80, 7, dominance=0.01, scaling_spread=sigma, seed=0)
+            assert is_spd_sample(a)
+            assert smallest_eig(a) > 0
+
+    def test_contiguous_band_structure(self):
+        a = banded_spd(60, 9, dominance=0.1, seed=1).tocoo()
+        width = np.abs(a.row - a.col).max()
+        assert width == 4  # (9-1)/2 contiguous diagonals
+
+    def test_nnz_per_row_close_to_target(self):
+        a = banded_spd(200, 11, dominance=0.1, seed=2)
+        assert abs(a.nnz / a.shape[0] - 11) < 1.0
+
+    def test_deterministic(self):
+        a = banded_spd(50, 5, dominance=0.1, seed=3)
+        b = banded_spd(50, 5, dominance=0.1, seed=3)
+        assert (a != b).nnz == 0
+
+    def test_seed_changes_values(self):
+        a = banded_spd(50, 5, dominance=0.1, seed=3)
+        b = banded_spd(50, 5, dominance=0.1, seed=4)
+        assert (a != b).nnz > 0
+
+    def test_smaller_dominance_is_worse_conditioned(self):
+        tight = banded_spd(80, 5, dominance=1e-4, seed=0)
+        loose = banded_spd(80, 5, dominance=1.0, seed=0)
+        cond = lambda m: np.linalg.cond(m.toarray())
+        assert cond(tight) > cond(loose)
+
+    def test_scaling_spread_preserves_pattern(self):
+        a = banded_spd(60, 7, dominance=0.1, scaling_spread=0.0, seed=5)
+        b = banded_spd(60, 7, dominance=0.1, scaling_spread=0.8, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.indptr, b.indptr)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            banded_spd(2, 5)
+        with pytest.raises(ValueError):
+            banded_spd(50, 1)
+        with pytest.raises(ValueError):
+            banded_spd(50, 5, dominance=0.0)
+
+
+class TestIrregular:
+    def test_spd(self):
+        a = irregular_spd(100, 9, dominance=0.05, seed=0, value_spread=1.0)
+        assert is_spd_sample(a)
+        assert smallest_eig(a) > 0
+
+    def test_has_backbone(self):
+        a = irregular_spd(50, 5, dominance=0.1, seed=1).tocoo()
+        pairs = set(zip(a.row.tolist(), a.col.tolist()))
+        assert all((i, i + 1) in pairs for i in range(49))
+
+    def test_has_longrange_entries(self):
+        a = irregular_spd(200, 9, dominance=0.1, seed=2).tocoo()
+        assert np.any(np.abs(a.row - a.col) > 3)
+
+    def test_symmetry(self):
+        a = irregular_spd(120, 7, dominance=0.1, seed=3)
+        assert (abs(a - a.T) > 1e-12).nnz == 0
+
+    def test_deterministic(self):
+        a = irregular_spd(60, 5, dominance=0.1, seed=4)
+        b = irregular_spd(60, 5, dominance=0.1, seed=4)
+        assert (a != b).nnz == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            irregular_spd(100, 2)
+        with pytest.raises(ValueError):
+            irregular_spd(100, 5, dominance=0.1, value_spread=-1.0)
+        with pytest.raises(ValueError):
+            irregular_spd(100, 5, dominance=0.1, longrange_scale=0.0)
+
+
+class TestSpdSample:
+    def test_detects_asymmetry(self):
+        a = sp.random(20, 20, density=0.2, random_state=0).tocsr()
+        a.setdiag(10.0)
+        assert not is_spd_sample(a)
+
+    def test_detects_indefiniteness(self):
+        a = sp.diags([-100.0] + [0.1] * 9).tocsr()
+        assert not is_spd_sample(a, trials=64)

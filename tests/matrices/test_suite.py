@@ -1,0 +1,102 @@
+"""Unit tests for the Table-3 matrix suite registry."""
+
+import pytest
+
+from repro.matrices import suite
+from repro.matrices.generators import is_spd_sample
+from repro.matrices.suite import SUITE, MatrixSpec
+
+
+class TestRegistry:
+    def test_fourteen_matrices_in_paper_order(self):
+        names = suite.names()
+        assert len(names) == 14
+        assert names[0] == "bcsstk06"
+        assert names[-1] == "stencil5"
+
+    def test_all_paper_columns_present(self):
+        for spec in SUITE.values():
+            assert spec.paper_rows > 0
+            assert spec.paper_nnz_per_row > 0
+            assert spec.paper_iters > 0
+            assert spec.kind
+
+    def test_spec_lookup(self):
+        assert suite.spec("Kuu").kind == "structural"
+        with pytest.raises(KeyError):
+            suite.spec("nonexistent")
+
+    def test_build_unknown_raises(self):
+        with pytest.raises(KeyError):
+            suite.build("nope")
+
+    def test_regularity_classification(self):
+        assert suite.spec("crystm02").is_regular
+        assert suite.spec("stencil5").is_regular
+        assert not suite.spec("x104").is_regular
+
+
+class TestBuild:
+    @pytest.mark.parametrize("name", ["Kuu", "ex15", "stencil5"])
+    def test_built_matrices_are_spd(self, name):
+        a = suite.build(name, scale=0.2)
+        assert a.shape[0] == a.shape[1]
+        assert is_spd_sample(a)
+
+    def test_scale_changes_size(self):
+        small = suite.build("crystm02", scale=0.1)
+        full = suite.build("crystm02", scale=1.0)
+        assert small.shape[0] < full.shape[0]
+        assert full.shape[0] == SUITE["crystm02"].rows
+
+    def test_stencil_scale_is_quadratic_in_edge(self):
+        a = suite.build("stencil5", scale=0.25)
+        # rows*scale = 2500 -> 50x50 grid
+        assert a.shape[0] == 2500
+
+    def test_scale_floor(self):
+        a = suite.build("Kuu", scale=1e-9)
+        assert a.shape[0] >= 16
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            suite.build("Kuu", scale=0.0)
+
+    def test_nnz_per_row_near_target(self):
+        for name in ("crystm02", "wathen100"):
+            spec = SUITE[name]
+            a = spec.build()
+            measured = a.nnz / a.shape[0]
+            assert abs(measured - spec.nnz_per_row) / spec.nnz_per_row < 0.2
+
+    def test_deterministic(self):
+        a = suite.build("ex15")
+        b = suite.build("ex15")
+        assert (a != b).nnz == 0
+
+
+class TestConvergenceClasses:
+    """The calibrated stand-ins must preserve Table 3's ordering of
+    convergence speed (fast / medium / slow classes)."""
+
+    @pytest.mark.slow
+    def test_class_ordering(self):
+        import numpy as np
+
+        from repro.core.cg import DistributedCG
+        from repro.matrices.distributed import DistributedMatrix
+        from repro.matrices.partition import BlockRowPartition
+
+        def iters(name):
+            a = suite.build(name)
+            n = a.shape[0]
+            b = a @ np.random.default_rng(0).standard_normal(n)
+            d = DistributedMatrix(a, BlockRowPartition(n, 1))
+            return DistributedCG(d, b, tol=1e-8, max_iters=30_000).solve_fault_free()
+
+        fast = iters("Andrews")
+        medium = iters("Kuu")
+        slow = iters("t2dahe")
+        assert fast < medium < slow
+        assert fast < 500
+        assert slow > 3000

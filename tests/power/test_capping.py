@@ -1,0 +1,120 @@
+"""Tests for RAPL-style power capping."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import ResilientSolver, SolverConfig
+from repro.power.capping import (
+    PowerCapError,
+    frequency_under_cap,
+    slowdown_at,
+)
+from repro.power.model import CoreState, PowerModel
+from tests.conftest import quick_config
+
+
+class TestFrequencyUnderCap:
+    def test_generous_cap_runs_at_fmax(self):
+        pm = PowerModel()
+        op = frequency_under_cap(pm, 24, cap_w=1e6)
+        assert op.f_ghz == pytest.approx(pm.ladder.fmax_ghz)
+        assert op.headroom_w > 0
+
+    def test_tight_cap_derates(self):
+        pm = PowerModel()
+        full = pm.uniform_power(24, pm.ladder.fmax_ghz, CoreState.ACTIVE)
+        op = frequency_under_cap(pm, 24, cap_w=0.7 * full)
+        assert op.f_ghz < pm.ladder.fmax_ghz
+        assert op.power_w <= 0.7 * full
+
+    def test_picks_highest_feasible_step(self):
+        pm = PowerModel()
+        # cap exactly at the power of one ladder step
+        f_target = pm.ladder.steps[5]
+        cap = pm.uniform_power(16, f_target, CoreState.ACTIVE)
+        op = frequency_under_cap(pm, 16, cap_w=cap)
+        assert op.f_ghz == pytest.approx(f_target)
+
+    def test_impossible_cap_raises(self):
+        pm = PowerModel()
+        floor = pm.uniform_power(24, pm.ladder.fmin_ghz, CoreState.ACTIVE)
+        with pytest.raises(PowerCapError):
+            frequency_under_cap(pm, 24, cap_w=0.5 * floor)
+
+    def test_validation(self):
+        pm = PowerModel()
+        with pytest.raises(ValueError):
+            frequency_under_cap(pm, 0, 100.0)
+        with pytest.raises(ValueError):
+            frequency_under_cap(pm, 4, 0.0)
+
+    def test_slowdown(self):
+        pm = PowerModel()
+        assert slowdown_at(pm, pm.ladder.fmax_ghz) == pytest.approx(1.0)
+        assert slowdown_at(pm, 1.15) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            slowdown_at(pm, 0.0)
+
+
+class TestCappedSolver:
+    @pytest.fixture(scope="class")
+    def system(self):
+        from repro.matrices.generators import banded_spd
+
+        a = banded_spd(300, 7, dominance=5e-3, seed=0)
+        b = a @ np.random.default_rng(0).standard_normal(300)
+        return a, b
+
+    def test_cap_respected_and_numerics_identical(self, system):
+        a, b = system
+        free = ResilientSolver(a, b, config=quick_config(nranks=8)).solve()
+        cap_w = 8 * 10.0 * 0.6
+        capped = ResilientSolver(
+            a, b, config=quick_config(nranks=8, power_cap_w=cap_w)
+        ).solve()
+        assert capped.average_power_w <= cap_w * 1.0001
+        assert capped.iterations == free.iterations
+        assert np.allclose(capped.residual_history, free.residual_history)
+
+    def test_capped_run_is_slower(self, system):
+        a, b = system
+        free = ResilientSolver(a, b, config=quick_config(nranks=8)).solve()
+        capped = ResilientSolver(
+            a, b, config=quick_config(nranks=8, power_cap_w=8 * 6.0)
+        ).solve()
+        assert capped.time_s > free.time_s
+        assert capped.details["operating_frequency_ghz"] < 2.3
+
+    def test_energy_performance_tradeoff_monotone(self, system):
+        """Tighter caps: monotonically more time, monotonically less
+        power (the cubic-vs-linear trade the paper leans on)."""
+        a, b = system
+        caps = [None, 8 * 9.0, 8 * 7.0, 8 * 5.5]
+        times, powers = [], []
+        for cap in caps:
+            rep = ResilientSolver(
+                a, b, config=quick_config(nranks=8, power_cap_w=cap)
+            ).solve()
+            times.append(rep.time_s)
+            powers.append(rep.average_power_w)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert all(b <= a for a, b in zip(powers, powers[1:]))
+
+    def test_cap_with_recovery_scheme(self, system):
+        from repro.core.recovery import make_scheme
+        from repro.faults.schedule import EvenlySpacedSchedule
+
+        a, b = system
+        rep = ResilientSolver(
+            a,
+            b,
+            scheme=make_scheme("LI-DVFS"),
+            schedule=EvenlySpacedSchedule(n_faults=2),
+            config=quick_config(nranks=8, power_cap_w=8 * 7.0),
+        ).solve()
+        assert rep.converged
+        assert rep.average_power_w <= 8 * 7.0 * 1.0001
+
+    def test_invalid_cap_config(self):
+        with pytest.raises(ValueError):
+            SolverConfig(power_cap_w=0.0)

@@ -1,0 +1,92 @@
+"""Unit tests for phase-tagged energy accounting."""
+
+import pytest
+
+from repro.power.energy import EnergyAccount, PhaseTag
+
+
+class TestPhaseTag:
+    def test_resilience_classification(self):
+        assert PhaseTag.CHECKPOINT.is_resilience
+        assert PhaseTag.RESTORE.is_resilience
+        assert PhaseTag.RECONSTRUCT.is_resilience
+        assert PhaseTag.EXTRA.is_resilience
+        assert PhaseTag.REDUNDANT.is_resilience
+        assert not PhaseTag.SOLVE.is_resilience
+        assert not PhaseTag.OVERHEAD.is_resilience
+
+
+class TestEnergyAccount:
+    def test_charge_returns_joules(self):
+        acc = EnergyAccount()
+        assert acc.charge(PhaseTag.SOLVE, time_s=2.0, power_w=50.0) == pytest.approx(100.0)
+
+    def test_totals(self):
+        acc = EnergyAccount()
+        acc.charge(PhaseTag.SOLVE, time_s=2.0, power_w=50.0)
+        acc.charge(PhaseTag.CHECKPOINT, time_s=1.0, power_w=30.0)
+        assert acc.total_time_s == pytest.approx(3.0)
+        assert acc.total_energy_j == pytest.approx(130.0)
+
+    def test_accumulation_per_tag(self):
+        acc = EnergyAccount()
+        acc.charge(PhaseTag.SOLVE, time_s=1.0, power_w=10.0)
+        acc.charge(PhaseTag.SOLVE, time_s=1.0, power_w=20.0)
+        assert acc.time(PhaseTag.SOLVE) == pytest.approx(2.0)
+        assert acc.energy(PhaseTag.SOLVE) == pytest.approx(30.0)
+
+    def test_resilience_split(self):
+        acc = EnergyAccount()
+        acc.charge(PhaseTag.SOLVE, time_s=10.0, power_w=100.0)
+        acc.charge(PhaseTag.OVERHEAD, time_s=2.0, power_w=100.0)
+        acc.charge(PhaseTag.RECONSTRUCT, time_s=1.0, power_w=50.0)
+        acc.charge(PhaseTag.EXTRA, time_s=3.0, power_w=100.0)
+        assert acc.solve_time_s == pytest.approx(12.0)
+        assert acc.resilience_time_s == pytest.approx(4.0)
+        assert acc.solve_energy_j == pytest.approx(1200.0)
+        assert acc.resilience_energy_j == pytest.approx(350.0)
+
+    def test_overlapped_energy_has_no_time(self):
+        acc = EnergyAccount()
+        acc.charge_energy(PhaseTag.REDUNDANT, 500.0)
+        assert acc.total_time_s == 0.0
+        assert acc.total_energy_j == pytest.approx(500.0)
+        assert acc.resilience_energy_j == pytest.approx(500.0)
+
+    def test_average_power(self):
+        acc = EnergyAccount()
+        acc.charge(PhaseTag.SOLVE, time_s=2.0, power_w=100.0)
+        acc.charge(PhaseTag.CHECKPOINT, time_s=2.0, power_w=50.0)
+        assert acc.average_power_w == pytest.approx(75.0)
+
+    def test_average_power_empty(self):
+        assert EnergyAccount().average_power_w == 0.0
+
+    def test_resilience_ratio(self):
+        acc = EnergyAccount()
+        acc.charge(PhaseTag.SOLVE, time_s=1.0, power_w=100.0)
+        acc.charge(PhaseTag.RECONSTRUCT, time_s=1.0, power_w=50.0)
+        assert acc.resilience_ratio() == pytest.approx(0.5)
+
+    def test_resilience_ratio_no_solve(self):
+        assert EnergyAccount().resilience_ratio() == 0.0
+
+    def test_merged_with(self):
+        a, b = EnergyAccount(), EnergyAccount()
+        a.charge(PhaseTag.SOLVE, time_s=1.0, power_w=10.0)
+        b.charge(PhaseTag.SOLVE, time_s=1.0, power_w=10.0)
+        b.charge(PhaseTag.EXTRA, time_s=1.0, power_w=5.0)
+        m = a.merged_with(b)
+        assert m.time(PhaseTag.SOLVE) == pytest.approx(2.0)
+        assert m.energy(PhaseTag.EXTRA) == pytest.approx(5.0)
+        # originals untouched
+        assert a.time(PhaseTag.SOLVE) == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        acc = EnergyAccount()
+        with pytest.raises(ValueError):
+            acc.charge(PhaseTag.SOLVE, time_s=-1.0, power_w=1.0)
+        with pytest.raises(ValueError):
+            acc.charge(PhaseTag.SOLVE, time_s=1.0, power_w=-1.0)
+        with pytest.raises(ValueError):
+            acc.charge_energy(PhaseTag.SOLVE, -1.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the calibrated power model."""
+
+import pytest
+
+from repro.power.model import CoreState, PowerModel
+
+
+class TestCorePower:
+    def test_active_at_fmax_is_the_reference(self):
+        pm = PowerModel()
+        assert pm.core_power(2.3, CoreState.ACTIVE) == pytest.approx(pm.active_w)
+
+    def test_static_plus_dynamic_decomposition(self):
+        pm = PowerModel()
+        assert pm.static_w + pm.dynamic_w == pytest.approx(pm.active_w)
+
+    def test_idle_is_below_active(self):
+        pm = PowerModel()
+        assert pm.core_power(2.3, CoreState.IDLE) < pm.core_power(2.3, CoreState.ACTIVE)
+
+    def test_cubic_frequency_scaling(self):
+        pm = PowerModel()
+        p_half = pm.core_power(1.15, CoreState.ACTIVE)
+        expected = pm.static_w + pm.dynamic_w * (1.15 / 2.3) ** 3
+        assert p_half == pytest.approx(expected)
+
+    def test_sleep_power_is_flat(self):
+        pm = PowerModel()
+        assert pm.core_power(1.2, CoreState.SLEEP) == pm.core_power(2.3, CoreState.SLEEP)
+        assert pm.core_power(2.3, CoreState.SLEEP) == pytest.approx(pm.sleep_w)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            PowerModel().core_power(0.0)
+
+    def test_rejects_bad_calibration(self):
+        with pytest.raises(ValueError):
+            PowerModel(active_w=-1.0)
+        with pytest.raises(ValueError):
+            PowerModel(static_fraction=1.5)
+        with pytest.raises(ValueError):
+            PowerModel(idle_activity=2.0)
+
+
+class TestPaperCalibration:
+    """The Section-4.2 node-power ratios the defaults were fit to."""
+
+    def test_reconstruct_without_dvfs_is_075x(self):
+        pm = PowerModel()
+        ratio = pm.reconstruct_node_w(24, dvfs=False) / pm.compute_node_w(24)
+        assert ratio == pytest.approx(0.75, abs=0.01)
+
+    def test_reconstruct_with_dvfs_is_045x(self):
+        pm = PowerModel()
+        ratio = pm.reconstruct_node_w(24, dvfs=True) / pm.compute_node_w(24)
+        assert ratio == pytest.approx(0.45, abs=0.01)
+
+    def test_dvfs_power_reduction_during_reconstruction_is_about_40pct(self):
+        # "reduces power consumption during reconstructions by 40%"
+        pm = PowerModel()
+        without = pm.reconstruct_node_w(24, dvfs=False)
+        with_ = pm.reconstruct_node_w(24, dvfs=True)
+        assert (without - with_) / without == pytest.approx(0.40, abs=0.02)
+
+
+class TestAggregates:
+    def test_node_power_sums_heterogeneous_cores(self):
+        pm = PowerModel()
+        states = [(2.3, CoreState.ACTIVE), (1.2, CoreState.IDLE)]
+        expected = pm.core_power(2.3, CoreState.ACTIVE) + pm.core_power(
+            1.2, CoreState.IDLE
+        )
+        assert pm.node_power(states) == pytest.approx(expected)
+
+    def test_uniform_power_scales_linearly(self):
+        pm = PowerModel()
+        assert pm.uniform_power(10, 2.3) == pytest.approx(10 * pm.core_power(2.3))
+
+    def test_uniform_power_zero_cores(self):
+        assert PowerModel().uniform_power(0, 2.3) == 0.0
+
+    def test_checkpoint_power_below_compute(self):
+        pm = PowerModel()
+        assert pm.checkpoint_node_w(24) < pm.compute_node_w(24)
+
+    def test_reconstruct_needs_a_core(self):
+        with pytest.raises(ValueError):
+            PowerModel().reconstruct_node_w(0, dvfs=False)

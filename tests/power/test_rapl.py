@@ -1,0 +1,61 @@
+"""Unit tests for the simulated RAPL meter."""
+
+import numpy as np
+import pytest
+
+from repro.power.rapl import RaplDomain, RaplMeter
+
+
+@pytest.fixture()
+def meter() -> RaplMeter:
+    m = RaplMeter()
+    m.record("compute", 0.0, 2.0, 100.0)
+    m.record("checkpoint", 2.0, 3.0, 40.0)
+    m.record("compute", 3.0, 5.0, 100.0)
+    return m
+
+
+class TestEnergyCounter:
+    def test_total_energy(self, meter):
+        assert meter.energy_j() == pytest.approx(200 + 40 + 200)
+
+    def test_energy_up_to_time(self, meter):
+        assert meter.energy_j(1.0) == pytest.approx(100.0)
+        assert meter.energy_j(2.5) == pytest.approx(220.0)
+        assert meter.energy_j(100.0) == pytest.approx(440.0)
+
+    def test_counter_is_microjoules(self, meter):
+        assert meter.counter_uj(1.0) == int(100.0 * 1e6)
+
+    def test_counter_wraps_32bit(self):
+        m = RaplMeter()
+        m.record("x", 0.0, 10_000.0, 1000.0)  # 10 MJ = 1e13 uJ >> 2^32
+        assert 0 <= m.counter_uj() < 2**32
+
+    def test_empty_meter(self):
+        assert RaplMeter().energy_j() == 0.0
+
+
+class TestPowerTrace:
+    def test_trace_recovers_plateaus(self, meter):
+        times, watts = meter.power_trace(0.5)
+        assert watts[0] == pytest.approx(100.0)
+        # the checkpoint dip is visible
+        dip = watts[(times > 2.0) & (times <= 3.0)]
+        assert np.allclose(dip, 40.0)
+
+    def test_mean_power_over_window(self, meter):
+        assert meter.mean_power_w(0.0, 2.0) == pytest.approx(100.0)
+        assert meter.mean_power_w(2.0, 3.0) == pytest.approx(40.0)
+        assert meter.mean_power_w() == pytest.approx(440.0 / 5.0)
+
+    def test_trace_empty(self):
+        t, w = RaplMeter().power_trace(0.1)
+        assert t.size == 0 and w.size == 0
+
+    def test_trace_rejects_bad_period(self, meter):
+        with pytest.raises(ValueError):
+            meter.power_trace(0.0)
+
+    def test_domain_default(self):
+        assert RaplMeter().domain is RaplDomain.PACKAGE
