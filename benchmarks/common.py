@@ -1,16 +1,26 @@
 """Shared machinery for the reproduction benchmarks.
 
 Every ``bench_*`` module regenerates one table or figure of the paper.
-Experiment runs are memoized per pytest session (several benchmarks
-consume the same sweeps), and each benchmark both prints its reproduced
-rows (visible with ``pytest -s``) and writes them under
-``benchmarks/results/`` so ``--benchmark-only`` runs leave artefacts.
+Experiment runs are memoized at two levels: a per-process dict (several
+benchmarks consume the same sweeps within one pytest session) backed by
+the persistent campaign :class:`~repro.campaign.store.ResultStore`, so
+re-running any benchmark is incremental across processes and sessions.
+Set ``REPRO_CACHE=0`` to disable the persistent layer, or
+``REPRO_CACHE_DIR=/path`` to relocate it (default: ``.repro-cache/`` at
+the repo root, shared with ``python -m repro.cli campaign``).
+
+Each benchmark both prints its reproduced rows (visible with
+``pytest -s``) and writes them under ``benchmarks/results/`` so
+``--benchmark-only`` runs leave artefacts.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from pathlib import Path
 
+from repro.campaign.spec import BASELINE_SCHEME, CampaignCell
 from repro.core.report import SolveReport
 from repro.harness.experiment import Experiment, ExperimentConfig
 
@@ -28,6 +38,28 @@ ITERATION_STUDY_RANKS = 256
 _experiments: dict[tuple, Experiment] = {}
 _reports: dict[tuple, SolveReport] = {}
 
+_store = None
+_store_unavailable = False
+
+
+def result_store():
+    """The shared persistent store, or ``None`` when disabled/broken."""
+    global _store, _store_unavailable
+    if _store_unavailable or os.environ.get("REPRO_CACHE", "1") == "0":
+        return None
+    if _store is None:
+        from repro.campaign.store import ResultStore
+
+        root = os.environ.get("REPRO_CACHE_DIR") or (
+            Path(__file__).parent.parent / ".repro-cache"
+        )
+        try:
+            _store = ResultStore(root)
+        except OSError:
+            _store_unavailable = True
+            return None
+    return _store
+
 
 def experiment(
     matrix: str,
@@ -41,7 +73,7 @@ def experiment(
     """Memoized Experiment for (matrix, protocol) cells."""
     key = (matrix, nranks, n_faults, str(cr_interval), seed, scale)
     if key not in _experiments:
-        _experiments[key] = Experiment(
+        exp = Experiment(
             ExperimentConfig(
                 matrix=matrix,
                 nranks=nranks,
@@ -51,15 +83,38 @@ def experiment(
                 scale=scale,
             )
         )
+        store = result_store()
+        if store is not None:
+            ff = store.get(CampaignCell(exp.config, BASELINE_SCHEME))
+            if ff is not None and ff.converged:
+                exp.prime_baseline(ff)
+        _experiments[key] = exp
     return _experiments[key]
 
 
 def run(exp: Experiment, scheme: str) -> SolveReport:
-    """Memoized scheme run on a memoized experiment."""
+    """Memoized scheme run, read/written through the persistent store."""
     c = exp.config
     key = (c.matrix, c.nranks, c.n_faults, str(c.cr_interval), c.seed, c.scale, scheme)
     if key not in _reports:
-        _reports[key] = exp.run(scheme)
+        store = result_store()
+        cell = CampaignCell(exp.config, scheme)
+        report = store.get(cell) if store is not None else None
+        if report is None:
+            had_baseline = exp.has_baseline
+            t0 = time.perf_counter()
+            report = exp.run(scheme)
+            elapsed = time.perf_counter() - t0
+            if store is not None:
+                store.put(cell, report, elapsed_s=elapsed)
+                # persist the baseline the run computed on the way
+                if not had_baseline and scheme != BASELINE_SCHEME:
+                    ff_cell = CampaignCell(exp.config, BASELINE_SCHEME)
+                    if ff_cell not in store:
+                        store.put(ff_cell, exp.fault_free)
+        elif scheme == BASELINE_SCHEME and not exp.has_baseline and report.converged:
+            exp.prime_baseline(report)
+        _reports[key] = report
     return _reports[key]
 
 

@@ -27,6 +27,7 @@ drivers behind every table and figure).
 
 from repro.core.advisor import Objective, SchemeAdvisor, Situation
 from repro.core.cg import DistributedCG
+from repro.core.errors import ConvergenceError
 from repro.core.recovery import make_scheme, scheme_names
 from repro.core.report import SolveReport
 from repro.core.solver import ResilientSolver, SolverConfig
@@ -34,6 +35,7 @@ from repro.core.solver import ResilientSolver, SolverConfig
 __version__ = "1.0.0"
 
 __all__ = [
+    "ConvergenceError",
     "DistributedCG",
     "ResilientSolver",
     "SolverConfig",

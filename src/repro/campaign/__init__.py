@@ -1,0 +1,67 @@
+"""Campaign engine: parallel sweep orchestration with a persistent store.
+
+Every figure and table in the paper is a sweep over
+(matrix × scheme × fault load × rank count).  This package runs such
+sweeps as *campaigns*: a declarative
+:class:`~repro.campaign.spec.CampaignSpec` expands the grid, a
+:class:`~repro.campaign.runner.CampaignRunner` executes the cells on a
+fault-tolerant process pool, and a
+:class:`~repro.campaign.store.ResultStore` persists every result under
+a content hash of its full configuration — so re-running any campaign
+(or any benchmark wired through the store) is incremental and
+resumable.
+
+>>> from repro.campaign import ResultStore, preset, run_campaign
+>>> result = run_campaign(
+...     preset("iteration-study", matrices=("Kuu",)),
+...     store=ResultStore(".repro-cache"),
+...     max_workers=4,
+... )                                           # doctest: +SKIP
+"""
+
+from repro.campaign.progress import (
+    ProgressReporter,
+    format_normalized_tables,
+    format_summary,
+    summary_counters,
+)
+from repro.campaign.runner import (
+    CampaignResult,
+    CampaignRunner,
+    CellResult,
+    CellTimeout,
+    execute_cell,
+    run_campaign,
+)
+from repro.campaign.serialize import report_from_dict, report_to_dict
+from repro.campaign.spec import (
+    BASELINE_SCHEME,
+    CampaignCell,
+    CampaignSpec,
+    preset,
+    preset_names,
+)
+from repro.campaign.store import ResultStore, StoreEntry, cell_key
+
+__all__ = [
+    "BASELINE_SCHEME",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CellResult",
+    "CellTimeout",
+    "ProgressReporter",
+    "ResultStore",
+    "StoreEntry",
+    "cell_key",
+    "execute_cell",
+    "format_normalized_tables",
+    "format_summary",
+    "preset",
+    "preset_names",
+    "report_from_dict",
+    "report_to_dict",
+    "run_campaign",
+    "summary_counters",
+]

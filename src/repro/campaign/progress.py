@@ -1,0 +1,183 @@
+"""Campaign progress reporting and summaries.
+
+:class:`ProgressReporter` prints one line per finished cell with a
+running count and an ETA extrapolated from the measured per-cell cost
+and the worker count.  :func:`format_summary` renders the structured
+wrap-up the CLI prints: a per-cell status table (cache status included)
+plus aggregate counters — cells run / cached / failed, wall time, and
+the aggregate speedup (compute seconds represented per wall second,
+counting the banked cost of cached cells).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.campaign.runner import CampaignResult, CellResult
+from repro.harness.normalize import normalize_reports
+from repro.harness.reporting import format_table
+
+
+def _hms(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    h, rem = divmod(seconds, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h}:{m:02d}:{s:02d}" if h else f"{m}:{s:02d}"
+
+
+class ProgressReporter:
+    """Streams one status line per finished cell."""
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        workers: int = 1,
+        stream=None,
+        enabled: bool = True,
+    ) -> None:
+        self.total = total
+        self.workers = max(1, workers)
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self.finished = 0
+        self._ran_elapsed: list[float] = []
+
+    def eta_s(self) -> float | None:
+        """Remaining wall-clock estimate from measured cell costs."""
+        if not self._ran_elapsed:
+            return None
+        remaining = self.total - self.finished
+        avg = sum(self._ran_elapsed) / len(self._ran_elapsed)
+        return remaining * avg / self.workers
+
+    def cell_done(self, result: CellResult) -> None:
+        self.finished += 1
+        if result.status == "ran":
+            self._ran_elapsed.append(result.elapsed_s)
+        if not self.enabled:
+            return
+        eta = self.eta_s()
+        width = len(str(self.total))
+        line = (
+            f"[{self.finished:>{width}}/{self.total}] "
+            f"{result.status:<6} {result.cell.label}"
+        )
+        if result.status == "ran":
+            line += f" ({result.elapsed_s:.2f}s)"
+            if result.attempts > 1:
+                line += f" [attempt {result.attempts}]"
+        elif result.status == "failed":
+            line += f" — {result.error}"
+        if eta is not None and self.finished < self.total:
+            line += f"  eta {_hms(eta)}"
+        print(line, file=self.stream, flush=True)
+
+
+# ----------------------------------------------------------------------
+def summary_counters(result: CampaignResult) -> dict:
+    """The campaign's aggregate counters as a plain dict."""
+    wall = result.wall_s
+    return {
+        "cells": len(result.results),
+        "ran": result.n_ran,
+        "cached": result.n_cached,
+        "failed": result.n_failed,
+        "wall_s": wall,
+        "compute_s": result.compute_s,
+        "speedup": (result.compute_s / wall) if wall > 0 else 0.0,
+    }
+
+
+def format_summary(result: CampaignResult) -> str:
+    """Per-cell status table plus aggregate counters."""
+    rows = []
+    for r in result.results:
+        c = r.cell.config
+        rep = r.report
+        rows.append(
+            [
+                c.matrix,
+                c.nranks,
+                c.n_faults,
+                c.seed,
+                r.cell.scheme,
+                r.status,
+                r.attempts,
+                rep.iterations if rep is not None else "-",
+                f"{rep.time_s:.3f}" if rep is not None else "-",
+                f"{r.elapsed_s:.2f}" if r.ok else "-",
+            ]
+        )
+    table = format_table(
+        [
+            "matrix",
+            "ranks",
+            "faults",
+            "seed",
+            "scheme",
+            "status",
+            "tries",
+            "iters",
+            "sim_time_s",
+            "cell_s",
+        ],
+        rows,
+        title=f"campaign {result.spec.name!r}: per-cell results",
+    )
+    s = summary_counters(result)
+    totals = (
+        f"{s['cells']} cells: {s['ran']} ran, {s['cached']} cached, "
+        f"{s['failed']} failed | wall {s['wall_s']:.1f}s, compute "
+        f"{s['compute_s']:.1f}s, aggregate speedup {s['speedup']:.1f}x "
+        f"({result.workers} workers)"
+    )
+    return f"{table}\n\n{totals}"
+
+
+def format_normalized_tables(result: CampaignResult) -> str:
+    """The paper-style normalized tables for every finished group.
+
+    One table per metric (iterations / time / energy), matrices as rows
+    and schemes as columns, each cell normalized to its group's
+    fault-free baseline — the acceptance surface for serial-vs-parallel
+    equality.
+    """
+    groups = [
+        (config, reports)
+        for config, reports in result.groups()
+        if "FF" in reports and len(reports) > 1
+    ]
+    if not groups:
+        return "(no complete experiment groups to normalize)"
+    schemes = [s for s in result.spec.schemes if s != "FF"]
+    blocks = []
+    for metric in ("iterations", "time", "energy"):
+        rows = []
+        for config, reports in groups:
+            norm = normalize_reports(reports)
+            label = config.matrix
+            if len(result.spec.nranks) > 1:
+                label += f" r{config.nranks}"
+            if len(result.spec.fault_loads) > 1:
+                label += f" f{config.n_faults}"
+            if len(result.spec.seeds) > 1:
+                label += f" s{config.seed}"
+            rows.append(
+                [
+                    label,
+                    *(
+                        round(getattr(norm[s], metric), 6) if s in norm else "-"
+                        for s in schemes
+                    ),
+                ]
+            )
+        blocks.append(
+            format_table(
+                ["matrix", *schemes],
+                rows,
+                title=f"normalized {metric} (FF = 1)",
+                precision=3,
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,397 @@
+"""Campaign execution: a fault-tolerant worker pool over cells.
+
+The runner turns a :class:`~repro.campaign.spec.CampaignSpec` into a
+:class:`CampaignResult` in three stages:
+
+1. **cache probe** — with ``resume`` on, every cell already in the
+   :class:`~repro.campaign.store.ResultStore` is served from disk;
+2. **baselines** — each experiment group's fault-free cell runs (in
+   parallel across groups), because every scheme cell of the group
+   normalizes against it and needs its iteration horizon;
+3. **scheme cells** — run in parallel with the group's baseline report
+   shipped along, so no worker ever repeats a baseline solve.
+
+Workers are ``ProcessPoolExecutor`` processes executing
+:func:`execute_cell`, a pure function of (cell, baseline): given the
+explicit seeds in :class:`~repro.harness.experiment.ExperimentConfig`
+the result is deterministic, so serial (``max_workers=1``, which
+degrades to plain in-process loops — no pool, no pickling) and parallel
+campaigns produce identical reports.
+
+Fault tolerance: each cell gets a wall-clock timeout (SIGALRM inside
+the worker, so the pool survives) and bounded retries; a worker crash
+(``BrokenProcessPool``) rebuilds the pool and re-queues the affected
+cells with their retry budgets decremented.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.core.report import SolveReport
+from repro.harness.experiment import Experiment
+
+
+class CellTimeout(Exception):
+    """A cell exceeded its per-cell wall-clock budget."""
+
+
+def execute_cell(
+    cell: CampaignCell,
+    baseline: SolveReport | None = None,
+    timeout_s: float | None = None,
+) -> tuple[SolveReport, float]:
+    """Run one cell to completion; the unit of work a pool worker executes.
+
+    Returns ``(report, elapsed_seconds)``.  ``baseline`` primes the
+    experiment's fault-free report so scheme cells skip the baseline
+    solve.  ``timeout_s`` arms a SIGALRM timer (POSIX) that aborts the
+    cell with :class:`CellTimeout` without killing the worker.
+    """
+    use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
+    if use_alarm:
+
+        def _on_alarm(signum, frame):
+            raise CellTimeout(f"{cell.label} exceeded {timeout_s:g}s")
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    t0 = time.perf_counter()
+    try:
+        experiment = Experiment(cell.config)
+        if baseline is not None and not cell.is_baseline:
+            experiment.prime_baseline(baseline)
+        report = experiment.run(cell.scheme)
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    return report, time.perf_counter() - t0
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one cell within a campaign."""
+
+    cell: CampaignCell
+    status: str  # "ran" | "cached" | "failed"
+    report: SolveReport | None = None
+    #: Compute seconds: measured for ran cells, banked (the original
+    #: run's cost) for cached ones.
+    elapsed_s: float = 0.0
+    attempts: int = 1
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ran", "cached")
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign knows about itself."""
+
+    spec: CampaignSpec
+    results: list[CellResult]
+    wall_s: float
+    workers: int
+
+    def __post_init__(self) -> None:
+        self._by_cell = {r.cell: r for r in self.results}
+
+    def __getitem__(self, cell: CampaignCell) -> CellResult:
+        return self._by_cell[cell]
+
+    @property
+    def n_ran(self) -> int:
+        return sum(r.status == "ran" for r in self.results)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(r.status == "cached" for r in self.results)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(r.status == "failed" for r in self.results)
+
+    @property
+    def compute_s(self) -> float:
+        """Total compute seconds represented, including banked cache time."""
+        return sum(r.elapsed_s for r in self.results)
+
+    def groups(self):
+        """``(config, {scheme: report})`` per experiment group, in spec
+        order, with only successful cells included."""
+        out: dict = {}
+        for r in self.results:
+            if r.ok and r.report is not None:
+                out.setdefault(r.cell.config, {})[r.cell.scheme] = r.report
+        return list(out.items())
+
+
+class CampaignRunner:
+    """Executes a spec against a store with a bounded-retry worker pool."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        *,
+        store: ResultStore | None = None,
+        max_workers: int = 1,
+        timeout_s: float | None = None,
+        retries: int = 1,
+        resume: bool = True,
+        progress=None,
+        worker=execute_cell,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        #: The cell-executing callable; injectable for tests and
+        #: extensions, must be picklable for parallel runs.
+        self.worker = worker
+        self.spec = spec
+        self.store = store
+        self.max_workers = max_workers
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.resume = resume
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignResult:
+        t0 = time.perf_counter()
+        cells = self.spec.cells()
+        done: dict[CampaignCell, CellResult] = {}
+
+        # stage 1: cache probe
+        if self.resume and self.store is not None:
+            for cell in cells:
+                entry = self.store.get_entry(cell)
+                if entry is not None:
+                    done[cell] = self._emit(
+                        CellResult(
+                            cell,
+                            "cached",
+                            report=entry.report,
+                            elapsed_s=entry.elapsed_s,
+                        )
+                    )
+
+        # stage 2: fault-free baselines, one per experiment group
+        baseline_tasks = [
+            (cell, None) for cell in cells if cell.is_baseline and cell not in done
+        ]
+        done.update(self._run_batch(baseline_tasks))
+        baselines = {
+            cell.config: done[cell].report
+            for cell in cells
+            if cell.is_baseline and done[cell].ok
+        }
+
+        # stage 3: scheme cells, primed with their group's baseline
+        scheme_tasks = []
+        for cell in cells:
+            if cell.is_baseline or cell in done:
+                continue
+            baseline = baselines.get(cell.config)
+            if baseline is None:
+                ff = next(c for c in cells if c.is_baseline and c.config == cell.config)
+                done[cell] = self._emit(
+                    CellResult(
+                        cell,
+                        "failed",
+                        error=f"baseline failed: {done[ff].error}",
+                    )
+                )
+                continue
+            scheme_tasks.append((cell, baseline))
+        done.update(self._run_batch(scheme_tasks))
+
+        return CampaignResult(
+            spec=self.spec,
+            results=[done[cell] for cell in cells],
+            wall_s=time.perf_counter() - t0,
+            workers=self.max_workers,
+        )
+
+    # ------------------------------------------------------------------
+    def _emit(self, result: CellResult) -> CellResult:
+        if self.progress is not None:
+            self.progress.cell_done(result)
+        return result
+
+    def _finish(self, cell: CampaignCell, report, elapsed: float, attempts: int):
+        """Persist a fresh result and normalize it through the store.
+
+        Reading the result back means a cell served from cache tomorrow
+        is byte-for-byte the object this campaign returned today.
+        """
+        if self.store is not None:
+            self.store.put(cell, report, elapsed_s=elapsed)
+            report = self.store.get(cell)
+        return self._emit(
+            CellResult(cell, "ran", report=report, elapsed_s=elapsed, attempts=attempts)
+        )
+
+    def _run_batch(self, tasks) -> dict[CampaignCell, CellResult]:
+        if not tasks:
+            return {}
+        if self.max_workers == 1:
+            return self._run_serial(tasks)
+        return self._run_parallel(tasks)
+
+    def _run_serial(self, tasks) -> dict[CampaignCell, CellResult]:
+        out: dict[CampaignCell, CellResult] = {}
+        for cell, baseline in tasks:
+            attempt = 1
+            while True:
+                try:
+                    report, elapsed = self.worker(cell, baseline, self.timeout_s)
+                    out[cell] = self._finish(cell, report, elapsed, attempt)
+                    break
+                except CellTimeout as exc:  # timeouts are not retried
+                    out[cell] = self._emit(
+                        CellResult(cell, "failed", attempts=attempt, error=str(exc))
+                    )
+                    break
+                except Exception as exc:
+                    if attempt > self.retries:
+                        out[cell] = self._emit(
+                            CellResult(
+                                cell,
+                                "failed",
+                                attempts=attempt,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                        break
+                    attempt += 1
+        return out
+
+    def _run_parallel(self, tasks) -> dict[CampaignCell, CellResult]:
+        """Pooled rounds with crash recovery.
+
+        A dead worker breaks the whole pool: every in-flight future
+        raises ``BrokenProcessPool`` and the crasher is indistinguishable
+        from its innocent pool-mates.  So crashes never consume a cell's
+        *error* retry budget in pooled mode — the pool is rebuilt and
+        everyone unfinished re-queued.  After ``retries + 1`` broken
+        rounds the survivors move to an exact-attribution endgame: each
+        runs alone in a single-worker pool, where a crash provably
+        belongs to that cell and is bounded by its own retry budget.
+        """
+        out: dict[CampaignCell, CellResult] = {}
+        queue = [(cell, baseline, 1) for cell, baseline in tasks]
+        broken_rounds = 0
+        while queue and broken_rounds <= self.retries:
+            requeue: list = []
+            round_broke = False
+            workers = min(self.max_workers, len(queue))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(self.worker, cell, baseline, self.timeout_s): (
+                        cell,
+                        baseline,
+                        attempt,
+                    )
+                    for cell, baseline, attempt in queue
+                }
+                for future in as_completed(futures):
+                    cell, baseline, attempt = futures[future]
+                    try:
+                        report, elapsed = future.result()
+                        out[cell] = self._finish(cell, report, elapsed, attempt)
+                    except CellTimeout as exc:
+                        out[cell] = self._emit(
+                            CellResult(
+                                cell, "failed", attempts=attempt, error=str(exc)
+                            )
+                        )
+                    except BrokenProcessPool:
+                        round_broke = True
+                        requeue.append((cell, baseline, attempt + 1))
+                    except Exception as exc:
+                        if attempt > self.retries:
+                            out[cell] = self._emit(
+                                CellResult(
+                                    cell,
+                                    "failed",
+                                    attempts=attempt,
+                                    error=f"{type(exc).__name__}: {exc}",
+                                )
+                            )
+                        else:
+                            requeue.append((cell, baseline, attempt + 1))
+            broken_rounds += round_broke
+            queue = requeue
+        for cell, baseline, attempt in queue:
+            out[cell] = self._run_isolated(cell, baseline, attempt)
+        return out
+
+    def _run_isolated(self, cell, baseline, attempt) -> CellResult:
+        """Run one cell in its own single-worker pool (crash endgame)."""
+        crashes = 0
+        while True:
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                future = pool.submit(self.worker, cell, baseline, self.timeout_s)
+                try:
+                    report, elapsed = future.result()
+                    return self._finish(cell, report, elapsed, attempt)
+                except CellTimeout as exc:
+                    return self._emit(
+                        CellResult(cell, "failed", attempts=attempt, error=str(exc))
+                    )
+                except BrokenProcessPool:
+                    crashes += 1
+                    if crashes > self.retries:
+                        return self._emit(
+                            CellResult(
+                                cell,
+                                "failed",
+                                attempts=attempt,
+                                error="worker process crashed",
+                            )
+                        )
+                except Exception as exc:
+                    if attempt > self.retries:
+                        return self._emit(
+                            CellResult(
+                                cell,
+                                "failed",
+                                attempts=attempt,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+            attempt += 1
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    store: ResultStore | None = None,
+    max_workers: int = 1,
+    timeout_s: float | None = None,
+    retries: int = 1,
+    resume: bool = True,
+    progress=None,
+    worker=execute_cell,
+) -> CampaignResult:
+    """One-call façade over :class:`CampaignRunner`."""
+    return CampaignRunner(
+        spec,
+        store=store,
+        max_workers=max_workers,
+        timeout_s=timeout_s,
+        retries=retries,
+        resume=resume,
+        progress=progress,
+        worker=worker,
+    ).run()

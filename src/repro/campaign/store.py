@@ -1,0 +1,220 @@
+"""Persistent, content-addressed result store.
+
+Layout (default root ``.repro-cache/``)::
+
+    .repro-cache/
+        index.db            # SQLite: one row per cell, queryable metadata
+        payloads/ab/abcd… .json   # full SolveReport, JSON-encoded
+
+Every cell is keyed by a SHA-256 **content hash** over the complete
+:class:`~repro.harness.experiment.ExperimentConfig`, the scheme name,
+and the code-relevant versions (store format, ``repro``, ``numpy`` and
+``scipy``).  Any change to any of those — a different seed, tolerance,
+CR cadence, or a library upgrade that could perturb the numerics —
+yields a different key, so a cache hit is only ever served for a cell
+that would reproduce bit-identically.
+
+Writes are atomic (payload to a temp file + ``os.replace``, then the
+index row), so a killed campaign never leaves a row pointing at a
+half-written payload; a payload missing its row (or vice versa) is
+treated as a miss and repaired on the next ``put``.  SQLite runs in WAL
+mode with a busy timeout so several processes may share one store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+import scipy
+
+import repro
+from repro.campaign.serialize import report_from_dict, report_to_dict
+from repro.campaign.spec import CampaignCell
+from repro.core.report import SolveReport
+
+#: Bump when the payload schema or hashed key material changes shape.
+STORE_FORMAT = 1
+
+DEFAULT_ROOT = Path(".repro-cache")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    key          TEXT PRIMARY KEY,
+    matrix       TEXT NOT NULL,
+    scheme       TEXT NOT NULL,
+    nranks       INTEGER NOT NULL,
+    n_faults     INTEGER NOT NULL,
+    seed         INTEGER NOT NULL,
+    scale        REAL NOT NULL,
+    cr_interval  TEXT NOT NULL,
+    tol          REAL NOT NULL,
+    converged    INTEGER NOT NULL,
+    iterations   INTEGER NOT NULL,
+    time_s       REAL NOT NULL,
+    energy_j     REAL NOT NULL,
+    elapsed_s    REAL NOT NULL,
+    created_at   REAL NOT NULL,
+    payload      TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_results_cell ON results (matrix, scheme, nranks);
+"""
+
+
+def cell_key(cell: CampaignCell) -> str:
+    """Content hash identifying one cell's result."""
+    material = {
+        "store_format": STORE_FORMAT,
+        "versions": {
+            "repro": repro.__version__,
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+        },
+        "config": asdict(cell.config),
+        "scheme": cell.scheme,
+    }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One indexed result plus the bookkeeping the summary reports."""
+
+    key: str
+    cell: CampaignCell
+    report: SolveReport
+    elapsed_s: float
+    created_at: float
+
+
+class ResultStore:
+    """SQLite-indexed JSON store of solved cells."""
+
+    def __init__(self, root: str | Path = DEFAULT_ROOT) -> None:
+        self.root = Path(root)
+        self.payload_dir = self.root / "payloads"
+        self.payload_dir.mkdir(parents=True, exist_ok=True)
+        self._db = sqlite3.connect(self.root / "index.db", timeout=30.0)
+        self._db.executescript(_SCHEMA)
+        self._db.execute("PRAGMA journal_mode=WAL")
+        self._db.execute("PRAGMA busy_timeout=30000")
+        self._db.commit()
+
+    # ------------------------------------------------------------------
+    def key(self, cell: CampaignCell) -> str:
+        return cell_key(cell)
+
+    def _payload_path(self, key: str) -> Path:
+        return self.payload_dir / key[:2] / f"{key}.json"
+
+    def __contains__(self, cell: CampaignCell) -> bool:
+        return self.get_entry(cell) is not None
+
+    def get_entry(self, cell: CampaignCell) -> StoreEntry | None:
+        """Full entry for a cell, or ``None`` on a miss."""
+        key = cell_key(cell)
+        row = self._db.execute(
+            "SELECT elapsed_s, created_at FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        path = self._payload_path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            # stale index row (payload pruned or corrupted): self-heal
+            self._db.execute("DELETE FROM results WHERE key = ?", (key,))
+            self._db.commit()
+            return None
+        return StoreEntry(
+            key=key,
+            cell=cell,
+            report=report_from_dict(payload["report"]),
+            elapsed_s=row[0],
+            created_at=row[1],
+        )
+
+    def get(self, cell: CampaignCell) -> SolveReport | None:
+        entry = self.get_entry(cell)
+        return entry.report if entry else None
+
+    def put(
+        self, cell: CampaignCell, report: SolveReport, *, elapsed_s: float = 0.0
+    ) -> str:
+        """Persist one result; returns its key.  Last writer wins."""
+        key = cell_key(cell)
+        path = self._payload_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "cell": {"config": asdict(cell.config), "scheme": cell.scheme},
+            "report": report_to_dict(report),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        cfg = cell.config
+        self._db.execute(
+            "INSERT OR REPLACE INTO results VALUES "
+            "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                key,
+                cfg.matrix,
+                cell.scheme,
+                cfg.nranks,
+                cfg.n_faults,
+                cfg.seed,
+                cfg.scale,
+                str(cfg.cr_interval),
+                cfg.tol,
+                int(report.converged),
+                report.iterations,
+                report.time_s,
+                report.energy_j,
+                elapsed_s,
+                time.time(),
+                str(path.relative_to(self.root)),
+            ),
+        )
+        self._db.commit()
+        return key
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._db.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def stats(self) -> dict:
+        """Store-wide counters for ``campaign --store-stats`` style output."""
+        n, elapsed = self._db.execute(
+            "SELECT COUNT(*), COALESCE(SUM(elapsed_s), 0) FROM results"
+        ).fetchone()
+        return {
+            "entries": n,
+            "compute_seconds_banked": elapsed,
+            "root": str(self.root),
+        }
+
+    def clear(self) -> None:
+        """Drop every entry (index and payloads)."""
+        self._db.execute("DELETE FROM results")
+        self._db.commit()
+        for sub in self.payload_dir.iterdir():
+            if sub.is_dir():
+                for f in sub.glob("*.json"):
+                    f.unlink()
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,13 +1,15 @@
 """Command-line interface.
 
-Four subcommands mirror the library's main entry points::
+Five subcommands mirror the library's main entry points::
 
     python -m repro.cli run --matrix crystm02 --scheme LI-DVFS --faults 5
     python -m repro.cli suite --schemes RD F0 LI CR-D --matrices Kuu ex15
+    python -m repro.cli campaign --preset iteration-study --workers 8 --resume
     python -m repro.cli project --sizes 192 1536 12288 98304
     python -m repro.cli mtbf
 
-Everything prints plain text; no files are written.
+Everything prints plain text; only ``campaign`` writes files (its
+result store, ``.repro-cache/`` by default).
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ import argparse
 import math
 import sys
 
+from repro.campaign import spec as campaign_presets
 from repro.core.models.projection import FIGURE9_SCHEMES, ProjectionConfig, project
 from repro.core.recovery import scheme_names
 from repro.faults.events import FaultClass
@@ -43,6 +46,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ranks", type=int, default=64)
     run.add_argument("--tol", type=float, default=1e-8)
     run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--seed", type=int, default=0, help="experiment RNG seed")
     run.add_argument(
         "--precond", choices=["jacobi"], default=None, help="optional preconditioner"
     )
@@ -61,6 +65,67 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--faults", type=int, default=10)
     sweep.add_argument("--ranks", type=int, default=64)
     sweep.add_argument("--scale", type=float, default=1.0)
+    sweep.add_argument("--seed", type=int, default=0, help="experiment RNG seed")
+    sweep.add_argument(
+        "--cr-interval",
+        default="paper",
+        help="CR cadence: 'paper' (100 iters), 'young', or an integer",
+    )
+
+    camp = sub.add_parser(
+        "campaign",
+        help="orchestrated sweep with a persistent, resumable result store",
+    )
+    camp.add_argument(
+        "--preset",
+        choices=campaign_presets.preset_names(),
+        default=None,
+        help="named study grid; omit to build a custom grid from the flags below",
+    )
+    camp.add_argument(
+        "--matrices", nargs="+", default=None, choices=suite.names(),
+        help="restrict (or, without --preset, define) the matrix set",
+    )
+    camp.add_argument(
+        "--schemes", nargs="+", default=None, choices=scheme_names(),
+        help="restrict (or, without --preset, define) the scheme set",
+    )
+    camp.add_argument("--ranks", nargs="+", type=int, default=None)
+    camp.add_argument("--faults", nargs="+", type=int, default=None)
+    camp.add_argument("--seeds", nargs="+", type=int, default=None)
+    camp.add_argument("--scale", type=float, default=None)
+    camp.add_argument("--tol", type=float, default=None)
+    camp.add_argument("--cr-interval", default=None)
+    camp.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; 1 = serial in-process execution",
+    )
+    camp.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result store directory (default .repro-cache)",
+    )
+    camp.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="serve cells already in the store from cache (default on; "
+        "--no-resume recomputes everything and overwrites)",
+    )
+    camp.add_argument(
+        "--no-store", action="store_true",
+        help="run fully in memory: nothing read from or written to disk",
+    )
+    camp.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock budget (default: none)",
+    )
+    camp.add_argument(
+        "--retries", type=int, default=1,
+        help="retries per cell on crash or error (default 1)",
+    )
+    camp.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    camp.add_argument(
+        "--list-presets", action="store_true",
+        help="print the preset grids and exit",
+    )
 
     proj = sub.add_parser("project", help="Section-6 weak-scaling projection")
     proj.add_argument(
@@ -87,6 +152,7 @@ def cmd_run(args) -> int:
         nranks=args.ranks,
         n_faults=args.faults,
         tol=args.tol,
+        seed=args.seed,
         scale=args.scale,
         cr_interval=_parse_cr_interval(args.cr_interval),
     )
@@ -98,7 +164,8 @@ def cmd_run(args) -> int:
         from repro.core.solver import ResilientSolver, SolverConfig
 
         scfg = lambda **kw: SolverConfig(
-            nranks=args.ranks, tol=args.tol, preconditioner=args.precond, **kw
+            nranks=args.ranks, tol=args.tol, seed=args.seed,
+            preconditioner=args.precond, **kw
         )
         ff = ResilientSolver(exp.a, exp.b, config=scfg()).solve()
         report = ResilientSolver(
@@ -133,7 +200,9 @@ def cmd_suite(args) -> int:
                 matrix=name,
                 nranks=args.ranks,
                 n_faults=args.faults,
+                seed=args.seed,
                 scale=args.scale,
+                cr_interval=_parse_cr_interval(args.cr_interval),
             )
         )
         reports = {"FF": exp.fault_free, **exp.run_all(args.schemes)}
@@ -150,6 +219,68 @@ def cmd_suite(args) -> int:
         )
     )
     return 0
+
+
+def _campaign_spec(args):
+    """Resolve the campaign grid from --preset plus overrides."""
+    overrides = {}
+    if args.matrices:
+        overrides["matrices"] = tuple(args.matrices)
+    if args.schemes:
+        overrides["schemes"] = tuple(args.schemes)
+    if args.ranks:
+        overrides["nranks"] = tuple(args.ranks)
+    if args.faults:
+        overrides["fault_loads"] = tuple(args.faults)
+    if args.seeds:
+        overrides["seeds"] = tuple(args.seeds)
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.tol is not None:
+        overrides["tol"] = args.tol
+    if args.cr_interval is not None:
+        overrides["cr_interval"] = _parse_cr_interval(args.cr_interval)
+    if args.preset:
+        return campaign_presets.preset(args.preset, **overrides)
+    return campaign_presets.CampaignSpec(**overrides)
+
+
+def cmd_campaign(args) -> int:
+    from repro.campaign import (
+        ProgressReporter,
+        ResultStore,
+        format_normalized_tables,
+        format_summary,
+        run_campaign,
+    )
+    from repro.campaign.store import DEFAULT_ROOT
+
+    if args.list_presets:
+        for name in campaign_presets.preset_names():
+            print(campaign_presets.preset(name).describe())
+        return 0
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    spec = _campaign_spec(args)
+    store = None if args.no_store else ResultStore(args.store or DEFAULT_ROOT)
+    print(spec.describe())
+    progress = ProgressReporter(
+        len(spec), workers=args.workers, enabled=not args.quiet
+    )
+    result = run_campaign(
+        spec,
+        store=store,
+        max_workers=args.workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        resume=args.resume,
+        progress=progress,
+    )
+    print()
+    print(format_summary(result))
+    print()
+    print(format_normalized_tables(result))
+    return 0 if result.n_failed == 0 else 1
 
 
 def cmd_project(args) -> int:
@@ -195,6 +326,7 @@ def main(argv: list[str] | None = None) -> int:
     return {
         "run": cmd_run,
         "suite": cmd_suite,
+        "campaign": cmd_campaign,
         "project": cmd_project,
         "mtbf": cmd_mtbf,
     }[args.command](args)

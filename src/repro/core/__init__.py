@@ -9,11 +9,13 @@ power, fault and checkpoint substrates together
 
 from repro.core.advisor import Objective, SchemeAdvisor, SchemeEstimate, Situation
 from repro.core.cg import CGState, DistributedCG, IterationCosts
+from repro.core.errors import ConvergenceError
 from repro.core.report import SolveReport
 from repro.core.solver import ResilientSolver, SolverConfig
 
 __all__ = [
     "CGState",
+    "ConvergenceError",
     "DistributedCG",
     "IterationCosts",
     "SolveReport",

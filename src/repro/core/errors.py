@@ -1,0 +1,42 @@
+"""Exceptions raised by the solver and the experiment harness."""
+
+from __future__ import annotations
+
+
+class ConvergenceError(RuntimeError):
+    """A solve that was required to converge did not.
+
+    Raised when a fault-free baseline (the normalization base of every
+    figure in the paper) fails to reach the configured tolerance within
+    the iteration budget.  Carries enough context to diagnose the cell
+    without re-running it.
+    """
+
+    def __init__(
+        self,
+        message: str | None = None,
+        *,
+        matrix: str | None = None,
+        tol: float | None = None,
+        final_residual: float | None = None,
+        iterations: int | None = None,
+    ) -> None:
+        self.matrix = matrix
+        self.tol = tol
+        self.final_residual = final_residual
+        self.iterations = iterations
+        if message is None:
+            parts = ["solve did not converge"]
+            if matrix is not None:
+                parts.append(f"on {matrix!r}")
+            if iterations is not None:
+                parts.append(f"after {iterations} iterations")
+            detail = []
+            if tol is not None:
+                detail.append(f"tol={tol:g}")
+            if final_residual is not None:
+                detail.append(f"final relative residual={final_residual:.3e}")
+            message = " ".join(parts)
+            if detail:
+                message += f" ({', '.join(detail)})"
+        super().__init__(message)

@@ -21,6 +21,7 @@ from repro.cluster.comm import SimComm
 from repro.cluster.machine import MachineSpec, paper_machine
 from repro.cluster.network import NetworkModel
 from repro.core.cg import DistributedCG, IterationCosts
+from repro.core.errors import ConvergenceError
 from repro.core.recovery.base import RecoveryScheme
 from repro.core.report import SolveReport
 from repro.faults.events import FaultEvent
@@ -417,7 +418,14 @@ class ResilientSolver:
             max_iters=self.config.max_iters,
             preconditioner=self.config.preconditioner,
         )
-        return probe.solve_fault_free()
+        iters = probe.solve_fault_free()
+        if not probe.converged:
+            raise ConvergenceError(
+                tol=self.config.tol,
+                final_residual=probe.relative_residual,
+                iterations=iters,
+            )
+        return iters
 
     # ==================================================================
     # main loop

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.errors import ConvergenceError
 from repro.core.recovery import make_scheme
 from repro.core.report import SolveReport
 from repro.core.solver import ResilientSolver, SolverConfig
@@ -94,11 +95,38 @@ class Experiment:
             )
             self._ff = solver.solve()
             if not self._ff.converged:
-                raise RuntimeError(
-                    f"fault-free run did not converge on {self.config.matrix} "
-                    f"within {self.config.max_iters} iterations"
+                raise ConvergenceError(
+                    matrix=self.config.matrix,
+                    tol=self.config.tol,
+                    final_residual=self._ff.final_relative_residual,
+                    iterations=self._ff.iterations,
                 )
         return self._ff
+
+    @property
+    def has_baseline(self) -> bool:
+        """Whether the fault-free baseline has been computed (or primed)."""
+        return self._ff is not None
+
+    def prime_baseline(self, report: SolveReport) -> None:
+        """Install a previously computed fault-free baseline.
+
+        Lets a campaign worker (or any caller holding a cached ``FF``
+        report for this exact config) skip re-running the baseline
+        solve.  The report must come from the same
+        :class:`ExperimentConfig`; runs are deterministic, so an equal
+        config implies an identical baseline.
+        """
+        if report.scheme != "FF":
+            raise ValueError(f"baseline must be an FF report, got {report.scheme!r}")
+        if not report.converged:
+            raise ConvergenceError(
+                matrix=self.config.matrix,
+                tol=self.config.tol,
+                final_residual=report.final_relative_residual,
+                iterations=report.iterations,
+            )
+        self._ff = report
 
     def schedule(self) -> FaultSchedule:
         return EvenlySpacedSchedule(

@@ -1,0 +1,27 @@
+"""Campaign test fixtures: a tiny, fast grid and a fresh store per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+
+
+@pytest.fixture()
+def tiny_spec() -> CampaignSpec:
+    """2 matrices x 2 schemes at scale 0.25: ~a second of compute."""
+    return CampaignSpec(
+        name="tiny",
+        matrices=("wathen100", "Andrews"),
+        schemes=("RD", "F0"),
+        nranks=(8,),
+        fault_loads=(2,),
+        scale=0.25,
+    )
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultStore:
+    with ResultStore(tmp_path / "cache") as s:
+        yield s

@@ -1,0 +1,178 @@
+"""Runner: execution, resume, retries, crashes, serial/parallel equality."""
+
+import pytest
+
+from repro.campaign.progress import (
+    ProgressReporter,
+    format_normalized_tables,
+    format_summary,
+    summary_counters,
+)
+from repro.campaign.runner import (
+    CampaignRunner,
+    CellTimeout,
+    execute_cell,
+    run_campaign,
+)
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.harness.experiment import ExperimentConfig
+
+from tests.campaign.helpers import (
+    FLAKY_DIR_ENV,
+    always_raising_worker,
+    assert_reports_equal,
+    crashing_worker,
+    raising_worker,
+)
+
+
+@pytest.fixture()
+def flaky_state(tmp_path, monkeypatch):
+    state = tmp_path / "flaky-state"
+    state.mkdir()
+    monkeypatch.setenv(FLAKY_DIR_ENV, str(state))
+    return state
+
+
+class TestExecuteCell:
+    def test_baseline_priming_skips_the_ff_solve(self):
+        cfg = ExperimentConfig(matrix="wathen100", nranks=8, n_faults=2, scale=0.25)
+        ff, _ = execute_cell(CampaignCell(cfg, "FF"))
+        primed, _ = execute_cell(CampaignCell(cfg, "RD"), baseline=ff)
+        unprimed, _ = execute_cell(CampaignCell(cfg, "RD"))
+        assert_reports_equal(primed, unprimed)
+
+    def test_timeout_aborts_the_cell(self):
+        cfg = ExperimentConfig(matrix="wathen100", nranks=8, n_faults=2)
+        with pytest.raises(CellTimeout):
+            execute_cell(CampaignCell(cfg, "FF"), timeout_s=1e-3)
+
+
+class TestSerialCampaign:
+    def test_runs_every_cell(self, tiny_spec, store):
+        result = run_campaign(tiny_spec, store=store, max_workers=1)
+        assert result.n_ran == len(tiny_spec)
+        assert result.n_failed == 0
+        assert [r.cell for r in result.results] == tiny_spec.cells()
+
+    def test_resume_serves_everything_from_cache(self, tiny_spec, store):
+        first = run_campaign(tiny_spec, store=store, max_workers=1)
+        second = run_campaign(tiny_spec, store=store, max_workers=1)
+        assert second.n_cached == len(tiny_spec)
+        assert second.n_ran == 0
+        for a, b in zip(first.results, second.results):
+            assert_reports_equal(a.report, b.report)
+
+    def test_no_resume_recomputes(self, tiny_spec, store):
+        run_campaign(tiny_spec, store=store, max_workers=1)
+        fresh = run_campaign(tiny_spec, store=store, max_workers=1, resume=False)
+        assert fresh.n_ran == len(tiny_spec)
+
+    def test_partial_store_runs_only_the_gap(self, tiny_spec, store):
+        # seed the store with one matrix's cells only
+        half = CampaignSpec(
+            name="half",
+            matrices=("wathen100",),
+            schemes=tiny_spec.schemes,
+            nranks=tiny_spec.nranks,
+            fault_loads=tiny_spec.fault_loads,
+            scale=tiny_spec.scale,
+        )
+        run_campaign(half, store=store, max_workers=1)
+        result = run_campaign(tiny_spec, store=store, max_workers=1)
+        assert result.n_cached == 3
+        assert result.n_ran == 3
+
+
+class TestRetries:
+    def test_cell_raising_once_then_succeeding(self, tiny_spec, store, flaky_state):
+        result = run_campaign(
+            tiny_spec, store=store, max_workers=1, worker=raising_worker
+        )
+        assert result.n_failed == 0
+        retried = [r for r in result.results if r.attempts > 1]
+        assert {r.cell.scheme for r in retried} == {"RD"}
+
+    def test_retry_exhaustion_fails_the_cell_not_the_campaign(
+        self, tiny_spec, store, flaky_state
+    ):
+        result = run_campaign(
+            tiny_spec, store=store, max_workers=1, worker=always_raising_worker
+        )
+        # every baseline failed; their scheme cells are failed by propagation
+        assert result.n_failed == len(tiny_spec)
+        for r in result.results:
+            if not r.cell.is_baseline:
+                assert "baseline failed" in r.error
+
+    def test_worker_crash_rebuilds_pool_and_retries(
+        self, tiny_spec, store, flaky_state
+    ):
+        result = run_campaign(
+            tiny_spec, store=store, max_workers=2, worker=crashing_worker
+        )
+        assert result.n_failed == 0
+        assert result.n_ran == len(tiny_spec)
+        crashed = [r for r in result.results if r.attempts > 1]
+        assert any(r.cell.scheme == "RD" for r in crashed)
+
+    def test_parallel_transient_errors_are_retried(
+        self, tiny_spec, store, flaky_state
+    ):
+        result = run_campaign(
+            tiny_spec, store=store, max_workers=2, worker=raising_worker
+        )
+        assert result.n_failed == 0
+
+
+class TestSerialParallelEquality:
+    def test_identical_reports_and_tables(self, tiny_spec, tmp_path):
+        serial = run_campaign(
+            tiny_spec, store=ResultStore(tmp_path / "s"), max_workers=1
+        )
+        parallel = run_campaign(
+            tiny_spec, store=ResultStore(tmp_path / "p"), max_workers=2
+        )
+        assert serial.n_failed == parallel.n_failed == 0
+        for a, b in zip(serial.results, parallel.results):
+            assert a.cell == b.cell
+            assert_reports_equal(a.report, b.report)
+        assert format_normalized_tables(serial) == format_normalized_tables(parallel)
+
+    def test_cached_equals_fresh(self, tiny_spec, store):
+        fresh = run_campaign(tiny_spec, store=store, max_workers=2)
+        cached = run_campaign(tiny_spec, store=store, max_workers=2)
+        assert format_normalized_tables(fresh) == format_normalized_tables(cached)
+
+
+class TestProgressAndSummary:
+    def test_progress_counts_and_eta(self, tiny_spec, store, capsys):
+        progress = ProgressReporter(len(tiny_spec), workers=1)
+        assert progress.eta_s() is None
+        result = run_campaign(
+            tiny_spec, store=store, max_workers=1, progress=progress
+        )
+        assert progress.finished == len(tiny_spec)
+        err = capsys.readouterr().err
+        assert f"[{len(tiny_spec)}/{len(tiny_spec)}]" in err
+        counters = summary_counters(result)
+        assert counters["ran"] == len(tiny_spec)
+        assert counters["wall_s"] > 0
+
+    def test_summary_lists_every_cell_with_cache_status(self, tiny_spec, store):
+        run_campaign(tiny_spec, store=store, max_workers=1)
+        resumed = run_campaign(tiny_spec, store=store, max_workers=1)
+        text = format_summary(resumed)
+        cached_rows = sum(
+            1 for line in text.splitlines() if "cached" in line.split()
+        )
+        assert cached_rows == len(tiny_spec)
+        assert "aggregate speedup" in text
+        for matrix in tiny_spec.matrices:
+            assert matrix in text
+
+    def test_disabled_progress_prints_nothing(self, tiny_spec, store, capsys):
+        progress = ProgressReporter(len(tiny_spec), workers=1, enabled=False)
+        run_campaign(tiny_spec, store=store, max_workers=1, progress=progress)
+        assert capsys.readouterr().err == ""

@@ -1,0 +1,117 @@
+"""Grid expansion and presets."""
+
+import pytest
+
+from repro.campaign.spec import (
+    BASELINE_SCHEME,
+    CampaignCell,
+    CampaignSpec,
+    preset,
+    preset_names,
+)
+from repro.harness.experiment import ExperimentConfig
+from repro.matrices import suite
+
+
+class TestExpansion:
+    def test_cell_count_matches_len(self, tiny_spec):
+        cells = tiny_spec.cells()
+        assert len(cells) == len(tiny_spec) == 2 * (1 + 2)
+
+    def test_baseline_first_in_every_group(self, tiny_spec):
+        cells = tiny_spec.cells()
+        by_config = {}
+        for cell in cells:
+            by_config.setdefault(cell.config, []).append(cell.scheme)
+        assert len(by_config) == 2
+        for schemes in by_config.values():
+            assert schemes[0] == BASELINE_SCHEME
+            assert schemes[1:] == ["RD", "F0"]
+
+    def test_expansion_is_deterministic(self, tiny_spec):
+        assert tiny_spec.cells() == tiny_spec.cells()
+
+    def test_full_grid_dimensions(self):
+        spec = CampaignSpec(
+            matrices=("Kuu", "ex15"),
+            schemes=("RD",),
+            nranks=(4, 8),
+            fault_loads=(2, 5),
+            seeds=(0, 1, 2),
+        )
+        assert len(spec) == 2 * 2 * 2 * 3 * (1 + 1)
+        configs = spec.experiment_configs()
+        assert len(set(configs)) == len(configs) == 24
+
+    def test_cells_carry_spec_scalars(self, tiny_spec):
+        for cell in tiny_spec.cells():
+            assert cell.config.scale == 0.25
+            assert cell.config.nranks == 8
+            assert cell.config.n_faults == 2
+
+    def test_explicit_ff_not_duplicated(self):
+        spec = CampaignSpec(
+            matrices=("Kuu",), schemes=("FF", "RD"), nranks=(4,)
+        )
+        schemes = [c.scheme for c in spec.cells()]
+        assert schemes == ["FF", "RD"]
+
+
+class TestValidation:
+    def test_unknown_matrix_rejected(self):
+        with pytest.raises(ValueError, match="unknown matrices"):
+            CampaignSpec(matrices=("not-a-matrix",))
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown schemes"):
+            CampaignSpec(schemes=("MAGIC",))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(matrices=())
+
+
+class TestPresets:
+    def test_known_presets(self):
+        assert set(preset_names()) >= {
+            "iteration-study",
+            "cost-study",
+            "dvfs-study",
+            "smoke",
+        }
+
+    def test_iteration_study_matches_paper_grid(self):
+        spec = preset("iteration-study")
+        assert spec.matrices == tuple(suite.names())
+        assert spec.nranks == (256,)
+        assert spec.cr_interval == "paper"
+        assert "LI" in spec.schemes and "CR-D" in spec.schemes
+
+    def test_cost_study_uses_young_interval(self):
+        assert preset("cost-study").cr_interval == "young"
+
+    def test_override_narrows_grid(self):
+        spec = preset("iteration-study", matrices=("Kuu",))
+        assert spec.matrices == ("Kuu",)
+        assert spec.nranks == (256,)  # untouched
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="unknown preset"):
+            preset("nope")
+
+
+class TestCell:
+    def test_label_mentions_the_coordinates(self):
+        cell = CampaignCell(
+            ExperimentConfig(matrix="Kuu", nranks=8, n_faults=3, seed=7), "LI"
+        )
+        assert "Kuu" in cell.label
+        assert "r8" in cell.label
+        assert "f3" in cell.label
+        assert "s7" in cell.label
+        assert cell.label.endswith("/LI")
+
+    def test_is_baseline(self):
+        cfg = ExperimentConfig(matrix="Kuu")
+        assert CampaignCell(cfg, "FF").is_baseline
+        assert not CampaignCell(cfg, "RD").is_baseline

@@ -1,0 +1,133 @@
+"""Result store: hashing, round-trips, hits and misses, self-healing."""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.campaign.serialize import report_from_dict, report_to_dict
+from repro.campaign.spec import CampaignCell
+from repro.campaign.store import ResultStore, cell_key
+from repro.harness.experiment import Experiment, ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def solved():
+    """One real faulty solve to push through the store."""
+    exp = Experiment(
+        ExperimentConfig(matrix="wathen100", nranks=8, n_faults=2, scale=0.25)
+    )
+    cell = CampaignCell(exp.config, "LI")
+    return cell, exp.run("LI")
+
+
+def assert_reports_equal(a, b):
+    assert a.scheme == b.scheme
+    assert a.converged == b.converged
+    assert a.iterations == b.iterations
+    assert a.final_relative_residual == b.final_relative_residual
+    assert a.time_s == b.time_s
+    assert a.energy_j == b.energy_j
+    assert a.baseline_iters == b.baseline_iters
+    np.testing.assert_array_equal(a.residual_history, b.residual_history)
+    assert a.account.charges == b.account.charges
+    assert a.rapl.log.phases == b.rapl.log.phases
+    assert a.faults == b.faults
+    assert a.traffic == b.traffic
+
+
+class TestSerialize:
+    def test_json_round_trip_is_exact(self, solved):
+        _, report = solved
+        data = json.loads(json.dumps(report_to_dict(report)))
+        assert_reports_equal(report_from_dict(data), report)
+
+    def test_unserializable_details_are_dropped_with_a_note(self, solved):
+        _, report = solved
+        report.details["weird"] = object()
+        try:
+            data = report_to_dict(report)
+        finally:
+            del report.details["weird"]
+        assert "weird" not in data["details"]
+        assert "weird" in data["details"]["_dropped"]
+
+
+class TestKeying:
+    def test_key_is_stable(self, solved):
+        cell, _ = solved
+        assert cell_key(cell) == cell_key(cell)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 1},
+            {"n_faults": 3},
+            {"nranks": 16},
+            {"tol": 1e-6},
+            {"cr_interval": "young"},
+            {"scale": 0.5},
+        ],
+    )
+    def test_any_config_change_changes_the_key(self, solved, change):
+        cell, _ = solved
+        other = CampaignCell(replace(cell.config, **change), cell.scheme)
+        assert cell_key(other) != cell_key(cell)
+
+    def test_scheme_changes_the_key(self, solved):
+        cell, _ = solved
+        assert cell_key(CampaignCell(cell.config, "RD")) != cell_key(cell)
+
+
+class TestStore:
+    def test_miss_then_hit(self, store, solved):
+        cell, report = solved
+        assert store.get(cell) is None
+        assert cell not in store
+        store.put(cell, report, elapsed_s=1.5)
+        assert cell in store
+        assert_reports_equal(store.get(cell), report)
+
+    def test_hit_carries_bookkeeping(self, store, solved):
+        cell, report = solved
+        store.put(cell, report, elapsed_s=1.5)
+        entry = store.get_entry(cell)
+        assert entry.elapsed_s == 1.5
+        assert entry.key == cell_key(cell)
+
+    def test_changed_config_misses(self, store, solved):
+        cell, report = solved
+        store.put(cell, report)
+        other = CampaignCell(replace(cell.config, seed=99), cell.scheme)
+        assert store.get(other) is None
+
+    def test_persists_across_instances(self, tmp_path, solved):
+        cell, report = solved
+        with ResultStore(tmp_path / "c") as first:
+            first.put(cell, report)
+        with ResultStore(tmp_path / "c") as second:
+            assert_reports_equal(second.get(cell), report)
+
+    def test_missing_payload_heals_to_a_miss(self, store, solved):
+        cell, report = solved
+        key = store.put(cell, report)
+        store._payload_path(key).unlink()
+        assert store.get(cell) is None
+        assert len(store) == 0  # stale row was dropped
+
+    def test_len_and_stats(self, store, solved):
+        cell, report = solved
+        assert len(store) == 0
+        store.put(cell, report, elapsed_s=2.0)
+        assert len(store) == 1
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["compute_seconds_banked"] == 2.0
+
+    def test_clear(self, store, solved):
+        cell, report = solved
+        store.put(cell, report)
+        store.clear()
+        assert len(store) == 0
+        assert store.get(cell) is None

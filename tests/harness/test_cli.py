@@ -80,6 +80,48 @@ class TestCli:
         out = capsys.readouterr().out
         assert "wathen100" in out
 
+    def test_run_with_seed(self, capsys):
+        code = main(
+            [
+                "run", "--matrix", "wathen100", "--scheme", "RD",
+                "--faults", "2", "--ranks", "8", "--scale", "0.25",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+
+    def test_suite_seed_and_cr_interval(self, capsys):
+        code = main(
+            [
+                "suite", "--matrices", "wathen100", "--schemes", "CR-D",
+                "--faults", "2", "--ranks", "8", "--scale", "0.25",
+                "--seed", "1", "--cr-interval", "50",
+            ]
+        )
+        assert code == 0
+        assert "wathen100" in capsys.readouterr().out
+
+    def test_campaign_runs_then_resumes_from_cache(self, capsys, tmp_path):
+        args = [
+            "campaign", "--matrices", "wathen100", "--schemes", "RD",
+            "--ranks", "8", "--faults", "2", "--scale", "0.25",
+            "--store", str(tmp_path / "cache"), "--quiet",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "per-cell results" in out
+        assert "ran" in out
+        assert "normalized iterations" in out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert out.count("cached") >= 2  # FF + RD both served from the store
+
+    def test_campaign_list_presets(self, capsys):
+        assert main(["campaign", "--list-presets"]) == 0
+        out = capsys.readouterr().out
+        assert "iteration-study" in out
+        assert "cost-study" in out
+
     def test_rejects_unknown_scheme(self):
         with pytest.raises(SystemExit):
             main(["run", "--scheme", "MAGIC"])
