@@ -23,6 +23,7 @@ from repro.campaign.progress import (
     ProgressReporter,
     format_normalized_tables,
     format_summary,
+    format_telemetry_summary,
     summary_counters,
 )
 from repro.campaign.runner import (
@@ -58,6 +59,7 @@ __all__ = [
     "execute_cell",
     "format_normalized_tables",
     "format_summary",
+    "format_telemetry_summary",
     "preset",
     "preset_names",
     "report_from_dict",

@@ -135,6 +135,42 @@ def format_summary(result: CampaignResult) -> str:
     return f"{table}\n\n{totals}"
 
 
+def format_telemetry_summary(result: CampaignResult) -> str:
+    """Render the campaign's merged telemetry rollup.
+
+    Campaign counters (cells by status, cache hits/misses, retries,
+    throughput) followed by the worker-side metrics summed across every
+    traced cell — most usefully the per-scheme recovery-latency
+    histograms, rendered as one count/mean/max-bucket row per series.
+    """
+    rollup = result.telemetry_rollup()
+    snap = rollup.snapshot()
+    lines = ["campaign telemetry rollup:"]
+    for series, value in snap["counters"].items():
+        lines.append(f"  {series} = {value:g}")
+    for series, value in snap["gauges"].items():
+        lines.append(f"  {series} = {value:.4g}")
+    hists = snap["histograms"]
+    if hists:
+        rows = []
+        for series, data in hists.items():
+            n = data["n"]
+            mean = data["total"] / n if n else 0.0
+            bounds = [*data["buckets"], float("inf")]
+            occupied = [b for b, c in zip(bounds, data["counts"]) if c]
+            le_max = f"{occupied[-1]:g}" if occupied else "-"
+            rows.append([series, n, f"{mean:.3g}", le_max])
+        lines.append("")
+        lines.append(
+            format_table(
+                ["histogram", "n", "mean", "max_le"],
+                rows,
+                title="latency/cost histograms (seconds)",
+            )
+        )
+    return "\n".join(lines)
+
+
 def format_normalized_tables(result: CampaignResult) -> str:
     """The paper-style normalized tables for every finished group.
 

@@ -134,6 +134,44 @@ class CampaignResult:
                 out.setdefault(r.cell.config, {})[r.cell.scheme] = r.report
         return list(out.items())
 
+    def cell_telemetry(self) -> dict:
+        """``{cell label: Telemetry}`` for every cell that recorded one."""
+        out: dict = {}
+        for r in self.results:
+            if r.report is None:
+                continue
+            tel = r.report.details.get("telemetry")
+            if tel is not None:
+                out[r.cell.label] = tel
+        return out
+
+    def telemetry_rollup(self):
+        """Campaign-level metrics registry (wall timebase).
+
+        Merges every worker-side registry that came back inside a cell's
+        report with the campaign's own counters: cells by status, cache
+        hits/misses, retries, and throughput.  Worker metrics (sim-time
+        recovery-latency histograms, per-phase energy counters, …) sum
+        across cells; the campaign counters describe this run.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        rollup = MetricsRegistry()
+        for r in self.results:
+            rollup.counter("campaign.cells", status=r.status).inc()
+            rollup.counter("campaign.retries").inc(max(0, r.attempts - 1))
+            if r.status == "cached":
+                rollup.counter("campaign.cache.hits").inc()
+            elif r.status == "ran":
+                rollup.counter("campaign.cache.misses").inc()
+        if self.wall_s > 0:
+            rollup.gauge("campaign.cells_per_sec").set(
+                len(self.results) / self.wall_s
+            )
+        for tel in self.cell_telemetry().values():
+            rollup.merge(tel.metrics)
+        return rollup
+
 
 class CampaignRunner:
     """Executes a spec against a store with a bounded-retry worker pool."""

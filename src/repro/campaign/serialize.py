@@ -6,10 +6,13 @@ survive the round trip exactly (``json`` emits ``repr``-style shortest
 decimals, which parse back to the identical double), so a report loaded
 from cache is numerically indistinguishable from a fresh run.
 
-The only lossy corner is ``details``: values that are not JSON-shaped
-(e.g. an attached :class:`~repro.harness.tracing.EventLog`) are dropped
-and recorded under ``details["_dropped"]``, and tuples come back as
-lists.
+Telemetry (the solver's event stream, spans and metrics, attached at
+``details["telemetry"]`` with the event log aliased at
+``details["trace"]``) is encoded as a first-class ``telemetry`` field
+and reconstructed on load, so a traced cell round-trips its full
+observability bundle through the store.  The only lossy corner is the
+rest of ``details``: values that are not JSON-shaped are dropped and
+recorded under ``details["_dropped"]``, and tuples come back as lists.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import numpy as np
 from repro.cluster.comm import TrafficCounters
 from repro.core.report import SolveReport
 from repro.faults.events import FaultClass, FaultEvent, FaultScope
+from repro.obs.export import telemetry_from_dict, telemetry_to_dict
 from repro.power.energy import Charge, EnergyAccount, PhaseTag
 from repro.power.rapl import RaplDomain, RaplMeter
 
@@ -60,6 +64,10 @@ def _details_to_json(details: dict) -> dict:
 
 def report_to_dict(report: SolveReport) -> dict:
     """Encode a report as a JSON-shaped dict."""
+    telemetry = report.details.get("telemetry")
+    details = {
+        k: v for k, v in report.details.items() if k not in ("telemetry", "trace")
+    }
     return {
         "scheme": report.scheme,
         "converged": report.converged,
@@ -102,7 +110,8 @@ def report_to_dict(report: SolveReport) -> dict:
             "messages": report.traffic.messages,
             "collectives": report.traffic.collectives,
         },
-        "details": _details_to_json(report.details),
+        "details": _details_to_json(details),
+        "telemetry": None if telemetry is None else telemetry_to_dict(telemetry),
     }
 
 
@@ -128,6 +137,11 @@ def report_from_dict(data: dict) -> SolveReport:
         if data["traffic"] is None
         else TrafficCounters(**data["traffic"])
     )
+    details = dict(data["details"])
+    if data.get("telemetry") is not None:
+        telemetry = telemetry_from_dict(data["telemetry"])
+        details["telemetry"] = telemetry
+        details["trace"] = telemetry.events
     return SolveReport(
         scheme=data["scheme"],
         converged=data["converged"],
@@ -140,5 +154,5 @@ def report_from_dict(data: dict) -> SolveReport:
         faults=faults,
         traffic=traffic,
         baseline_iters=data["baseline_iters"],
-        details=data["details"],
+        details=details,
     )

@@ -68,6 +68,9 @@ class CampaignSpec:
     scale: float = 1.0
     tol: float = 1e-8
     cr_interval: str | int = "paper"
+    #: Record per-cell telemetry (events, spans, metrics) and persist it
+    #: with each report in the result store.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "matrices", tuple(self.matrices))
@@ -100,6 +103,7 @@ class CampaignSpec:
                 scale=self.scale,
                 tol=self.tol,
                 cr_interval=self.cr_interval,
+                trace=self.trace,
             )
             for matrix in self.matrices
             for nranks in self.nranks
@@ -186,6 +190,7 @@ _PRESETS: dict[str, CampaignSpec] = {
 
 
 def preset_names() -> list[str]:
+    """The named study grids ``preset()`` accepts."""
     return list(_PRESETS)
 
 

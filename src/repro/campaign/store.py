@@ -40,7 +40,8 @@ from repro.campaign.spec import CampaignCell
 from repro.core.report import SolveReport
 
 #: Bump when the payload schema or hashed key material changes shape.
-STORE_FORMAT = 1
+#: 2: telemetry payload field + ExperimentConfig.trace in the key.
+STORE_FORMAT = 2
 
 DEFAULT_ROOT = Path(".repro-cache")
 
@@ -187,6 +188,37 @@ class ResultStore:
         return key
 
     # ------------------------------------------------------------------
+    def entries(self):
+        """Iterate every stored entry, oldest first (then by key).
+
+        Cells are rebuilt from the payload's own config record, so the
+        iterator works on any store without knowing the spec that filled
+        it — this is what ``repro trace`` walks.
+        """
+        from repro.harness.experiment import ExperimentConfig
+
+        rows = self._db.execute(
+            "SELECT key, elapsed_s, created_at FROM results "
+            "ORDER BY created_at, key"
+        ).fetchall()
+        for key, elapsed_s, created_at in rows:
+            path = self._payload_path(key)
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue  # stale row; get_entry() would self-heal it
+            cell = CampaignCell(
+                config=ExperimentConfig(**payload["cell"]["config"]),
+                scheme=payload["cell"]["scheme"],
+            )
+            yield StoreEntry(
+                key=key,
+                cell=cell,
+                report=report_from_dict(payload["report"]),
+                elapsed_s=elapsed_s,
+                created_at=created_at,
+            )
+
     def __len__(self) -> int:
         return self._db.execute("SELECT COUNT(*) FROM results").fetchone()[0]
 

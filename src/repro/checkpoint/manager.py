@@ -17,16 +17,26 @@ from repro.checkpoint.store import CheckpointStore, Snapshot
 
 @dataclass
 class CheckpointManager:
-    """Checkpoints the iterate every ``interval_iters`` iterations."""
+    """Checkpoints the iterate every ``interval_iters`` iterations.
+
+    ``metrics`` is an optional :class:`~repro.obs.metrics.MetricsRegistry`;
+    when present the manager counts writes/rollbacks and observes write
+    durations there, in addition to its own plain counters.
+    """
 
     store: CheckpointStore
     interval_iters: int
+    metrics: object = None
 
     def __post_init__(self) -> None:
         if self.interval_iters < 1:
             raise ValueError("interval must be at least one iteration")
         self.writes = 0
         self.rollbacks = 0
+        if self.metrics is not None:
+            self.metrics.gauge("checkpoint.interval_iters").set(
+                self.interval_iters
+            )
 
     def due(self, iteration: int) -> bool:
         """True when ``iteration`` (1-based count of completed
@@ -42,7 +52,11 @@ class CheckpointManager:
             return None
         snap = self.store.save(iteration, x)
         self.writes += 1
-        return snap, self.store.write_time_s(x.nbytes, nranks)
+        write_s = self.store.write_time_s(x.nbytes, nranks)
+        if self.metrics is not None:
+            self.metrics.counter("checkpoint.writes").inc()
+            self.metrics.histogram("checkpoint.write_s").observe(write_s)
+        return snap, write_s
 
     def rollback(self, iteration: int, nbytes: int, nranks: int):
         """Fetch the newest snapshot at or before ``iteration``.
@@ -54,4 +68,6 @@ class CheckpointManager:
         self.rollbacks += 1
         snap: Snapshot | None = self.store.latest_before(iteration)
         read_time = self.store.read_time_s(nbytes, nranks)
+        if self.metrics is not None:
+            self.metrics.counter("checkpoint.rollbacks").inc()
         return snap, read_time

@@ -1,15 +1,17 @@
 """Command-line interface.
 
-Five subcommands mirror the library's main entry points::
+Six subcommands mirror the library's main entry points::
 
     python -m repro.cli run --matrix crystm02 --scheme LI-DVFS --faults 5
     python -m repro.cli suite --schemes RD F0 LI CR-D --matrices Kuu ex15
     python -m repro.cli campaign --preset iteration-study --workers 8 --resume
+    python -m repro.cli trace --store .repro-cache --export trace.jsonl
     python -m repro.cli project --sizes 192 1536 12288 98304
     python -m repro.cli mtbf
 
 Everything prints plain text; only ``campaign`` writes files (its
-result store, ``.repro-cache/`` by default).
+result store, ``.repro-cache/`` by default) and ``trace --export``
+(the combined telemetry JSONL).
 """
 
 from __future__ import annotations
@@ -54,6 +56,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cr-interval",
         default="paper",
         help="CR cadence: 'paper' (100 iters), 'young', or an integer",
+    )
+    run.add_argument(
+        "--trace", action="store_true",
+        help="record per-solve telemetry and print the fault→recovery "
+        "latency summary",
     )
 
     sweep = sub.add_parser("suite", help="Figure-5-style sweep over matrices")
@@ -123,8 +130,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     camp.add_argument("--quiet", action="store_true", help="suppress progress lines")
     camp.add_argument(
+        "--trace", action="store_true",
+        help="record per-cell telemetry (events, spans, metrics), persist "
+        "it in the store, and print the campaign rollup",
+    )
+    camp.add_argument(
         "--list-presets", action="store_true",
         help="print the preset grids and exit",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect/export the telemetry a traced campaign persisted",
+    )
+    trace.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result store directory (default .repro-cache)",
+    )
+    trace.add_argument(
+        "--matrix", default=None, choices=suite.names(),
+        help="only cells of this matrix",
+    )
+    trace.add_argument(
+        "--scheme", default=None,
+        help="only cells of this scheme (FF for baselines)",
+    )
+    trace.add_argument(
+        "--kind", default=None,
+        choices=["fault", "recovery", "checkpoint", "restart", "phase"],
+        help="only events of this kind in the event streams",
+    )
+    trace.add_argument(
+        "--events", action="store_true",
+        help="print each cell's full event stream",
+    )
+    trace.add_argument(
+        "--spans", action="store_true",
+        help="print each cell's span summary (flamegraph-style aggregate)",
+    )
+    trace.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="write the selected cells' telemetry as combined JSONL",
     )
 
     proj = sub.add_parser("project", help="Section-6 weak-scaling projection")
@@ -146,6 +192,40 @@ def _parse_cr_interval(raw: str):
         raise SystemExit(f"--cr-interval must be 'paper', 'young' or an int, got {raw!r}")
 
 
+def _print_trace_summary(report) -> None:
+    """The ``--trace`` wrap-up: fault→recovery latencies plus top spans."""
+    tel = report.details.get("telemetry")
+    if tel is None:
+        print("\n(no telemetry recorded)")
+        return
+    log = tel.events
+    latencies = log.recovery_latency_s()
+    print(
+        f"\ntelemetry ({tel.timebase} time): {len(log)} events, "
+        f"{len(tel.spans)} spans | {len(log.faults)} faults, "
+        f"{len(log.recoveries)} recoveries, "
+        f"{len(log.checkpoints)} checkpoints, {len(log.restarts)} restarts"
+    )
+    if latencies:
+        print(
+            f"fault→recovery latency: mean {sum(latencies) / len(latencies):.3g}s  "
+            f"max {max(latencies):.3g}s  ({len(latencies)} recovered)"
+        )
+    rows = [
+        [r["name"], r["count"], f"{r['total_s']:.4g}", f"{r['mean_s']:.3g}",
+         f"{r['max_s']:.3g}"]
+        for r in tel.spans.summary()
+    ]
+    if rows:
+        print(
+            format_table(
+                ["span", "count", "total_s", "mean_s", "max_s"],
+                rows,
+                title="span summary (simulated seconds)",
+            )
+        )
+
+
 def cmd_run(args) -> int:
     cfg = ExperimentConfig(
         matrix=args.matrix,
@@ -155,6 +235,7 @@ def cmd_run(args) -> int:
         seed=args.seed,
         scale=args.scale,
         cr_interval=_parse_cr_interval(args.cr_interval),
+        trace=args.trace,
     )
     exp = Experiment(cfg)
     if args.precond:
@@ -165,7 +246,7 @@ def cmd_run(args) -> int:
 
         scfg = lambda **kw: SolverConfig(
             nranks=args.ranks, tol=args.tol, seed=args.seed,
-            preconditioner=args.precond, **kw
+            preconditioner=args.precond, trace=args.trace, **kw
         )
         ff = ResilientSolver(exp.a, exp.b, config=scfg()).solve()
         report = ResilientSolver(
@@ -188,6 +269,8 @@ def cmd_run(args) -> int:
         f"energy {report.normalized_energy(ff):.2f}x  "
         f"power {report.normalized_power(ff):.2f}x"
     )
+    if args.trace:
+        _print_trace_summary(report)
     return 0 if report.converged else 1
 
 
@@ -240,6 +323,8 @@ def _campaign_spec(args):
         overrides["tol"] = args.tol
     if args.cr_interval is not None:
         overrides["cr_interval"] = _parse_cr_interval(args.cr_interval)
+    if args.trace:
+        overrides["trace"] = True
     if args.preset:
         return campaign_presets.preset(args.preset, **overrides)
     return campaign_presets.CampaignSpec(**overrides)
@@ -251,6 +336,7 @@ def cmd_campaign(args) -> int:
         ResultStore,
         format_normalized_tables,
         format_summary,
+        format_telemetry_summary,
         run_campaign,
     )
     from repro.campaign.store import DEFAULT_ROOT
@@ -280,7 +366,114 @@ def cmd_campaign(args) -> int:
     print(format_summary(result))
     print()
     print(format_normalized_tables(result))
+    if args.trace:
+        print()
+        print(format_telemetry_summary(result))
     return 0 if result.n_failed == 0 else 1
+
+
+def cmd_trace(args) -> int:
+    """Walk a result store's traced cells: event streams, span
+    summaries, per-scheme recovery-latency tables, JSONL export."""
+    from pathlib import Path
+
+    from repro.campaign import ResultStore
+    from repro.campaign.store import DEFAULT_ROOT
+    from repro.obs.export import event_to_row, write_trace_jsonl
+
+    root = Path(args.store or DEFAULT_ROOT)
+    if not (root / "index.db").exists():
+        raise SystemExit(f"no result store at {root}")
+
+    cells = {}  # label -> telemetry (store order; last writer wins)
+    schemes = {}  # label -> scheme
+    with ResultStore(root) as store:
+        for entry in store.entries():
+            if args.matrix and entry.cell.config.matrix != args.matrix:
+                continue
+            if args.scheme and entry.cell.scheme != args.scheme:
+                continue
+            tel = entry.report.details.get("telemetry")
+            if tel is None:
+                continue
+            cells[entry.cell.label] = tel
+            schemes[entry.cell.label] = entry.cell.scheme
+    if not cells:
+        print(f"no traced cells in {root} match the filters")
+        return 1
+
+    if args.export:
+        n = write_trace_jsonl(args.export, cells)
+        print(f"wrote {n} JSONL lines ({len(cells)} cells) to {args.export}")
+
+    if args.events:
+        for label, tel in cells.items():
+            events = (
+                tel.events.of_kind(args.kind) if args.kind else tel.events.events
+            )
+            rows = []
+            for e in events:
+                row = event_to_row(e)
+                detail = " ".join(
+                    f"{k}={v}"
+                    for k, v in row.items()
+                    if k not in ("kind", "iteration", "sim_time_s")
+                )
+                rows.append(
+                    [row["kind"], row["iteration"], f"{row['sim_time_s']:.6g}", detail]
+                )
+            print(
+                format_table(
+                    ["kind", "iter", "sim_time_s", "detail"],
+                    rows or [["-", "-", "-", "(no events)"]],
+                    title=f"{label}: event stream",
+                )
+            )
+            print()
+
+    if args.spans:
+        for label, tel in cells.items():
+            rows = [
+                [r["name"], r["count"], f"{r['total_s']:.4g}",
+                 f"{r['mean_s']:.3g}", f"{r['max_s']:.3g}"]
+                for r in tel.spans.summary()
+            ]
+            print(
+                format_table(
+                    ["span", "count", "total_s", "mean_s", "max_s"],
+                    rows or [["-", "-", "-", "-", "-"]],
+                    title=f"{label}: span summary ({tel.timebase} seconds)",
+                )
+            )
+            print()
+
+    # per-scheme fault→recovery latency rollup (always printed)
+    by_scheme: dict[str, list[float]] = {}
+    fault_counts: dict[str, int] = {}
+    for label, tel in cells.items():
+        scheme = schemes[label]
+        by_scheme.setdefault(scheme, []).extend(tel.events.recovery_latency_s())
+        fault_counts[scheme] = fault_counts.get(scheme, 0) + len(tel.events.faults)
+    rows = []
+    for scheme in sorted(by_scheme):
+        lat = by_scheme[scheme]
+        rows.append(
+            [
+                scheme,
+                fault_counts[scheme],
+                len(lat),
+                f"{sum(lat) / len(lat):.3g}" if lat else "-",
+                f"{max(lat):.3g}" if lat else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "faults", "recovered", "mean_latency_s", "max_latency_s"],
+            rows,
+            title=f"fault→recovery latency by scheme ({len(cells)} traced cells)",
+        )
+    )
+    return 0
 
 
 def cmd_project(args) -> int:
@@ -327,6 +520,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "suite": cmd_suite,
         "campaign": cmd_campaign,
+        "trace": cmd_trace,
         "project": cmd_project,
         "mtbf": cmd_mtbf,
     }[args.command](args)

@@ -18,6 +18,7 @@ That keeps every scheme unit-testable against a fake services object.
 from __future__ import annotations
 
 import abc
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -97,6 +98,30 @@ class RecoveryServices(Protocol):
     def release_dvfs(self) -> None:
         """Return every core to f_max after reconstruction."""
         ...
+
+    # -- observability (optional; absent on minimal fakes) --------------
+    def span(self, name: str, **attrs):
+        """Context manager timing ``name`` on the solver's telemetry
+        (simulated clock); a no-op context when tracing is off."""
+        ...
+
+    @property
+    def metrics(self):
+        """The solver's :class:`~repro.obs.metrics.MetricsRegistry`, or
+        ``None`` when tracing is off."""
+        ...
+
+
+def obs_span(services, name: str, **attrs):
+    """``services.span(...)`` if the services object provides one, else a
+    null context — schemes stay runnable against minimal fakes."""
+    span = getattr(services, "span", None)
+    return span(name, **attrs) if span is not None else nullcontext()
+
+
+def obs_metrics(services):
+    """The services' metrics registry, or ``None``."""
+    return getattr(services, "metrics", None)
 
 
 @dataclass

@@ -22,7 +22,13 @@ from repro.checkpoint.interval import interval_in_iterations, young_interval
 from repro.checkpoint.manager import CheckpointManager
 from repro.checkpoint.store import CheckpointStore
 from repro.core.cg import CGState
-from repro.core.recovery.base import RecoveryOutcome, RecoveryScheme, RecoveryServices
+from repro.core.recovery.base import (
+    RecoveryOutcome,
+    RecoveryScheme,
+    RecoveryServices,
+    obs_metrics,
+    obs_span,
+)
 from repro.faults.events import FaultEvent
 from repro.power.energy import PhaseTag
 
@@ -63,7 +69,9 @@ class CheckpointRestart(RecoveryScheme):
             t_c = self.store.write_time_s(nbytes, services.nranks)
             i_c_s = young_interval(t_c, float(self.mtbf_s))
             interval = interval_in_iterations(i_c_s, services.iteration_wall_s)
-        self.manager = CheckpointManager(self.store, interval)
+        self.manager = CheckpointManager(
+            self.store, interval, metrics=obs_metrics(services)
+        )
         self.rollback_reexecute_iters = 0
 
     @property
@@ -87,21 +95,25 @@ class CheckpointRestart(RecoveryScheme):
         self, services: RecoveryServices, state: CGState, event: FaultEvent
     ) -> RecoveryOutcome:
         assert self.manager is not None, "setup() must run first"
-        snap, read_s = self.manager.rollback(
-            state.iteration, services.b.nbytes, services.nranks
-        )
-        if snap is None:
-            # No checkpoint yet: restart from the initial guess.
-            rollback_x = services.x0
-            lost = state.iteration
-        else:
-            rollback_x = snap.x
-            lost = state.iteration - snap.iteration
-        state.x[:] = rollback_x
-        self.rollback_reexecute_iters += lost
-        services.charge_phase(
-            PhaseTag.RESTORE, read_s, services.power_checkpoint_w()
-        )
+        with obs_span(
+            services, "recovery.construct", scheme=self.name,
+            rank=event.victim_rank,
+        ):
+            snap, read_s = self.manager.rollback(
+                state.iteration, services.b.nbytes, services.nranks
+            )
+            if snap is None:
+                # No checkpoint yet: restart from the initial guess.
+                rollback_x = services.x0
+                lost = state.iteration
+            else:
+                rollback_x = snap.x
+                lost = state.iteration - snap.iteration
+            state.x[:] = rollback_x
+            self.rollback_reexecute_iters += lost
+            services.charge_phase(
+                PhaseTag.RESTORE, read_s, services.power_checkpoint_w()
+            )
         return RecoveryOutcome(
             needs_restart=True, detail={"rolled_back_iters": lost}
         )

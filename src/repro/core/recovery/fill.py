@@ -11,7 +11,12 @@ the entire cost shows up as extra iterations, which the solver measures.
 from __future__ import annotations
 
 from repro.core.cg import CGState
-from repro.core.recovery.base import RecoveryOutcome, RecoveryScheme, RecoveryServices
+from repro.core.recovery.base import (
+    RecoveryOutcome,
+    RecoveryScheme,
+    RecoveryServices,
+    obs_span,
+)
 from repro.faults.events import FaultEvent
 
 
@@ -23,8 +28,12 @@ class ZeroFill(RecoveryScheme):
     def recover(
         self, services: RecoveryServices, state: CGState, event: FaultEvent
     ) -> RecoveryOutcome:
-        sl = services.partition.slice_of(event.victim_rank)
-        state.x[sl] = 0.0
+        with obs_span(
+            services, "recovery.construct", scheme=self.name,
+            rank=event.victim_rank,
+        ):
+            sl = services.partition.slice_of(event.victim_rank)
+            state.x[sl] = 0.0
         return RecoveryOutcome(needs_restart=True)
 
 
@@ -36,6 +45,10 @@ class InitialGuessFill(RecoveryScheme):
     def recover(
         self, services: RecoveryServices, state: CGState, event: FaultEvent
     ) -> RecoveryOutcome:
-        sl = services.partition.slice_of(event.victim_rank)
-        state.x[sl] = services.x0[sl]
+        with obs_span(
+            services, "recovery.construct", scheme=self.name,
+            rank=event.victim_rank,
+        ):
+            sl = services.partition.slice_of(event.victim_rank)
+            state.x[sl] = services.x0[sl]
         return RecoveryOutcome(needs_restart=True)

@@ -29,7 +29,12 @@ import numpy as np
 import scipy.sparse.linalg as spla
 
 from repro.core.cg import CGState
-from repro.core.recovery.base import RecoveryOutcome, RecoveryScheme, RecoveryServices
+from repro.core.recovery.base import (
+    RecoveryOutcome,
+    RecoveryScheme,
+    RecoveryServices,
+    obs_span,
+)
 from repro.core.recovery.localsolve import (
     exact_least_squares,
     local_cg,
@@ -93,15 +98,19 @@ class _InterpolationBase(RecoveryScheme):
         *,
         parallel: bool,
     ) -> None:
-        if parallel:
-            power = services.power_compute_w()
-        else:
-            if self.dvfs:
-                services.apply_dvfs_reconstruct(event.victim_rank)
-            power = services.power_reconstruct_w(dvfs=self.dvfs)
-        services.charge_phase(PhaseTag.RECONSTRUCT, seconds, power)
-        if not parallel and self.dvfs:
-            services.release_dvfs()
+        with obs_span(
+            services, "recovery.construct", scheme=self.name,
+            rank=event.victim_rank, method=self.method,
+        ):
+            if parallel:
+                power = services.power_compute_w()
+            else:
+                if self.dvfs:
+                    services.apply_dvfs_reconstruct(event.victim_rank)
+                power = services.power_reconstruct_w(dvfs=self.dvfs)
+            services.charge_phase(PhaseTag.RECONSTRUCT, seconds, power)
+            if not parallel and self.dvfs:
+                services.release_dvfs()
 
     def _finish(
         self, services: RecoveryServices, detail: dict

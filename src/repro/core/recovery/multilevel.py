@@ -12,7 +12,13 @@ from __future__ import annotations
 
 from repro.checkpoint.multilevel import MultiLevelManager
 from repro.core.cg import CGState
-from repro.core.recovery.base import RecoveryOutcome, RecoveryScheme, RecoveryServices
+from repro.core.recovery.base import (
+    RecoveryOutcome,
+    RecoveryScheme,
+    RecoveryServices,
+    obs_metrics,
+    obs_span,
+)
 from repro.faults.events import FaultEvent
 from repro.power.energy import PhaseTag
 
@@ -61,21 +67,29 @@ class MultiLevelCheckpointRestart(RecoveryScheme):
         self, services: RecoveryServices, state: CGState, event: FaultEvent
     ) -> RecoveryOutcome:
         assert self.manager is not None, "setup() must run first"
-        restore = self.manager.rollback(
-            state.iteration, services.b.nbytes, services.nranks
-        )
-        if restore.snapshot is None:
-            rollback_x = services.x0
-            lost = state.iteration
-        else:
-            rollback_x = restore.snapshot.x
-            lost = state.iteration - restore.snapshot.iteration
-        state.x[:] = rollback_x
-        self.rollback_reexecute_iters += lost
-        self.restore_levels.append(restore.level)
-        services.charge_phase(
-            PhaseTag.RESTORE, restore.read_time_s, services.power_checkpoint_w()
-        )
+        with obs_span(
+            services, "recovery.construct", scheme=self.name,
+            rank=event.victim_rank,
+        ):
+            restore = self.manager.rollback(
+                state.iteration, services.b.nbytes, services.nranks
+            )
+            if restore.snapshot is None:
+                rollback_x = services.x0
+                lost = state.iteration
+            else:
+                rollback_x = restore.snapshot.x
+                lost = state.iteration - restore.snapshot.iteration
+            state.x[:] = rollback_x
+            self.rollback_reexecute_iters += lost
+            self.restore_levels.append(restore.level)
+            services.charge_phase(
+                PhaseTag.RESTORE, restore.read_time_s,
+                services.power_checkpoint_w(),
+            )
+        m = obs_metrics(services)
+        if m is not None:
+            m.counter("checkpoint.restores", level=restore.level).inc()
         return RecoveryOutcome(
             needs_restart=True,
             detail={"rolled_back_iters": lost, "level": restore.level},

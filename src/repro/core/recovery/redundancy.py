@@ -25,7 +25,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.cg import CGState
-from repro.core.recovery.base import RecoveryOutcome, RecoveryScheme, RecoveryServices
+from repro.core.recovery.base import (
+    RecoveryOutcome,
+    RecoveryScheme,
+    RecoveryServices,
+    obs_span,
+)
 from repro.faults.events import FaultEvent
 from repro.matrices.distributed import BYTES_PER_ENTRY
 from repro.power.energy import PhaseTag
@@ -67,24 +72,30 @@ class Redundancy(RecoveryScheme):
         self, services: RecoveryServices, state: CGState, event: FaultEvent
     ) -> RecoveryOutcome:
         sl = services.partition.slice_of(event.victim_rank)
-        if self._replica is None:
-            # Fault before the first completed iteration: the replica of
-            # the *initial* state is the initial guess itself.
-            state.x[sl] = services.x0[sl]
-            r0 = services.b - services.dmat.matvec(services.x0)
-            state.r[sl] = r0[sl]
-            state.p[sl] = r0[sl]
-            needs_restart = True
-        else:
-            state.x[sl] = self._replica.x[sl]
-            state.r[sl] = self._replica.r[sl]
-            state.p[sl] = self._replica.p[sl]
-            state.rz = self._replica.rz
-            needs_restart = False
-        # Shipping the three vector blocks from the replica's core set:
-        # one inter-node message, "negligible" (Section 3.2) but real.
-        nbytes = 3 * (sl.stop - sl.start) * BYTES_PER_ENTRY
-        xfer = services.interconnect_p2p_s(nbytes)
-        services.charge_phase(PhaseTag.RESTORE, xfer, services.power_compute_w())
+        with obs_span(
+            services, "recovery.construct", scheme=self.name,
+            rank=event.victim_rank,
+        ):
+            if self._replica is None:
+                # Fault before the first completed iteration: the replica of
+                # the *initial* state is the initial guess itself.
+                state.x[sl] = services.x0[sl]
+                r0 = services.b - services.dmat.matvec(services.x0)
+                state.r[sl] = r0[sl]
+                state.p[sl] = r0[sl]
+                needs_restart = True
+            else:
+                state.x[sl] = self._replica.x[sl]
+                state.r[sl] = self._replica.r[sl]
+                state.p[sl] = self._replica.p[sl]
+                state.rz = self._replica.rz
+                needs_restart = False
+            # Shipping the three vector blocks from the replica's core set:
+            # one inter-node message, "negligible" (Section 3.2) but real.
+            nbytes = 3 * (sl.stop - sl.start) * BYTES_PER_ENTRY
+            xfer = services.interconnect_p2p_s(nbytes)
+            services.charge_phase(
+                PhaseTag.RESTORE, xfer, services.power_compute_w()
+            )
         self.recoveries += 1
         return RecoveryOutcome(needs_restart=needs_restart, detail={"exact": True})

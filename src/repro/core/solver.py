@@ -12,6 +12,7 @@ facade the schemes charge their costs through.
 from __future__ import annotations
 
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -134,11 +135,20 @@ class ResilientSolver:
         self.rapl = RaplMeter()
         self.injector = FaultInjector(self._dmat.partition, seed=cfg.seed)
         if cfg.trace:
-            from repro.harness.tracing import EventLog
+            from repro.obs.telemetry import Telemetry
 
-            self.trace: "EventLog | None" = EventLog()
+            # Solver telemetry rides the simulated clock: every event,
+            # span and metric is stamped with deterministic sim time, so
+            # traced runs stay bit-identical across worker pools.
+            self.obs: "Telemetry | None" = Telemetry.for_solver(
+                clock=lambda: self.comm.now
+            )
+            self.trace = self.obs.events
+            self.account.on_charge = self._on_charge
         else:
+            self.obs = None
             self.trace = None
+        self._last_phase_tag: PhaseTag | None = None
         self._open_phase: list | None = None  # [tag, power, t0, t1]
         self._precompute_iteration_charges()
 
@@ -223,9 +233,44 @@ class ResilientSolver:
             self.dvfs.set_all(self.config.power.ladder.fmax_ghz, time_s=now)
             self.dvfs.set_governor(Governor.PERFORMANCE, time_s=now)
 
+    def span(self, name: str, **attrs):
+        """A sim-time span on this solve's telemetry (no-op untraced)."""
+        if self.obs is None:
+            return nullcontext()
+        return self.obs.spans.span(name, **attrs)
+
+    @property
+    def metrics(self):
+        """This solve's metrics registry, or ``None`` untraced."""
+        return self.obs.metrics if self.obs is not None else None
+
     # ==================================================================
     # internals
     # ==================================================================
+    def _on_charge(self, tag: PhaseTag, time_s: float, energy_j: float) -> None:
+        """Energy-account tap: per-phase metrics and transition events."""
+        m = self.obs.metrics
+        m.counter("phase.time_s", phase=tag.value).inc(time_s)
+        m.counter("phase.energy_j", phase=tag.value).inc(energy_j)
+        if time_s <= 0 or tag is self._last_phase_tag:
+            return
+        # One event per *entry* into a resilience phase, not per charge:
+        # contiguous EXTRA iterations collapse to a single transition.
+        # REDUNDANT is overlapped (zero-time) and never reached here.
+        if tag.is_resilience:
+            from repro.harness.tracing import PhaseEntered
+
+            self.trace.record(
+                PhaseEntered(
+                    iteration=self.cg.iteration,
+                    sim_time_s=self.comm.now,
+                    phase=tag.value,
+                    from_phase=(
+                        self._last_phase_tag.value if self._last_phase_tag else ""
+                    ),
+                )
+            )
+        self._last_phase_tag = tag
     def _precompute_iteration_charges(self) -> None:
         pm = self.config.power
         f_op = self.f_op_ghz
@@ -252,7 +297,8 @@ class ResilientSolver:
         """Charge the account, advance simulated time, extend the RAPL log."""
         if duration_s < 0:
             raise ValueError("duration must be non-negative")
-        if self.trace is not None and tag is PhaseTag.CHECKPOINT:
+        is_checkpoint = tag is PhaseTag.CHECKPOINT
+        if self.trace is not None and is_checkpoint:
             from repro.harness.tracing import CheckpointWritten
 
             self.trace.record(
@@ -262,16 +308,24 @@ class ResilientSolver:
                     duration_s=duration_s,
                 )
             )
-        energy = self.account.charge(tag, time_s=duration_s, power_w=power_w)
-        mult = self.scheme.energy_multiplier if self.scheme else 1.0
-        if mult > 1.0:
-            # The DMR replica draws the same power concurrently.
-            self.account.charge_energy(PhaseTag.REDUNDANT, (mult - 1.0) * energy)
-        if duration_s == 0:
-            return
-        t0 = self.comm.now
-        self.comm.clocks.synchronize(duration_s)
-        self._rapl_append(tag.value, t0, self.comm.now, power_w * mult)
+        ctx = (
+            self.span("checkpoint.write", iteration=self.cg.iteration)
+            if self.obs is not None and is_checkpoint
+            else nullcontext()
+        )
+        with ctx:
+            energy = self.account.charge(tag, time_s=duration_s, power_w=power_w)
+            mult = self.scheme.energy_multiplier if self.scheme else 1.0
+            if mult > 1.0:
+                # The DMR replica draws the same power concurrently.
+                self.account.charge_energy(
+                    PhaseTag.REDUNDANT, (mult - 1.0) * energy
+                )
+            if duration_s == 0:
+                return
+            t0 = self.comm.now
+            self.comm.clocks.synchronize(duration_s)
+            self._rapl_append(tag.value, t0, self.comm.now, power_w * mult)
 
     def _rapl_append(self, tag: str, t0: float, t1: float, power_w: float) -> None:
         """Append to the RAPL log, merging contiguous equal-power phases."""
@@ -355,19 +409,25 @@ class ResilientSolver:
         ]
         for ev in sub_events:
             self.injector.inject(ev, cg.state.x, cg.state.r, cg.state.p)
+        t_fault = self.comm.now
         if self.trace is not None:
             from repro.harness.tracing import FaultInjected
 
             self.trace.record(
                 FaultInjected(
                     iteration=event.iteration,
-                    sim_time_s=self.comm.now,
+                    sim_time_s=t_fault,
                     victim_rank=event.victim_rank,
                     fault_class=event.fault_class.label,
                     scope=event.scope.value,
                     n_blocks_lost=len(victims),
                 )
             )
+            self.obs.metrics.counter(
+                "solver.faults",
+                fault_class=event.fault_class.label,
+                scope=event.scope.value,
+            ).inc()
         if len(victims) > 1:
             # Wide-scope damage: neutralise every lost block first so a
             # block-local reconstruction never reads a sibling's poison.
@@ -378,8 +438,10 @@ class ResilientSolver:
         else:
             recover_events = sub_events
         outcomes = []
+        scheme_label = self.scheme.name.lower()
         for ev in recover_events:
-            outcome = self.scheme.recover(self, cg.state, ev)
+            with self.span(f"recovery.{scheme_label}", rank=ev.victim_rank):
+                outcome = self.scheme.recover(self, cg.state, ev)
             outcomes.append(outcome)
             if self.trace is not None:
                 from repro.harness.tracing import RecoveryApplied
@@ -394,11 +456,20 @@ class ResilientSolver:
                         construct_time_s=outcome.construct_time_s,
                     )
                 )
+                m = self.obs.metrics
+                m.counter("solver.recoveries", scheme=self.scheme.name).inc()
+                m.histogram(
+                    "recovery.construct_s", scheme=self.scheme.name
+                ).observe(outcome.construct_time_s)
+                self.obs.recovery_latency_histogram(self.scheme.name).observe(
+                    self.comm.now - t_fault
+                )
         if any(o.needs_restart for o in outcomes):
-            cg.restart()
-            self._emit(
-                PhaseTag.EXTRA, self.restart_cost_s(), self.power_compute_w()
-            )
+            with self.span("solver.restart", iteration=event.iteration):
+                cg.restart()
+                self._emit(
+                    PhaseTag.EXTRA, self.restart_cost_s(), self.power_compute_w()
+                )
             if self.trace is not None:
                 from repro.harness.tracing import SolverRestarted
 
@@ -407,6 +478,7 @@ class ResilientSolver:
                         iteration=event.iteration, sim_time_s=self.comm.now
                     )
                 )
+                self.obs.metrics.counter("solver.restarts").inc()
 
     def _fault_free_horizon(self) -> int:
         """Iterations of a fault-free run (for schedules and EXTRA split)."""
@@ -447,21 +519,26 @@ class ResilientSolver:
             self.scheme.setup(self)
 
         cg = self.cg
-        while not cg.converged and cg.iteration < cfg.max_iters:
-            cg.step()
-            is_extra = baseline is not None and cg.iteration > baseline
-            self._charge_iteration(is_extra)
-            if self.scheme is not None:
-                self.scheme.on_iteration_end(self, cg.state)
-            while pending and pending[0].iteration <= cg.iteration:
-                event = pending.popleft()
-                if event.fault_class.needs_recovery:
-                    if self.scheme is None:
-                        raise RuntimeError(
-                            "fault injected but no recovery scheme configured"
-                        )
-                    self._handle_fault(event)
-                handled.append(event)
+        with self.span(
+            "solve", scheme=self.scheme.name if self.scheme else "FF"
+        ):
+            while not cg.converged and cg.iteration < cfg.max_iters:
+                cg.step()
+                is_extra = baseline is not None and cg.iteration > baseline
+                self._charge_iteration(is_extra)
+                if self.obs is not None:
+                    self.obs.metrics.counter("solver.iterations").inc()
+                if self.scheme is not None:
+                    self.scheme.on_iteration_end(self, cg.state)
+                while pending and pending[0].iteration <= cg.iteration:
+                    event = pending.popleft()
+                    if event.fault_class.needs_recovery:
+                        if self.scheme is None:
+                            raise RuntimeError(
+                                "fault injected but no recovery scheme configured"
+                            )
+                        self._handle_fault(event)
+                    handled.append(event)
 
         self._flush_phase()
         details: dict = {
@@ -470,8 +547,13 @@ class ResilientSolver:
             "dvfs_transitions": self.dvfs.transition_count(),
             "operating_frequency_ghz": self.f_op_ghz,
         }
-        if self.trace is not None:
+        if self.obs is not None:
+            m = self.obs.metrics
+            m.gauge("solver.sim_time_s").set(self.comm.now)
+            m.gauge("solver.relative_residual").set(cg.relative_residual)
+            m.gauge("solver.converged").set(1.0 if cg.converged else 0.0)
             details["trace"] = self.trace
+            details["telemetry"] = self.obs
         if self.scheme is not None:
             details["scheme_details"] = _scheme_details(self.scheme)
         return SolveReport(

@@ -48,6 +48,11 @@ class ExperimentConfig:
     cr_interval: str | int = "paper"
     construct_tol: float = 1e-6
     max_iters: int = 200_000
+    #: Record per-solve telemetry (event stream, spans, metrics) in the
+    #: report's ``details``; purely observational, never changes the
+    #: numerics — but it is part of the cell's cache key because it
+    #: changes the persisted payload.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.n_faults < 0:
@@ -83,6 +88,7 @@ class Experiment:
             tol=c.tol,
             max_iters=c.max_iters,
             seed=c.seed,
+            trace=c.trace,
             baseline_iters=baseline,
         )
 

@@ -66,19 +66,55 @@ class SolverRestarted(TraceEvent):
     kind = "restart"
 
 
+@dataclass(frozen=True)
+class PhaseEntered(TraceEvent):
+    """Simulated time crossed into a resilience phase.
+
+    Emitted on the *transition* (the previous time-advancing charge had
+    a different tag), not per charge, so contiguous runs of the same
+    phase — e.g. a block of EXTRA iterations — yield one event.
+    """
+
+    phase: str = ""
+    from_phase: str = ""
+
+    kind = "phase"
+
+
+#: Record slack: events at the *same* simulated instant are legal and
+#: common — a fault and its zero-cost recovery, or several block-local
+#: recoveries inside one wide-scope fault, all land on one timestamp.
+#: The slack also forgives float jitter from summing phase durations in
+#: different orders; only a genuinely earlier timestamp (beyond 1e-12 s)
+#: is time travel and rejected.
+EQUAL_TIME_SLACK_S = 1e-12
+
+
 @dataclass
 class EventLog:
     """Append-only, time-ordered event stream."""
 
     events: list[TraceEvent] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # Per-kind index so of_kind() costs O(matches), not a full scan.
+        self._by_kind: dict[str, list[TraceEvent]] = {}
+        for e in self.events:
+            self._by_kind.setdefault(e.kind, []).append(e)
+
     def record(self, event: TraceEvent) -> None:
-        if self.events and event.sim_time_s < self.events[-1].sim_time_s - 1e-12:
+        if (
+            self.events
+            and event.sim_time_s < self.events[-1].sim_time_s - EQUAL_TIME_SLACK_S
+        ):
             raise ValueError("events must be recorded in time order")
         self.events.append(event)
+        self._by_kind.setdefault(event.kind, []).append(event)
 
     def of_kind(self, kind: str) -> list[TraceEvent]:
-        return [e for e in self.events if e.kind == kind]
+        """Events of one kind, via the per-kind index (no full scan).
+        Returns a fresh list; mutating it does not affect the log."""
+        return list(self._by_kind.get(kind, ()))
 
     @property
     def faults(self) -> list[FaultInjected]:

@@ -1,0 +1,123 @@
+"""Span timing: named, attributed intervals on a pluggable clock.
+
+A span is one timed operation (``recovery.lsi``, ``checkpoint.write``,
+``solve``) with open/close timestamps and free-form attributes::
+
+    with spans.span("recovery.lsi", rank=3):
+        ...construct...
+
+The recorder's **clock** decides the timebase.  Inside the solver the
+clock is the simulated cluster clock (``lambda: comm.now``) so spans
+are deterministic and bit-identical across serial/parallel campaign
+runs; in the harness and campaign layers the default wall clock
+(:func:`time.perf_counter`) measures real elapsed time.  ``timebase``
+("sim" or "wall") records which convention a stream used, and
+exporters carry it along so readers never mix the two.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed interval."""
+
+    name: str
+    t_start: float
+    t_end: float
+    attrs: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.t_end - self.t_start
+
+    def to_row(self) -> dict:
+        return {
+            "name": self.name,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_row(cls, row: dict) -> "Span":
+        return cls(
+            name=row["name"],
+            t_start=row["t_start"],
+            t_end=row["t_end"],
+            attrs=tuple(sorted(row.get("attrs", {}).items())),
+        )
+
+
+@dataclass
+class SpanRecorder:
+    """Collects closed spans in completion order."""
+
+    #: Zero-argument callable returning the current time; ``None`` means
+    #: wall clock.  Kept as a field so solver code can plug in sim time.
+    clock: object = None
+    timebase: str = "wall"
+    spans: list[Span] = field(default_factory=list)
+
+    def now(self) -> float:
+        return self.clock() if self.clock is not None else time.perf_counter()
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        t0 = self.now()
+        try:
+            yield
+        finally:
+            self.spans.append(
+                Span(
+                    name=name,
+                    t_start=t0,
+                    t_end=self.now(),
+                    attrs=tuple(sorted(attrs.items())),
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def of_name(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def summary(self) -> list[dict]:
+        """Flamegraph-style aggregate: one row per span name, ordered by
+        total time descending (ties broken by name)."""
+        agg: dict[str, dict] = {}
+        for s in self.spans:
+            row = agg.setdefault(
+                s.name,
+                {"name": s.name, "count": 0, "total_s": 0.0, "max_s": 0.0},
+            )
+            row["count"] += 1
+            row["total_s"] += s.duration_s
+            row["max_s"] = max(row["max_s"], s.duration_s)
+        for row in agg.values():
+            row["mean_s"] = row["total_s"] / row["count"]
+        return sorted(agg.values(), key=lambda r: (-r["total_s"], r["name"]))
+
+    def to_rows(self) -> list[dict]:
+        return [s.to_row() for s in self.spans]
+
+    @classmethod
+    def from_rows(cls, rows: list[dict], *, timebase: str = "wall"):
+        rec = cls(timebase=timebase)
+        rec.spans = [Span.from_row(r) for r in rows]
+        return rec
+
+    # Reports travel between pool workers as pickles; a sim-time clock
+    # is a closure over the solver and must not travel with them.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["clock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)

@@ -61,9 +61,17 @@ class EnergyAccount:
     Overlapped phases (DMR's replica) charge energy with zero wall-clock
     time so total time remains the critical-path time while total energy
     includes everything that drew power.
+
+    ``on_charge`` is an optional observability tap: when set, every
+    charge also invokes ``on_charge(tag, time_s, energy_j)`` (with
+    ``time_s=0`` for overlapped charges).  The solver uses it to feed
+    phase metrics and phase-transition events without the account
+    knowing about the telemetry layer.  It is excluded from equality
+    and never pickled with the account.
     """
 
     charges: dict[PhaseTag, Charge] = field(default_factory=dict)
+    on_charge: object = field(default=None, repr=False, compare=False)
 
     def charge(self, tag: PhaseTag, *, time_s: float, power_w: float) -> float:
         """Charge ``time_s`` seconds at ``power_w`` watts; returns joules."""
@@ -75,6 +83,8 @@ class EnergyAccount:
         c = self.charges.setdefault(tag, Charge())
         c.time_s += time_s
         c.energy_j += energy
+        if self.on_charge is not None:
+            self.on_charge(tag, time_s, energy)
         return energy
 
     def charge_energy(self, tag: PhaseTag, energy_j: float) -> None:
@@ -82,6 +92,18 @@ class EnergyAccount:
         if energy_j < 0:
             raise ValueError("energy must be non-negative")
         self.charges.setdefault(tag, Charge()).energy_j += energy_j
+        if self.on_charge is not None:
+            self.on_charge(tag, 0.0, energy_j)
+
+    # The tap may close over a live solver; it must not travel with the
+    # account when reports cross process boundaries as pickles.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["on_charge"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     def time(self, tag: PhaseTag) -> float:

@@ -1,0 +1,102 @@
+"""Telemetry through the campaign: persistence, rollup, bit-identity.
+
+The acceptance surface of the observability layer: a traced campaign
+persists every cell's telemetry in the store, the rollup merges the
+worker-side registries, and — because solver telemetry rides the
+simulated clock — a serial run and a 2-worker run export byte-identical
+JSONL.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import ResultStore, run_campaign
+from repro.campaign.progress import format_telemetry_summary
+from repro.campaign.spec import CampaignSpec
+from repro.obs.export import trace_jsonl_lines
+from repro.obs.telemetry import Telemetry
+
+
+@pytest.fixture()
+def traced_spec() -> CampaignSpec:
+    """One matrix x one scheme at scale 0.25, telemetry on."""
+    return CampaignSpec(
+        name="traced",
+        matrices=("wathen100",),
+        schemes=("F0",),
+        nranks=(8,),
+        fault_loads=(2,),
+        scale=0.25,
+        trace=True,
+    )
+
+
+def cell_lines(result) -> list[str]:
+    return trace_jsonl_lines(result.cell_telemetry())
+
+
+class TestTelemetryPersistence:
+    def test_store_round_trips_cell_telemetry(self, traced_spec, store):
+        result = run_campaign(traced_spec, store=store)
+        assert result.n_failed == 0
+        for entry in store.entries():
+            tel = entry.report.details.get("telemetry")
+            assert isinstance(tel, Telemetry)
+            assert tel.timebase == "sim"
+            # the trace alias still points at the same event log
+            assert entry.report.details["trace"] is tel.events
+            if entry.cell.scheme == "F0":
+                assert len(tel.events.faults) == 2
+                assert len(tel.events.recoveries) == 2
+
+    def test_cached_cells_reproduce_telemetry_exactly(self, traced_spec, store):
+        first = run_campaign(traced_spec, store=store)
+        second = run_campaign(traced_spec, store=store)
+        assert second.n_cached == len(second.results)
+        assert cell_lines(first) == cell_lines(second)
+
+    def test_untraced_spec_persists_no_telemetry(self, tiny_spec, store):
+        result = run_campaign(tiny_spec, store=store)
+        assert result.cell_telemetry() == {}
+        for entry in store.entries():
+            assert "telemetry" not in entry.report.details
+
+
+class TestRollup:
+    def test_rollup_merges_worker_registries(self, traced_spec, store):
+        result = run_campaign(traced_spec, store=store)
+        snap = result.telemetry_rollup().snapshot()
+        assert snap["counters"]["campaign.cells{status=ran}"] == 2.0
+        assert snap["counters"]["campaign.cache.misses"] == 2.0
+        assert snap["counters"]["campaign.retries"] == 0.0
+        assert snap["counters"]["solver.faults{fault_class=SNF,scope=process}"] == 2.0
+        hist = snap["histograms"]["recovery.latency_s{scheme=F0}"]
+        assert hist["n"] == 2
+        assert "campaign.cells_per_sec" in snap["gauges"]
+
+    def test_rollup_counts_cache_hits_on_resume(self, traced_spec, store):
+        run_campaign(traced_spec, store=store)
+        snap = run_campaign(traced_spec, store=store).telemetry_rollup().snapshot()
+        assert snap["counters"]["campaign.cells{status=cached}"] == 2.0
+        assert snap["counters"]["campaign.cache.hits"] == 2.0
+        # worker metrics still merge: cached reports carry telemetry too
+        assert snap["counters"]["solver.recoveries{scheme=F0}"] == 2.0
+
+    def test_summary_renders(self, traced_spec, store):
+        result = run_campaign(traced_spec, store=store)
+        text = format_telemetry_summary(result)
+        assert "campaign telemetry rollup:" in text
+        assert "recovery.latency_s{scheme=F0}" in text
+
+
+class TestSerialParallelBitIdentity:
+    def test_serial_and_parallel_export_identical_jsonl(self, traced_spec, tmp_path):
+        serial = run_campaign(
+            traced_spec, store=ResultStore(tmp_path / "serial")
+        )
+        parallel = run_campaign(
+            traced_spec, store=ResultStore(tmp_path / "parallel"), max_workers=2
+        )
+        assert serial.n_failed == parallel.n_failed == 0
+        assert cell_lines(serial) == cell_lines(parallel)

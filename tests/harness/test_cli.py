@@ -122,6 +122,93 @@ class TestCli:
         assert "iteration-study" in out
         assert "cost-study" in out
 
+    def test_run_trace_prints_latency_summary(self, capsys):
+        code = main(
+            [
+                "run", "--matrix", "wathen100", "--scheme", "F0",
+                "--faults", "2", "--ranks", "8", "--scale", "0.25",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry (sim time):" in out
+        assert "fault→recovery latency:" in out
+        assert "span summary" in out
+
+    def test_campaign_trace_then_trace_subcommand(self, capsys, tmp_path):
+        store = str(tmp_path / "cache")
+        export = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "campaign", "--matrices", "wathen100", "--schemes", "F0",
+                "--ranks", "8", "--faults", "2", "--scale", "0.25",
+                "--store", store, "--quiet", "--trace",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "campaign telemetry rollup:" in out
+        assert "recovery.latency_s{scheme=F0}" in out
+
+        assert main(
+            [
+                "trace", "--store", store, "--events", "--spans",
+                "--export", str(export),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "event stream" in out
+        assert "fault" in out
+        assert "span summary" in out
+        assert "fault→recovery latency by scheme" in out
+        assert export.exists()
+
+        from repro.obs.export import load_trace_jsonl
+
+        cells = load_trace_jsonl(export)
+        assert "wathen100/r8/f2/x0.25/F0" in cells
+
+    def test_trace_filters_by_scheme_and_kind(self, capsys, tmp_path):
+        store = str(tmp_path / "cache")
+        main(
+            [
+                "campaign", "--matrices", "wathen100", "--schemes", "F0",
+                "--ranks", "8", "--faults", "2", "--scale", "0.25",
+                "--store", store, "--quiet", "--trace",
+            ]
+        )
+        capsys.readouterr()
+        assert main(
+            [
+                "trace", "--store", store, "--scheme", "F0",
+                "--events", "--kind", "fault",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "F0" in out
+        assert "/FF" not in out  # baseline filtered out
+        # only fault events in the stream: no recovery/phase rows
+        assert "needs_restart" not in out
+        assert "from_phase" not in out
+        assert "victim_rank=" in out
+
+    def test_trace_on_untraced_store_reports_nothing(self, capsys, tmp_path):
+        store = str(tmp_path / "cache")
+        main(
+            [
+                "campaign", "--matrices", "wathen100", "--schemes", "RD",
+                "--ranks", "8", "--faults", "2", "--scale", "0.25",
+                "--store", store, "--quiet",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace", "--store", store]) == 1
+        assert "no traced cells" in capsys.readouterr().out
+
+    def test_trace_missing_store_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "--store", str(tmp_path / "nope")])
+
     def test_rejects_unknown_scheme(self):
         with pytest.raises(SystemExit):
             main(["run", "--scheme", "MAGIC"])

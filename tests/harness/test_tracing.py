@@ -52,6 +52,64 @@ class TestEventLog:
         lat = log.recovery_latency_s()
         assert lat == [pytest.approx(0.4), pytest.approx(0.1)]
 
+    def test_latency_fault_without_recovery(self):
+        # An unrecovered fault (e.g. the run halted) contributes nothing.
+        log = EventLog()
+        log.record(FaultInjected(iteration=5, sim_time_s=1.0))
+        assert log.recovery_latency_s() == []
+
+    def test_latency_two_faults_before_one_recovery(self):
+        # A wide-scope outage: both faults land before the single
+        # recovery.  The recovery is attributed to the *first* pending
+        # fault; the second fault goes unmatched.
+        log = EventLog()
+        log.record(FaultInjected(iteration=5, sim_time_s=1.0))
+        log.record(FaultInjected(iteration=5, sim_time_s=2.0))
+        log.record(RecoveryApplied(iteration=5, sim_time_s=3.0))
+        assert log.recovery_latency_s() == [pytest.approx(2.0)]
+
+    def test_latency_recovery_before_first_fault_is_skipped(self):
+        # A recovery that precedes every fault (stale stream slice)
+        # cannot be a response to one and must not produce a negative
+        # latency.
+        log = EventLog()
+        log.record(RecoveryApplied(iteration=3, sim_time_s=0.5))
+        log.record(FaultInjected(iteration=5, sim_time_s=1.0))
+        log.record(RecoveryApplied(iteration=5, sim_time_s=1.2))
+        assert log.recovery_latency_s() == [pytest.approx(0.2)]
+
+    def test_equal_timestamps_tolerated(self):
+        # A fault and its zero-cost recovery share one simulated instant.
+        log = EventLog()
+        log.record(FaultInjected(iteration=5, sim_time_s=1.0))
+        log.record(RecoveryApplied(iteration=5, sim_time_s=1.0))
+        log.record(SolverRestarted(iteration=5, sim_time_s=1.0 - 1e-13))
+        assert len(log) == 3
+        assert log.recovery_latency_s() == [pytest.approx(0.0)]
+
+    def test_beyond_slack_still_rejected(self):
+        log = EventLog()
+        log.record(FaultInjected(iteration=5, sim_time_s=1.0))
+        with pytest.raises(ValueError):
+            log.record(RecoveryApplied(iteration=5, sim_time_s=1.0 - 1e-9))
+
+    def test_of_kind_index_survives_construction(self):
+        # EventLog(events=[...]) must index preloaded events too.
+        events = [
+            FaultInjected(iteration=1, sim_time_s=1.0),
+            RecoveryApplied(iteration=1, sim_time_s=1.1),
+        ]
+        log = EventLog(events=list(events))
+        assert log.of_kind("fault") == [events[0]]
+        log.record(FaultInjected(iteration=2, sim_time_s=2.0))
+        assert len(log.of_kind("fault")) == 2
+
+    def test_of_kind_returns_fresh_list(self):
+        log = EventLog()
+        log.record(FaultInjected(iteration=1, sim_time_s=1.0))
+        log.of_kind("fault").clear()
+        assert len(log.faults) == 1
+
 
 @pytest.fixture(scope="module")
 def traced_run():

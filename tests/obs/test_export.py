@@ -1,0 +1,132 @@
+"""Tests for the telemetry exporters: JSONL round trips and CSV."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.recovery import make_scheme
+from repro.core.solver import ResilientSolver
+from repro.faults.schedule import EvenlySpacedSchedule
+from repro.harness.tracing import FaultInjected, PhaseEntered, RecoveryApplied
+from repro.matrices.generators import banded_spd
+from repro.obs.export import (
+    event_from_row,
+    event_to_row,
+    load_trace_jsonl,
+    residual_power_csv,
+    telemetry_from_dict,
+    telemetry_to_dict,
+    trace_jsonl_lines,
+    write_trace_jsonl,
+)
+from repro.obs.telemetry import Telemetry
+from tests.conftest import quick_config
+
+
+def make_telemetry() -> Telemetry:
+    t = 0.0
+    tel = Telemetry.for_solver(clock=lambda: t)
+    tel.events.record(
+        FaultInjected(iteration=3, sim_time_s=0.5, victim_rank=1)
+    )
+    tel.events.record(
+        RecoveryApplied(iteration=3, sim_time_s=0.5, scheme="LI")
+    )
+    tel.events.record(
+        PhaseEntered(iteration=3, sim_time_s=0.5, phase="extra", from_phase="solve")
+    )
+    with tel.spans.span("recovery.li", rank=1):
+        pass
+    tel.metrics.counter("solver.faults", fault_class="SNF").inc()
+    tel.recovery_latency_histogram("LI").observe(0.0)
+    return tel
+
+
+class TestEventRows:
+    def test_round_trip_preserves_type_and_fields(self):
+        ev = FaultInjected(
+            iteration=7, sim_time_s=1.5, victim_rank=2, scope="node", n_blocks_lost=4
+        )
+        clone = event_from_row(event_to_row(ev))
+        assert clone == ev
+        assert type(clone) is FaultInjected
+
+    def test_unknown_kind_degrades_to_base(self):
+        row = {"kind": "mystery", "iteration": 1, "sim_time_s": 0.0}
+        ev = event_from_row(row)
+        assert ev.iteration == 1
+
+
+class TestTelemetryDict:
+    def test_round_trip(self):
+        tel = make_telemetry()
+        data = telemetry_to_dict(tel)
+        clone = telemetry_from_dict(json.loads(json.dumps(data)))
+        assert telemetry_to_dict(clone) == data
+        assert clone.timebase == "sim"
+        assert clone.spans.timebase == "sim"
+        assert len(clone.events) == 3
+        assert clone.metrics.snapshot() == tel.metrics.snapshot()
+
+
+class TestJsonl:
+    def test_write_load_export_is_byte_identical(self, tmp_path):
+        cells = {"m/r8/f2/LI": make_telemetry(), "m/r8/f2/FF": Telemetry()}
+        path = tmp_path / "trace.jsonl"
+        n = write_trace_jsonl(path, cells)
+        assert n == len(path.read_text().splitlines())
+        loaded = load_trace_jsonl(path)
+        assert list(loaded) == list(cells)
+        assert trace_jsonl_lines(loaded) == trace_jsonl_lines(cells)
+
+    def test_every_line_is_json_with_stream(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl(path, {"cell": make_telemetry()})
+        for line in path.read_text().splitlines():
+            assert json.loads(line)["stream"] in ("cell", "event", "span", "metrics")
+
+    def test_record_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"stream":"event","cell":"x","kind":"fault","iteration":1,"sim_time_s":0.0}\n')
+        with pytest.raises(ValueError, match="before its 'cell' header"):
+            load_trace_jsonl(path)
+
+    def test_unknown_stream_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"stream":"cell","cell":"x","timebase":"sim"}\n'
+            '{"stream":"wat","cell":"x"}\n'
+        )
+        with pytest.raises(ValueError, match="unknown stream"):
+            load_trace_jsonl(path)
+
+
+class TestResidualPowerCsv:
+    @pytest.fixture(scope="class")
+    def report(self):
+        a = banded_spd(300, 7, dominance=5e-3, seed=1)
+        b = a @ np.random.default_rng(1).standard_normal(300)
+        return ResilientSolver(
+            a,
+            b,
+            scheme=make_scheme("F0"),
+            schedule=EvenlySpacedSchedule(n_faults=2),
+            config=quick_config(nranks=8, trace=True),
+        ).solve()
+
+    def test_csv_covers_every_iteration(self, report):
+        lines = residual_power_csv(report).strip().splitlines()
+        assert lines[0] == "iteration,sim_time_s,relative_residual,power_w"
+        assert len(lines) - 1 == report.iterations
+
+    def test_csv_values_parse_and_match_history(self, report):
+        lines = residual_power_csv(report).strip().splitlines()[1:]
+        history = list(report.residual_history)
+        times = []
+        for line in lines:
+            it, t, res, p = line.split(",")
+            times.append(float(t))
+            assert float(res) == history[int(it) - 1]
+            assert float(p) > 0
+        assert times == sorted(times)

@@ -1,0 +1,96 @@
+"""Tests for the span recorder: clocks, summaries, pickling."""
+
+import pickle
+
+import pytest
+
+from repro.obs.spans import Span, SpanRecorder
+
+
+class FakeClock:
+    """Deterministic monotone clock with manual advance."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestSpanRecorder:
+    def test_span_records_interval_and_attrs(self):
+        clock = FakeClock()
+        rec = SpanRecorder(clock=clock, timebase="sim")
+        with rec.span("recovery.lsi", rank=3):
+            clock.t = 2.5
+        (span,) = rec.spans
+        assert span.name == "recovery.lsi"
+        assert span.t_start == 0.0
+        assert span.t_end == 2.5
+        assert span.duration_s == 2.5
+        assert dict(span.attrs) == {"rank": 3}
+
+    def test_span_closes_on_exception(self):
+        clock = FakeClock()
+        rec = SpanRecorder(clock=clock)
+        with pytest.raises(RuntimeError):
+            with rec.span("work"):
+                clock.t = 1.0
+                raise RuntimeError("boom")
+        assert len(rec) == 1
+        assert rec.spans[0].t_end == 1.0
+
+    def test_wall_clock_default(self):
+        rec = SpanRecorder()
+        with rec.span("w"):
+            pass
+        assert rec.spans[0].duration_s >= 0.0
+
+    def test_of_name(self):
+        clock = FakeClock()
+        rec = SpanRecorder(clock=clock)
+        with rec.span("a"):
+            pass
+        with rec.span("b"):
+            pass
+        assert [s.name for s in rec.of_name("a")] == ["a"]
+
+    def test_summary_orders_by_total_time(self):
+        clock = FakeClock()
+        rec = SpanRecorder(clock=clock)
+        with rec.span("short"):
+            clock.t += 1.0
+        for _ in range(2):
+            with rec.span("long"):
+                clock.t += 5.0
+        rows = rec.summary()
+        assert [r["name"] for r in rows] == ["long", "short"]
+        assert rows[0]["count"] == 2
+        assert rows[0]["total_s"] == pytest.approx(10.0)
+        assert rows[0]["mean_s"] == pytest.approx(5.0)
+        assert rows[0]["max_s"] == pytest.approx(5.0)
+
+    def test_rows_round_trip(self):
+        clock = FakeClock()
+        rec = SpanRecorder(clock=clock, timebase="sim")
+        with rec.span("x", scheme="LI"):
+            clock.t = 1.0
+        clone = SpanRecorder.from_rows(rec.to_rows(), timebase="sim")
+        assert clone.spans == rec.spans
+        assert clone.timebase == "sim"
+
+    def test_pickle_drops_clock_keeps_spans(self):
+        # Reports cross process-pool boundaries; a sim-clock closure
+        # must not travel with them.
+        clock = FakeClock()
+        rec = SpanRecorder(clock=clock, timebase="sim")
+        with rec.span("x"):
+            clock.t = 1.0
+        clone = pickle.loads(pickle.dumps(rec))
+        assert clone.clock is None
+        assert clone.spans == rec.spans
+        assert clone.timebase == "sim"
+
+    def test_span_from_row_sorts_attrs(self):
+        row = {"name": "x", "t_start": 0.0, "t_end": 1.0, "attrs": {"b": 2, "a": 1}}
+        assert Span.from_row(row).attrs == (("a", 1), ("b", 2))

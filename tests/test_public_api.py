@@ -38,6 +38,8 @@ SUBPACKAGES = [
     "repro.core.recovery",
     "repro.core.models",
     "repro.harness",
+    "repro.obs",
+    "repro.campaign",
     "repro.cli",
 ]
 
