@@ -9,6 +9,13 @@ Set ``REPRO_CACHE=0`` to disable the persistent layer, or
 ``REPRO_CACHE_DIR=/path`` to relocate it (default: ``.repro-cache/`` at
 the repo root, shared with ``python -m repro.cli campaign``).
 
+Below the report store, problem *setup* (suite matrix builds, halo
+analyses, measured iteration costs) is served by the content-keyed cache
+in :mod:`repro.matrices.cache` — same root, ``problems/`` subdirectory,
+same ``REPRO_CACHE``/``REPRO_CACHE_DIR`` switches — so benchmarks that
+miss the report store still skip the setup work campaign runs and tests
+already paid for.
+
 Each benchmark both prints its reproduced rows (visible with
 ``pytest -s``) and writes them under ``benchmarks/results/`` so
 ``--benchmark-only`` runs leave artefacts.

@@ -1,0 +1,17 @@
+"""Perf-regression harness for the solve engine.
+
+Microbenchmarks over the problem-setup and solve paths, reported as
+machine-normalized scores so results compare across laptops and CI
+runners.  See :mod:`benchmarks.perf.runner` for the measurement
+protocol and ``python -m benchmarks.perf --help`` for the CLI.
+"""
+
+from benchmarks.perf.runner import (  # noqa: F401
+    BenchSpec,
+    calibrate,
+    compare,
+    format_comparison,
+    format_results,
+    run_suite,
+    suite_names,
+)

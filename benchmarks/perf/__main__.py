@@ -1,0 +1,61 @@
+"""CLI for the perf-regression harness.
+
+Measure and record a baseline::
+
+    python -m benchmarks.perf --suite smoke --output BENCH_perf.json
+
+Gate the working tree against a committed baseline (exit 1 on any
+normalized-score regression beyond the tolerance)::
+
+    python -m benchmarks.perf --suite smoke --compare BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from benchmarks.perf import runner
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="benchmarks.perf", description=__doc__)
+    parser.add_argument("--suite", default="smoke", choices=runner.suite_names())
+    parser.add_argument(
+        "--repeats", type=int, default=runner.DEFAULT_REPEATS,
+        help="timed repetitions per benchmark; the median is reported",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the results document as JSON",
+    )
+    parser.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="gate this run against a baseline JSON; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="relative normalized-score growth that counts as a "
+        "regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = runner.run_suite(
+        args.suite,
+        repeats=args.repeats,
+        progress=lambda name: print(f"  running {name} ...", file=sys.stderr),
+    )
+    print(runner.format_results(doc))
+    if args.output:
+        runner.save(args.output, doc)
+        print(f"wrote {args.output}")
+    if args.compare:
+        cmp = runner.compare(doc, runner.load(args.compare), args.tolerance)
+        print()
+        print(runner.format_comparison(cmp))
+        return 1 if cmp["regressions"] else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

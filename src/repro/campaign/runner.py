@@ -168,6 +168,16 @@ class CampaignResult:
             rollup.gauge("campaign.cells_per_sec").set(
                 len(self.results) / self.wall_s
             )
+        # Problem-setup cache traffic (matrix builds, halo analyses,
+        # measured iteration costs).  The counters are process-local:
+        # serial campaigns show the cross-cell reuse directly; with a
+        # worker pool each worker keeps its own cache and only this
+        # process's (mostly idle) counters appear here.
+        from repro.matrices.cache import cache_stats
+
+        for layer, stats in cache_stats().items():
+            rollup.counter("problem_cache.hits", layer=layer).inc(stats["hits"])
+            rollup.counter("problem_cache.misses", layer=layer).inc(stats["misses"])
         for tel in self.cell_telemetry().values():
             rollup.merge(tel.metrics)
         return rollup

@@ -62,6 +62,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record per-solve telemetry and print the fault→recovery "
         "latency summary",
     )
+    run.add_argument(
+        "--fast", action=argparse.BooleanOptionalAction, default=True,
+        help="span-batched solve engine (default; bit-identical to the "
+        "per-iteration --no-fast path, just faster)",
+    )
 
     sweep = sub.add_parser("suite", help="Figure-5-style sweep over matrices")
     sweep.add_argument("--matrices", nargs="+", default=None, choices=suite.names())
@@ -77,6 +82,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cr-interval",
         default="paper",
         help="CR cadence: 'paper' (100 iters), 'young', or an integer",
+    )
+    sweep.add_argument(
+        "--fast", action=argparse.BooleanOptionalAction, default=True,
+        help="span-batched solve engine (default; bit-identical to the "
+        "per-iteration --no-fast path, just faster)",
     )
 
     camp = sub.add_parser(
@@ -237,7 +247,7 @@ def cmd_run(args) -> int:
         cr_interval=_parse_cr_interval(args.cr_interval),
         trace=args.trace,
     )
-    exp = Experiment(cfg)
+    exp = Experiment(cfg, fast=args.fast)
     if args.precond:
         # the Experiment driver runs plain CG; preconditioned runs go
         # through the solver directly
@@ -246,7 +256,8 @@ def cmd_run(args) -> int:
 
         scfg = lambda **kw: SolverConfig(
             nranks=args.ranks, tol=args.tol, seed=args.seed,
-            preconditioner=args.precond, trace=args.trace, **kw
+            preconditioner=args.precond, trace=args.trace,
+            fast=args.fast, **kw
         )
         ff = ResilientSolver(exp.a, exp.b, config=scfg()).solve()
         report = ResilientSolver(
@@ -286,7 +297,8 @@ def cmd_suite(args) -> int:
                 seed=args.seed,
                 scale=args.scale,
                 cr_interval=_parse_cr_interval(args.cr_interval),
-            )
+            ),
+            fast=args.fast,
         )
         reports = {"FF": exp.fault_free, **exp.run_all(args.schemes)}
         norm = normalize_reports(reports)

@@ -63,6 +63,16 @@ class ClockArray:
         self._t[:] = t
         return t
 
+    def jump_to(self, t: float) -> float:
+        """Set every clock to the absolute time ``t`` (barrier semantics,
+        like :meth:`synchronize`, but with a precomputed target).  Used by
+        span-batched execution, which replays a span's clock advance as a
+        scalar accumulation and lands all ranks on the result."""
+        if t < self.now:
+            raise ValueError("clocks cannot move backwards")
+        self._t[:] = t
+        return t
+
     def copy(self) -> "ClockArray":
         c = ClockArray(self.nranks)
         c._t[:] = self._t

@@ -17,9 +17,18 @@ reconstruction of other variables", Section 5.2).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
+
+try:  # scipy's raw CSR mat-vec kernel; bypasses the spmatrix dispatch
+    from scipy.sparse import _sparsetools as _spt
+
+    _csr_matvec = _spt.csr_matvec
+except (ImportError, AttributeError):  # pragma: no cover - older scipy
+    _csr_matvec = None
 
 from repro.cluster.comm import SimComm
 from repro.matrices.distributed import BYTES_PER_ENTRY, DistributedMatrix
@@ -65,15 +74,20 @@ class IterationCosts:
     #: Bytes moved per iteration (halo + collective contributions).
     bytes_per_iter: float
 
-    @property
+    # The three derived scalars are hot — the solver reads them on every
+    # charge — so they are cached per instance.  ``cached_property``
+    # stores into the instance ``__dict__`` directly, which a frozen
+    # dataclass permits (only ``__setattr__`` is blocked), and the cache
+    # never goes stale because every field is immutable by contract.
+    @cached_property
     def compute_max_s(self) -> float:
         return float(self.compute_s.max())
 
-    @property
+    @cached_property
     def comm_s(self) -> float:
         return self.halo_s + self.allreduce_s
 
-    @property
+    @cached_property
     def wall_s(self) -> float:
         """Critical-path seconds of one iteration."""
         return self.compute_max_s + self.comm_s
@@ -242,8 +256,104 @@ class DistributedCG:
         self.residual_history.append(rel)
         return rel
 
+    def step_span(self, max_steps: int) -> tuple[int, bool]:
+        """Run up to ``max_steps`` iterations in one tight fused loop.
+
+        Bit-identical to calling :meth:`step` repeatedly: the kernel
+        performs the same floating-point operations in the same order,
+        records the same residual-history values, and checks convergence
+        after every iteration, so a span never overshoots the tolerance.
+        It stops early on convergence, or on CG breakdown *before*
+        consuming the broken iteration — callers then invoke :meth:`step`
+        once, whose restart-and-retry handling covers breakdown exactly
+        as the legacy loop does.
+
+        Residuals are written into a preallocated scratch array and
+        spliced onto ``residual_history`` at span end.  Returns
+        ``(iterations_taken, breakdown)``.
+        """
+        if max_steps <= 0:
+            return 0, False
+        st = self.state
+        minv = self._minv
+        bnorm = self._bnorm
+        tol = self.tol
+        a = self.dmat.a
+        x, r, p, rz = st.x, st.r, st.p, st.rz
+        n = a.shape[0]
+        # Bypass the spmatrix dispatch: a @ p on a float64 CSR matrix is
+        # exactly zeros(n) + csr_matvec (see scipy's _matmul_vector), so
+        # calling the kernel directly is bit-identical and much cheaper.
+        use_kernel = (
+            _csr_matvec is not None
+            and getattr(a, "format", None) == "csr"
+            and a.dtype == np.float64
+        )
+        if use_kernel:
+            indptr, indices, data = a.indptr, a.indices, a.data
+        matvec = self.dmat.matvec
+        hist = np.empty(max_steps, dtype=np.float64)
+        isfinite = math.isfinite
+        sqrt = math.sqrt
+        norm = np.linalg.norm
+        dot = np.dot
+        multiply = np.multiply
+        add = np.add
+        subtract = np.subtract
+        # Scratch buffers reused across iterations.  Every elementwise
+        # update below matches the out-of-place expression in
+        # :meth:`step` value for value: ``multiply(p, alpha, out=tmp)``
+        # computes exactly ``alpha * p``, and the subsequent in-place
+        # add/subtract applies it in the same order, so no bits change —
+        # only the per-iteration allocations disappear.  ``p`` is
+        # (re)assigned to a fresh array on entry so the in-place update
+        # never mutates a caller-visible vector mid-span.
+        q = np.empty(n)
+        tmp = np.empty(n)
+        p = p.copy()
+        taken = 0
+        breakdown = False
+        for _ in range(max_steps):
+            if use_kernel:
+                q.fill(0.0)
+                _csr_matvec(n, n, indptr, indices, data, p, q)
+            else:
+                q = matvec(p)
+            pq = float(dot(p, q))
+            if pq <= 0 or not isfinite(pq):
+                breakdown = True
+                break
+            alpha = rz / pq
+            multiply(p, alpha, out=tmp)
+            add(x, tmp, out=x)
+            multiply(q, alpha, out=tmp)
+            subtract(r, tmp, out=r)
+            z = r * minv if minv is not None else r
+            rz_new = float(dot(r, z))
+            beta = rz_new / rz if rz > 0 else 0.0
+            multiply(p, beta, out=tmp)
+            add(z, tmp, out=p)
+            rz = rz_new
+            if minv is None:
+                rel = sqrt(max(rz, 0.0)) / bnorm
+            else:
+                rel = float(norm(r)) / bnorm
+            hist[taken] = rel
+            taken += 1
+            if rel <= tol:
+                break
+        st.p = p
+        st.rz = rz
+        st.iteration += taken
+        self.residual_history.extend(hist[:taken].tolist())
+        return taken, breakdown
+
     def solve_fault_free(self) -> int:
         """Run to convergence with no faults; returns iterations used."""
         while not self.converged and self.state.iteration < self.max_iters:
-            self.step()
+            taken, breakdown = self.step_span(
+                self.max_iters - self.state.iteration
+            )
+            if breakdown:
+                self.step()  # legacy restart-and-retry breakdown handling
         return self.state.iteration

@@ -153,6 +153,22 @@ class RecoveryScheme(abc.ABC):
     ) -> None:
         """Called after every completed CG iteration."""
 
+    def next_hook_iteration(self, iteration: int) -> float | None:
+        """Fast-path cadence contract (DESIGN.md §5e).
+
+        The fast solve path batches fault-free iterations into spans and
+        calls :meth:`on_iteration_end` once per span end instead of once
+        per iteration.  This method tells it the earliest iteration
+        (> ``iteration``) at which the hook has an effect that is *not*
+        reproduced by a single span-end call; the span is never run past
+        that iteration.  Return ``float("inf")`` when a span-end call
+        always suffices (e.g. a pure state snapshot, where only the
+        snapshot taken immediately before a fault is ever observable),
+        or ``None`` — the conservative default — to demand the legacy
+        per-iteration cadence.
+        """
+        return None
+
     @abc.abstractmethod
     def recover(
         self, services: RecoveryServices, state: CGState, event: FaultEvent

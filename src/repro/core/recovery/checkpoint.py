@@ -80,6 +80,13 @@ class CheckpointRestart(RecoveryScheme):
             raise RuntimeError("setup() has not run yet")
         return self.manager.interval_iters
 
+    def next_hook_iteration(self, iteration: int) -> float:
+        # The hook only acts on interval multiples (``CheckpointManager.due``
+        # is a pure modulo test); calls in between are no-ops.
+        assert self.manager is not None, "setup() must run first"
+        interval = self.manager.interval_iters
+        return iteration + (interval - iteration % interval)
+
     def on_iteration_end(self, services: RecoveryServices, state: CGState) -> None:
         assert self.manager is not None, "setup() must run first"
         result = self.manager.maybe_checkpoint(

@@ -52,6 +52,13 @@ class MultiLevelCheckpointRestart(RecoveryScheme):
         self.rollback_reexecute_iters = 0
         self.restore_levels = []
 
+    def next_hook_iteration(self, iteration: int) -> float:
+        # Checkpoints (memory and the riding disk flush) only happen on
+        # memory-interval multiples; in-between calls are no-ops.
+        assert self.manager is not None, "setup() must run first"
+        interval = self.manager.memory_interval
+        return iteration + (interval - iteration % interval)
+
     def on_iteration_end(self, services: RecoveryServices, state: CGState) -> None:
         assert self.manager is not None, "setup() must run first"
         result = self.manager.maybe_checkpoint(

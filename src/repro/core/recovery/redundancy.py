@@ -58,6 +58,12 @@ class Redundancy(RecoveryScheme):
         self._replica = None
         self.recoveries = 0
 
+    def next_hook_iteration(self, iteration: int) -> float:
+        # The hook is a pure snapshot: only the copy taken right before a
+        # fault is ever read, so one span-end snapshot reproduces any
+        # per-iteration snapshot sequence (faults end spans).
+        return float("inf")
+
     def on_iteration_end(self, services: RecoveryServices, state: CGState) -> None:
         # The replicas execute the same iteration on their own CPU sets;
         # keeping a copy here stands in for their (identical) state.

@@ -28,11 +28,12 @@ from repro.core.report import SolveReport
 from repro.faults.events import FaultEvent
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import EmptySchedule, FaultSchedule
+from repro.matrices import cache as problem_cache
 from repro.matrices.distributed import DistributedMatrix
 from repro.matrices.partition import BlockRowPartition
 from repro.power.capping import frequency_under_cap
 from repro.power.dvfs import DvfsController, Governor
-from repro.power.energy import EnergyAccount, PhaseTag
+from repro.power.energy import EnergyAccount, PhaseTag, repeat_add
 from repro.power.model import CoreState, PowerModel
 from repro.power.rapl import RaplMeter
 
@@ -62,6 +63,12 @@ class SolverConfig:
     #: the EXTRA phase.  Computed internally when a schedule is present
     #: and no value is supplied.
     baseline_iters: int | None = None
+    #: Span-batched fast execution (DESIGN.md §5e): fault-free stretches
+    #: between scheduled events run as one tight numeric kernel with
+    #: span-level bookkeeping replay.  Bit-identical to the legacy
+    #: per-iteration loop (tests/core/test_fast_equivalence.py); the
+    #: legacy path stays selectable for those regression tests.
+    fast: bool = True
 
     def __post_init__(self) -> None:
         if self.nranks < 1:
@@ -97,8 +104,11 @@ class ResilientSolver:
                 )
             self._dmat = a
         else:
-            part = BlockRowPartition(sp.csr_matrix(a).shape[0], cfg.nranks)
-            self._dmat = DistributedMatrix(a, part)
+            # Content-keyed: repeated solves over the same matrix share
+            # one halo analysis (repro.matrices.cache).
+            self._dmat = problem_cache.distributed_matrix(
+                sp.csr_matrix(a), cfg.nranks
+            )
         self.scheme = scheme
         self.schedule = schedule or EmptySchedule()
         self.comm = SimComm(cfg.machine, cfg.nranks, cfg.network)
@@ -116,7 +126,10 @@ class ResilientSolver:
         else:
             self.f_op_ghz = cfg.power.ladder.fmax_ghz
         self._slowdown = cfg.power.ladder.fmax_ghz / self.f_op_ghz
-        costs = IterationCosts.measure(
+        # Measured at f_max and memoized by content key; the DVFS derate
+        # below builds a private per-solve copy, so the cached entry
+        # stays frequency-independent.
+        costs = problem_cache.iteration_costs(
             self._dmat, self.comm, preconditioned=cfg.preconditioner is not None
         )
         if self._slowdown != 1.0:
@@ -378,6 +391,131 @@ class ResilientSolver:
         self.comm.traffic.messages += max(0, len(self._dmat.halo_pair_bytes))
         self.comm.traffic.collectives += 2
 
+    def _charge_span(self, n: int, is_extra: bool) -> None:
+        """Book ``n`` identical CG iterations in one go.
+
+        Float-faithfully replays ``n`` calls of :meth:`_charge_iteration`
+        (DESIGN.md §5e): account charges, clocks, traffic, the RAPL log
+        and — when traced — phase metrics and transition events all end
+        up bit-identical to the per-iteration path.  Replay is exact
+        because every per-iteration quantity is constant by construction
+        (:class:`IterationCosts`) and per-iteration accumulation of a
+        constant is a scalar recurrence (:func:`repeat_add`).
+        """
+        if n <= 0:
+            return
+        c = self.costs
+        mult = self.scheme.energy_multiplier if self.scheme else 1.0
+        account = self.account
+        wall = c.wall_s
+        if is_extra:
+            energy = account.charge_span(
+                PhaseTag.EXTRA, time_s=wall, power_w=self._iter_power_avg, n=n
+            )
+        else:
+            compute_power = (
+                self._iter_compute_energy / c.compute_max_s
+                if c.compute_max_s > 0
+                else 0.0
+            )
+            energy = account.charge_span(
+                PhaseTag.SOLVE, time_s=c.compute_max_s, power_w=compute_power, n=n
+            )
+            if c.comm_s > 0:
+                energy += account.charge_span(
+                    PhaseTag.OVERHEAD,
+                    time_s=c.comm_s,
+                    power_w=self.power_compute_w(),
+                    n=n,
+                )
+        if mult > 1.0:
+            account.charge_energy_span(
+                PhaseTag.REDUNDANT, (mult - 1.0) * energy, n
+            )
+        # Every per-iteration charge synchronises all ranks, so clocks
+        # stay uniform throughout a solve and a span's clock advance
+        # replays as a scalar accumulation.
+        clocks = self.comm.clocks
+        t0 = clocks.now
+        t1 = repeat_add(t0, wall, n)
+        clocks.jump_to(t1)
+        # The legacy path's contiguous equal-power iterations already
+        # merge into one open RAPL phase; a single span-wide append
+        # produces the identical log.
+        tag = "extra" if is_extra else "iteration"
+        self._rapl_append(tag, t0, t1, self._iter_power_avg * mult)
+        traffic = self.comm.traffic
+        traffic.bytes_p2p = repeat_add(traffic.bytes_p2p, c.bytes_per_iter, n)
+        traffic.messages += n * max(0, len(self._dmat.halo_pair_bytes))
+        traffic.collectives += 2 * n
+        if self.obs is not None:
+            self._replay_span_observability(n, is_extra, t0)
+
+    def _replay_span_observability(
+        self, n: int, is_extra: bool, t_span_start: float
+    ) -> None:
+        """Replay what ``n`` per-iteration ``on_charge`` taps (plus the
+        per-iteration ``solver.iterations`` increment) would have done.
+        ``charge_span`` bypasses the tap, so the fast path owns this."""
+        c = self.costs
+        mult = self.scheme.energy_multiplier if self.scheme else 1.0
+        m = self.obs.metrics
+        counter = m.counter
+        pairs: list[tuple[PhaseTag, float, float]] = []
+        if is_extra:
+            e_extra = c.wall_s * self._iter_power_avg
+            pairs.append((PhaseTag.EXTRA, c.wall_s, e_extra))
+            energy = e_extra
+        else:
+            compute_power = (
+                self._iter_compute_energy / c.compute_max_s
+                if c.compute_max_s > 0
+                else 0.0
+            )
+            e_solve = c.compute_max_s * compute_power
+            pairs.append((PhaseTag.SOLVE, c.compute_max_s, e_solve))
+            energy = e_solve
+            if c.comm_s > 0:
+                e_comm = c.comm_s * self.power_compute_w()
+                pairs.append((PhaseTag.OVERHEAD, c.comm_s, e_comm))
+                energy += e_comm
+        if mult > 1.0:
+            pairs.append((PhaseTag.REDUNDANT, 0.0, (mult - 1.0) * energy))
+        for tag, time_s, energy_j in pairs:
+            ct = counter("phase.time_s", phase=tag.value)
+            ct.value = repeat_add(ct.value, time_s, n)
+            ce = counter("phase.energy_j", phase=tag.value)
+            ce.value = repeat_add(ce.value, energy_j, n)
+        # n repeated ``+= 1.0`` equals ``+= n`` exactly for counts far
+        # below 2**53, so the iteration counter needs no replay loop.
+        counter("solver.iterations").inc(float(n))
+        # Transition events: within a span only the *first* charge can
+        # change phase (iterations repeat SOLVE/OVERHEAD or EXTRA), and
+        # only EXTRA is a resilience phase that records a PhaseEntered.
+        if is_extra:
+            if c.wall_s > 0 and self._last_phase_tag is not PhaseTag.EXTRA:
+                from repro.harness.tracing import PhaseEntered
+
+                self.trace.record(
+                    PhaseEntered(
+                        iteration=self.cg.iteration - n + 1,
+                        sim_time_s=t_span_start,
+                        phase=PhaseTag.EXTRA.value,
+                        from_phase=(
+                            self._last_phase_tag.value
+                            if self._last_phase_tag
+                            else ""
+                        ),
+                    )
+                )
+            if c.wall_s > 0:
+                self._last_phase_tag = PhaseTag.EXTRA
+        else:
+            if c.compute_max_s > 0:
+                self._last_phase_tag = PhaseTag.SOLVE
+            if c.comm_s > 0:
+                self._last_phase_tag = PhaseTag.OVERHEAD
+
     def _expand_victims(self, event: FaultEvent) -> list[int]:
         """Expand the event's blast radius into concrete victim ranks."""
         from repro.faults.events import FaultScope
@@ -518,29 +656,113 @@ class ResilientSolver:
         if self.scheme is not None:
             self.scheme.setup(self)
 
-        cg = self.cg
         with self.span(
             "solve", scheme=self.scheme.name if self.scheme else "FF"
         ):
-            while not cg.converged and cg.iteration < cfg.max_iters:
-                cg.step()
-                is_extra = baseline is not None and cg.iteration > baseline
-                self._charge_iteration(is_extra)
-                if self.obs is not None:
-                    self.obs.metrics.counter("solver.iterations").inc()
-                if self.scheme is not None:
-                    self.scheme.on_iteration_end(self, cg.state)
-                while pending and pending[0].iteration <= cg.iteration:
-                    event = pending.popleft()
-                    if event.fault_class.needs_recovery:
-                        if self.scheme is None:
-                            raise RuntimeError(
-                                "fault injected but no recovery scheme configured"
-                            )
-                        self._handle_fault(event)
-                    handled.append(event)
+            if cfg.fast:
+                self._run_fast(pending, handled, baseline)
+            else:
+                self._run_legacy(pending, handled, baseline)
 
         self._flush_phase()
+        details: dict = self._finish_details(baseline)
+        return self._build_report(handled, baseline, details)
+
+    def _run_legacy(
+        self,
+        pending: deque[FaultEvent],
+        handled: list[FaultEvent],
+        baseline: int | None,
+    ) -> None:
+        """The reference per-iteration loop: step, charge, hook, events."""
+        cfg = self.config
+        cg = self.cg
+        while not cg.converged and cg.iteration < cfg.max_iters:
+            cg.step()
+            is_extra = baseline is not None and cg.iteration > baseline
+            self._charge_iteration(is_extra)
+            if self.obs is not None:
+                self.obs.metrics.counter("solver.iterations").inc()
+            if self.scheme is not None:
+                self.scheme.on_iteration_end(self, cg.state)
+            self._process_due_events(pending, handled)
+
+    def _run_fast(
+        self,
+        pending: deque[FaultEvent],
+        handled: list[FaultEvent],
+        baseline: int | None,
+    ) -> None:
+        """Span-batched loop, bit-identical to :meth:`_run_legacy`.
+
+        Fault-free stretches run as one tight numeric kernel
+        (:meth:`~repro.core.cg.DistributedCG.step_span`) plus one
+        bookkeeping replay (:meth:`_charge_span`).  Span boundaries are
+        everything the legacy loop can observe between iterations: the
+        next scheduled fault, the scheme's hook cadence
+        (:meth:`~repro.core.recovery.base.RecoveryScheme.next_hook_iteration`),
+        the baseline→EXTRA crossover, and the iteration cap; convergence
+        and CG breakdown are checked per iteration inside the kernel.
+        """
+        cfg = self.config
+        cg = self.cg
+        scheme = self.scheme
+        # A scheme that never overrides the hook needs no hook calls
+        # (the base hook is a no-op); one that does is called once per
+        # span end, with spans capped at its declared cadence.
+        has_hook = scheme is not None and (
+            type(scheme).on_iteration_end is not RecoveryScheme.on_iteration_end
+        )
+        max_iters = cfg.max_iters
+        while not cg.converged and cg.iteration < max_iters:
+            it = cg.iteration
+            end = max_iters
+            if pending:
+                # Events fire after the iteration they are scheduled at
+                # (or after the next iteration when already past due).
+                due = pending[0].iteration
+                end = min(end, due if due > it else it + 1)
+            if baseline is not None and it < baseline:
+                # EXTRA starts right after the baseline iteration; a span
+                # must not straddle the crossover.
+                end = min(end, baseline)
+            if has_hook:
+                nh = scheme.next_hook_iteration(it)
+                end = min(end, it + 1 if nh is None else nh)
+            end = max(int(min(end, max_iters)), it + 1)
+            taken, breakdown = cg.step_span(end - it)
+            if taken:
+                self._charge_span(
+                    taken,
+                    is_extra=baseline is not None and cg.iteration > baseline,
+                )
+            if breakdown:
+                # Fall back to the legacy stepper for the broken
+                # iteration: its restart-and-retry is the reference.
+                cg.step()
+                self._charge_span(
+                    1, is_extra=baseline is not None and cg.iteration > baseline
+                )
+            if has_hook:
+                scheme.on_iteration_end(self, cg.state)
+            self._process_due_events(pending, handled)
+
+    def _process_due_events(
+        self, pending: deque[FaultEvent], handled: list[FaultEvent]
+    ) -> None:
+        cg = self.cg
+        while pending and pending[0].iteration <= cg.iteration:
+            event = pending.popleft()
+            if event.fault_class.needs_recovery:
+                if self.scheme is None:
+                    raise RuntimeError(
+                        "fault injected but no recovery scheme configured"
+                    )
+                self._handle_fault(event)
+            handled.append(event)
+
+    def _finish_details(self, baseline: int | None) -> dict:
+        cg = self.cg
         details: dict = {
             "restarts": cg.restarts,
             "iteration_wall_s": self.costs.wall_s,
@@ -556,6 +778,12 @@ class ResilientSolver:
             details["telemetry"] = self.obs
         if self.scheme is not None:
             details["scheme_details"] = _scheme_details(self.scheme)
+        return details
+
+    def _build_report(
+        self, handled: list[FaultEvent], baseline: int | None, details: dict
+    ) -> SolveReport:
+        cg = self.cg
         return SolveReport(
             scheme=self.scheme.name if self.scheme else "FF",
             converged=cg.converged,

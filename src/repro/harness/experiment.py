@@ -69,8 +69,22 @@ class ExperimentConfig:
 class Experiment:
     """A matrix + fault load, ready to run any scheme."""
 
-    def __init__(self, config: ExperimentConfig, *, a: sp.spmatrix | None = None):
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        *,
+        a: sp.spmatrix | None = None,
+        fast: bool = True,
+    ):
+        """``fast`` selects the span-batched solve engine (the default).
+
+        It is an execution knob, not part of :class:`ExperimentConfig`:
+        both paths produce bit-identical reports (see
+        tests/core/test_fast_equivalence.py), so it must not change
+        campaign cache keys.
+        """
         self.config = config
+        self.fast = fast
         if a is None:
             a = matrix_suite.build(config.matrix, config.scale)
         self.a = sp.csr_matrix(a)
@@ -90,6 +104,7 @@ class Experiment:
             seed=c.seed,
             trace=c.trace,
             baseline_iters=baseline,
+            fast=self.fast,
         )
 
     @property
@@ -187,6 +202,7 @@ def run_suite(
     scheme_names: list[str] | None = None,
     *,
     base: ExperimentConfig | None = None,
+    fast: bool = True,
 ) -> dict[str, dict[str, SolveReport]]:
     """Run a scheme set over a matrix set; returns
     ``{matrix: {scheme_or_"FF": report}}`` with baselines included."""
@@ -195,7 +211,7 @@ def run_suite(
     scheme_names = scheme_names or ITERATION_STUDY_SCHEMES
     out: dict[str, dict[str, SolveReport]] = {}
     for name in matrices:
-        exp = Experiment(replace(base, matrix=name))
+        exp = Experiment(replace(base, matrix=name), fast=fast)
         reports = {"FF": exp.fault_free}
         reports.update(exp.run_all(scheme_names))
         out[name] = reports

@@ -76,11 +76,25 @@ class DistributedMatrix:
             cols = np.unique(rows.indices)
             external = cols[(cols < sl.start) | (cols >= sl.stop)]
             owners = self.partition.owners_of(external) if external.size else np.array([], dtype=np.int64)
-            counts: dict[int, int] = {}
-            for o in owners:
-                counts[int(o)] = counts.get(int(o), 0) + 1
+            # owners is non-decreasing (external is sorted and ownership
+            # is monotone in the column index), so the unique owners come
+            # out in the same order the per-element loop inserted them.
+            uniq, cnts = np.unique(owners, return_counts=True)
+            counts = {int(o): int(c) for o, c in zip(uniq, cnts)}
             self._blocks[rank] = RankBlocks(rows, diag, counts)
         return self._blocks[rank]
+
+    def warm(self) -> "DistributedMatrix":
+        """Eagerly compute every rank's blocks and the halo volumes.
+
+        The problem cache (:mod:`repro.matrices.cache`) calls this so a
+        shared instance is fully analysed once instead of lazily inside
+        the first solve that touches each rank."""
+        for rank in range(self.nranks):
+            self.blocks(rank)
+        _ = self.local_nnz, self.spmv_flops
+        _ = self.halo_pair_bytes, self.halo_bytes_total
+        return self
 
     def row_block(self, rank: int) -> sp.csr_matrix:
         """A_{p_i,:} — all columns of the rows owned by ``rank``."""

@@ -10,6 +10,7 @@ which is the standard PETSc/RAPtor layout.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -74,16 +75,24 @@ class BlockRowPartition:
         return np.where(rows < boundary, low, high).astype(np.int64)
 
     # ------------------------------------------------------------------
-    @property
+    # The arrays are derived from two immutable ints, so they are cached
+    # per instance (``cached_property`` writes the instance ``__dict__``
+    # directly, which frozen dataclasses permit).  They are handed out
+    # read-only so the cache cannot be corrupted through a view.
+    @cached_property
     def starts(self) -> np.ndarray:
         base, extra = divmod(self.n, self.nranks)
         ranks = np.arange(self.nranks)
-        return ranks * base + np.minimum(ranks, extra)
+        out = ranks * base + np.minimum(ranks, extra)
+        out.flags.writeable = False
+        return out
 
-    @property
+    @cached_property
     def sizes(self) -> np.ndarray:
         base, extra = divmod(self.n, self.nranks)
-        return base + (np.arange(self.nranks) < extra).astype(np.int64)
+        out = base + (np.arange(self.nranks) < extra).astype(np.int64)
+        out.flags.writeable = False
+        return out
 
     @property
     def max_block(self) -> int:

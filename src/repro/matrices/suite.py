@@ -153,12 +153,23 @@ def names() -> list[str]:
     return list(SUITE)
 
 
-def build(name: str, scale: float = 1.0) -> sp.csr_matrix:
-    """Build a suite matrix by name."""
+def build(name: str, scale: float = 1.0, *, cache: bool = True) -> sp.csr_matrix:
+    """Build a suite matrix by name.
+
+    Served through the content-keyed problem cache
+    (:mod:`repro.matrices.cache`) by default, so campaign cells,
+    benchmarks and tests that ask for the same (name, scale) share one
+    build.  The returned matrix is shared — callers must not mutate it;
+    pass ``cache=False`` for a private copy.
+    """
     try:
         spec = SUITE[name]
     except KeyError:
         raise KeyError(f"unknown matrix {name!r}; known: {', '.join(SUITE)}") from None
+    if cache:
+        from repro.matrices.cache import cached_suite_build
+
+        return cached_suite_build(name, scale, spec)
     return spec.build(scale)
 
 

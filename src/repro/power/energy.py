@@ -12,6 +12,20 @@ import enum
 from dataclasses import dataclass, field
 
 
+def repeat_add(base: float, inc: float, n: int) -> float:
+    """``base`` after ``n`` repetitions of ``base += inc``.
+
+    Floating-point addition is not associative, so ``base + n * inc`` is
+    *not* the same value; the span-batched fast solve path uses this to
+    replay per-iteration accumulation float-faithfully.  The loop is
+    bookkeeping-only (no arrays), so even O(n) trivial adds are orders of
+    magnitude cheaper than the per-iteration charging they replace.
+    """
+    for _ in range(n):
+        base += inc
+    return base
+
+
 class PhaseTag(enum.Enum):
     """What the machine was doing during a charged interval."""
 
@@ -86,6 +100,47 @@ class EnergyAccount:
         if self.on_charge is not None:
             self.on_charge(tag, time_s, energy)
         return energy
+
+    def charge_span(
+        self, tag: PhaseTag, *, time_s: float, power_w: float, n: int
+    ) -> float:
+        """Charge ``n`` identical ``(time_s, power_w)`` charges.
+
+        Bit-identical to calling :meth:`charge` ``n`` times (the
+        accumulator is replayed add-by-add, see :func:`repeat_add`), but
+        without per-charge call overhead.  Returns the per-charge energy.
+
+        Unlike :meth:`charge`, this does **not** invoke the ``on_charge``
+        tap: span-batching callers replay their observability at span
+        granularity themselves (the solver's fast path stamps phase
+        metrics and transition events explicitly).
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if time_s < 0:
+            raise ValueError("time must be non-negative")
+        if power_w < 0:
+            raise ValueError("power must be non-negative")
+        energy = time_s * power_w
+        if n == 0:
+            return energy
+        c = self.charges.setdefault(tag, Charge())
+        c.time_s = repeat_add(c.time_s, time_s, n)
+        c.energy_j = repeat_add(c.energy_j, energy, n)
+        return energy
+
+    def charge_energy_span(self, tag: PhaseTag, energy_j: float, n: int) -> None:
+        """``n`` identical overlapped charges; bit-identical to calling
+        :meth:`charge_energy` ``n`` times.  Skips the ``on_charge`` tap,
+        like :meth:`charge_span`."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if energy_j < 0:
+            raise ValueError("energy must be non-negative")
+        if n == 0:
+            return
+        c = self.charges.setdefault(tag, Charge())
+        c.energy_j = repeat_add(c.energy_j, energy_j, n)
 
     def charge_energy(self, tag: PhaseTag, energy_j: float) -> None:
         """Charge energy with no wall-clock time (overlapped phases)."""

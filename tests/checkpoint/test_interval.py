@@ -30,6 +30,36 @@ class TestYoung:
             young_interval(1.0, 0.0)
 
 
+class TestClosedFormValues:
+    """Pin the exact closed-form numbers, not just shapes and limits."""
+
+    def test_young_exact_values(self):
+        # I = sqrt(2 t_C M)
+        assert young_interval(2.0, 100.0) == 20.0
+        assert young_interval(0.5, 3600.0) == 60.0
+        assert young_interval(30.0, 24 * 3600.0) == pytest.approx(
+            2276.839915321233, abs=1e-6
+        )
+
+    def test_daly_exact_values(self):
+        # I = sqrt(2 t_C M) (1 + sqrt(t_C/2M)/3 + t_C/(18M)) - t_C
+        assert daly_interval(2.0, 100.0) == pytest.approx(
+            18.68888888888889, rel=1e-12
+        )
+        assert daly_interval(0.5, 3600.0) == pytest.approx(
+            59.667129629629635, rel=1e-9
+        )
+
+    def test_daly_degenerate_boundary(self):
+        # the t_C >= 2M branch engages exactly at the boundary
+        assert daly_interval(200.0, 100.0) == 100.0
+        assert daly_interval(199.999, 100.0) != 100.0
+
+    def test_interval_round_trip_to_iterations(self):
+        # a 20 s Young interval at 0.5 s/iteration is 40 iterations
+        assert interval_in_iterations(young_interval(2.0, 100.0), 0.5) == 40
+
+
 class TestDaly:
     def test_close_to_young_for_small_tc(self):
         """Daly reduces to Young when t_C << MTBF."""

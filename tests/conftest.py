@@ -2,15 +2,35 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 import scipy.sparse as sp
 
 from repro.cluster.machine import MachineSpec, NodeSpec
 from repro.core.solver import ResilientSolver, SolverConfig
-from repro.matrices.distributed import DistributedMatrix
+from repro.matrices import cache as problem_cache
 from repro.matrices.generators import banded_spd, irregular_spd, stencil_5pt
-from repro.matrices.partition import BlockRowPartition
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_cache_dir(tmp_path_factory):
+    """Point the persistent cache at a per-session temp dir.
+
+    Keeps the suite hermetic: results must not depend on whatever the
+    repo-root ``.repro-cache/`` happens to hold from earlier campaign or
+    benchmark runs, and tests must not pollute it.  The disk layer stays
+    enabled so it is still exercised; tests that need full control
+    (tests/matrices/test_cache.py) override per-test via monkeypatch.
+    """
+    prior = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if prior is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = prior
 
 
 @pytest.fixture(scope="session")
@@ -42,11 +62,16 @@ def rng() -> np.random.Generator:
 
 @pytest.fixture()
 def small_system(small_banded, rng):
-    """(DistributedMatrix over 4 ranks, b, x_true) for the small matrix."""
+    """(DistributedMatrix over 4 ranks, b, x_true) for the small matrix.
+
+    The DistributedMatrix comes from the session-wide problem cache, so
+    every test (and every solver built on the same matrix/rank count)
+    shares one halo analysis instead of redoing it per test.
+    """
     n = small_banded.shape[0]
     x_true = rng.standard_normal(n)
     b = small_banded @ x_true
-    dmat = DistributedMatrix(small_banded, BlockRowPartition(n, 4))
+    dmat = problem_cache.distributed_matrix(small_banded, 4)
     return dmat, b, x_true
 
 

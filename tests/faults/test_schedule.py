@@ -107,6 +107,26 @@ class TestPoissonSchedule:
         gaps = np.diff([0] + [e.iteration for e in evs])
         assert abs(gaps.mean() - 100) / 100 < 0.15
 
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_mean_gap_matches_rate_across_seeds(self, seed):
+        """Seeded inter-arrival mean ≈ 1/λ for every seed, not one lucky one."""
+        mtbf = 60.0
+        evs = PoissonSchedule(
+            mtbf_iters=mtbf, seed=seed, horizon_factor=50
+        ).events(nranks=8, horizon_iters=30_000)
+        gaps = np.diff([0] + [e.iteration for e in evs])
+        assert len(gaps) > 200
+        assert abs(gaps.mean() - mtbf) / mtbf < 0.1
+
+    def test_gaps_look_exponential(self):
+        """Exponential inter-arrivals have coefficient of variation ~ 1."""
+        evs = PoissonSchedule(mtbf_iters=80, seed=11, horizon_factor=50).events(
+            nranks=4, horizon_iters=40_000
+        )
+        gaps = np.diff([0] + [e.iteration for e in evs]).astype(float)
+        cv = gaps.std() / gaps.mean()
+        assert 0.8 < cv < 1.2
+
     def test_events_sorted(self):
         evs = PoissonSchedule(mtbf_iters=20, seed=2).events(nranks=4, horizon_iters=500)
         iters = [e.iteration for e in evs]

@@ -1,0 +1,146 @@
+"""Seeded property tests of recovery-scheme *values* (Section 3.2).
+
+test_recovery_contract.py checks the structural contract (finiteness,
+non-victim isolation, convergence).  These tests pin the recovered
+values themselves:
+
+* F0 writes exactly zero, FI writes exactly the initial guess;
+* LI's local solve and LSI's least-squares reproduce the true block
+  (to solver accuracy) whenever the surviving state is consistent —
+  the Equation 17/21 systems then have x_true's block as their exact
+  solution;
+* after any block-local recovery, ``restart()`` re-derives the CG
+  residual as exactly ``b - A @ x`` (bitwise, same SpMV kernel).
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cg import DistributedCG
+from repro.core.recovery import make_scheme
+from repro.faults.events import FaultEvent
+from repro.matrices.distributed import DistributedMatrix
+from repro.matrices.generators import banded_spd
+from repro.matrices.partition import BlockRowPartition
+from tests.core.recovery.conftest import FakeServices
+
+N = 150
+NRANKS = 6
+
+_A = banded_spd(N, 7, dominance=0.02, seed=21)
+_X_TRUE = np.random.default_rng(21).standard_normal(N)
+_B = _A @ _X_TRUE
+
+settings_kw = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _cg_after(steps: int) -> DistributedCG:
+    dmat = DistributedMatrix(_A, BlockRowPartition(N, NRANKS))
+    cg = DistributedCG(dmat, _B, tol=1e-12)
+    for _ in range(steps):
+        cg.step()
+    return cg
+
+
+def _services(cg: DistributedCG, x0: np.ndarray | None = None) -> FakeServices:
+    return FakeServices(dmat=cg.dmat, b=_B, x0=x0 if x0 is not None else np.zeros(N))
+
+
+class TestExactFills:
+    @settings(**settings_kw)
+    @given(victim=st.integers(0, NRANKS - 1), steps=st.integers(1, 30))
+    def test_f0_writes_exactly_zero(self, victim, steps):
+        cg = _cg_after(steps)
+        services = _services(cg)
+        sl = services.partition.slice_of(victim)
+        cg.state.x[sl] = np.nan
+        make_scheme("F0").recover(services, cg.state, FaultEvent(steps, victim))
+        assert np.all(cg.state.x[sl] == 0.0)
+
+    @settings(**settings_kw)
+    @given(
+        victim=st.integers(0, NRANKS - 1),
+        steps=st.integers(1, 30),
+        guess_seed=st.integers(0, 1000),
+    )
+    def test_fi_writes_exactly_the_initial_guess(self, victim, steps, guess_seed):
+        cg = _cg_after(steps)
+        x0 = np.random.default_rng(guess_seed).standard_normal(N)
+        services = _services(cg, x0=x0)
+        sl = services.partition.slice_of(victim)
+        cg.state.x[sl] = np.nan
+        make_scheme("FI").recover(services, cg.state, FaultEvent(steps, victim))
+        assert np.array_equal(cg.state.x[sl], x0[sl])
+
+
+class TestConsistentInterpolation:
+    """With the surviving blocks exact, Equations 17/21 are consistent
+    linear systems whose solution IS the lost true block — direct-method
+    variants must recover it to numerical accuracy."""
+
+    @settings(**settings_kw)
+    @given(victim=st.integers(0, NRANKS - 1))
+    def test_li_lu_recovers_true_block(self, victim):
+        cg = _cg_after(1)
+        services = _services(cg)
+        cg.state.x[:] = _X_TRUE
+        sl = services.partition.slice_of(victim)
+        cg.state.x[sl] = np.nan
+        make_scheme("LI-LU").recover(services, cg.state, FaultEvent(1, victim))
+        err = np.linalg.norm(cg.state.x[sl] - _X_TRUE[sl])
+        assert err <= 1e-10 * max(1.0, np.linalg.norm(_X_TRUE[sl]))
+
+    @settings(**settings_kw)
+    @given(victim=st.integers(0, NRANKS - 1))
+    def test_lsi_qr_recovers_true_block(self, victim):
+        cg = _cg_after(1)
+        services = _services(cg)
+        cg.state.x[:] = _X_TRUE
+        sl = services.partition.slice_of(victim)
+        cg.state.x[sl] = np.nan
+        make_scheme("LSI-QR").recover(services, cg.state, FaultEvent(1, victim))
+        err = np.linalg.norm(cg.state.x[sl] - _X_TRUE[sl])
+        assert err <= 1e-8 * max(1.0, np.linalg.norm(_X_TRUE[sl]))
+
+    @settings(**settings_kw)
+    @given(victim=st.integers(0, NRANKS - 1))
+    def test_iterative_li_recovers_to_construct_tol(self, victim):
+        cg = _cg_after(1)
+        services = _services(cg)
+        cg.state.x[:] = _X_TRUE
+        sl = services.partition.slice_of(victim)
+        cg.state.x[sl] = np.nan
+        scheme = make_scheme("LI", construct_tol=1e-10)
+        scheme.recover(services, cg.state, FaultEvent(1, victim))
+        err = np.linalg.norm(cg.state.x[sl] - _X_TRUE[sl])
+        assert err <= 1e-6 * max(1.0, np.linalg.norm(_X_TRUE[sl]))
+
+
+class TestRestartResidual:
+    @settings(**settings_kw)
+    @given(
+        scheme_name=st.sampled_from(["F0", "FI", "LI", "LI-LU", "LSI", "LSI-QR"]),
+        victim=st.integers(0, NRANKS - 1),
+        steps=st.integers(1, 30),
+    )
+    def test_restart_rebuilds_true_residual_bitwise(self, scheme_name, victim, steps):
+        cg = _cg_after(steps)
+        services = _services(cg)
+        sl = services.partition.slice_of(victim)
+        cg.state.x[sl] = np.nan
+        cg.state.r[sl] = np.nan
+        out = make_scheme(scheme_name).recover(
+            services, cg.state, FaultEvent(steps, victim)
+        )
+        assert out.needs_restart
+        cg.restart()
+        # restart computes r = b - A x with the same SpMV the solver
+        # uses, so the equality is exact, not approximate
+        assert np.array_equal(cg.state.r, _B - _A @ cg.state.x)
+        assert np.array_equal(cg.state.p, cg.state.r)  # plain CG: p = z = r
+        assert cg.state.rz == float(cg.state.r @ cg.state.r)
