@@ -83,7 +83,9 @@ def test_multilevel_ablation(benchmark):
     )
     emit("ablation_multilevel", text)
 
-    ckpt = lambda k: reports[k].account.time(PhaseTag.CHECKPOINT)
+    def ckpt(k):
+        return reports[k].account.time(PhaseTag.CHECKPOINT)
+
     # everything converges — including with the memory level always lost
     for rep in reports.values():
         assert rep.converged

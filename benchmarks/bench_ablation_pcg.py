@@ -30,9 +30,9 @@ def ablation_data():
     b = a @ np.random.default_rng(0).standard_normal(a.shape[0])
     out = {}
     for label, precond in (("CG", None), ("Jacobi-PCG", "jacobi")):
-        cfg = lambda **kw: SolverConfig(
-            nranks=NRANKS, preconditioner=precond, **kw
-        )
+        def cfg(*, precond=precond, **kw):
+            return SolverConfig(nranks=NRANKS, preconditioner=precond, **kw)
+
         ff = ResilientSolver(a, b, config=cfg()).solve()
         reports = {"FF": ff}
         for s in SCHEMES:

@@ -17,7 +17,6 @@ budget (its replica consumes the other half), and compare
 time-to-solution.
 """
 
-import numpy as np
 
 from repro.core.recovery import make_scheme
 from repro.core.solver import ResilientSolver, SolverConfig

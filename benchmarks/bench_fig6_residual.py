@@ -12,9 +12,8 @@ import numpy as np
 
 from repro.core.recovery import make_scheme
 from repro.core.solver import ResilientSolver, SolverConfig
-from repro.faults.schedule import EvenlySpacedSchedule, FixedIterationSchedule
+from repro.faults.schedule import FixedIterationSchedule
 from repro.harness.reporting import format_series, format_table
-from repro.matrices import suite
 
 from benchmarks.common import emit, experiment, run
 
@@ -98,7 +97,9 @@ def test_figure6_residual_histories(benchmark):
     for s in ("F0", "FI", "CR-D"):
         assert histories[s][fault_at] > histories[s][fault_at - 1], s
     # F0's jump dominates LI/LSI's
-    jump = lambda s: histories[s][fault_at] / histories[s][fault_at - 1]
+    def jump(s):
+        return histories[s][fault_at] / histories[s][fault_at - 1]
+
     assert jump("F0") > 2 * jump("LI")
     assert jump("F0") > 2 * jump("LSI")
     # (b): LI and CR converge in fewer iterations than F0

@@ -51,7 +51,6 @@ def main() -> None:
     print(f"avg power:  {faulty.normalized_power(ff):.2f}x")
 
     # 5. The recovered solution is a genuine solution.
-    err = np.linalg.norm(faulty.residual_history[-1])
     assert faulty.converged
     print(f"\nconverged to relative residual {faulty.final_relative_residual:.2e}")
 

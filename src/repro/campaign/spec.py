@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.core.recovery import scheme_names
+from repro.engines import engine_names
 from repro.harness.experiment import (
     COST_STUDY_SCHEMES,
     ITERATION_STUDY_SCHEMES,
@@ -45,6 +46,10 @@ class CampaignCell:
             bits.append(f"s{c.seed}")
         if c.scale != 1.0:
             bits.append(f"x{c.scale:g}")
+        if c.engine != "sim":
+            bits.append(c.engine)
+        if c.fault_scope != "process":
+            bits.append(c.fault_scope)
         return f"{'/'.join(bits)}/{self.scheme}"
 
 
@@ -65,6 +70,10 @@ class CampaignSpec:
     nranks: tuple[int, ...] = (16,)
     fault_loads: tuple[int, ...] = (10,)
     seeds: tuple[int, ...] = (0,)
+    #: Execution engines to sweep; ``("sim", "analytic")`` runs every
+    #: grid point under both, which is what model-vs-sim drift
+    #: (:mod:`repro.engines.validate`) pairs up.
+    engines: tuple[str, ...] = ("sim",)
     scale: float = 1.0
     tol: float = 1e-8
     cr_interval: str | int = "paper"
@@ -78,10 +87,16 @@ class CampaignSpec:
         object.__setattr__(self, "nranks", tuple(self.nranks))
         object.__setattr__(self, "fault_loads", tuple(self.fault_loads))
         object.__setattr__(self, "seeds", tuple(self.seeds))
+        object.__setattr__(self, "engines", tuple(self.engines))
         if not self.matrices:
             raise ValueError("campaign needs at least one matrix")
         if not self.schemes:
             raise ValueError("campaign needs at least one scheme")
+        if not self.engines:
+            raise ValueError("campaign needs at least one engine")
+        unknown = [e for e in self.engines if e not in engine_names()]
+        if unknown:
+            raise ValueError(f"unknown engines: {', '.join(unknown)}")
         known_matrices = set(matrix_suite.names())
         unknown = [m for m in self.matrices if m not in known_matrices]
         if unknown:
@@ -104,11 +119,13 @@ class CampaignSpec:
                 tol=self.tol,
                 cr_interval=self.cr_interval,
                 trace=self.trace,
+                engine=engine,
             )
             for matrix in self.matrices
             for nranks in self.nranks
             for n_faults in self.fault_loads
             for seed in self.seeds
+            for engine in self.engines
         ]
 
     def cells(self) -> list[CampaignCell]:
@@ -129,15 +146,21 @@ class CampaignSpec:
             * len(self.nranks)
             * len(self.fault_loads)
             * len(self.seeds)
+            * len(self.engines)
         )
         n_schemes = len([s for s in self.schemes if s != BASELINE_SCHEME])
         return n_groups * (1 + n_schemes)
 
     def describe(self) -> str:
+        engines = (
+            f" x {len(self.engines)} engines [{', '.join(self.engines)}]"
+            if self.engines != ("sim",)
+            else ""
+        )
         return (
             f"campaign {self.name!r}: {len(self.matrices)} matrices x "
             f"{len(self.nranks)} rank counts x {len(self.fault_loads)} fault "
-            f"loads x {len(self.seeds)} seeds, schemes "
+            f"loads x {len(self.seeds)} seeds{engines}, schemes "
             f"[{', '.join(self.schemes)}] (+FF) = {len(self)} cells"
         )
 
@@ -184,6 +207,18 @@ _PRESETS: dict[str, CampaignSpec] = {
         schemes=("RD", "F0"),
         nranks=(8,),
         fault_loads=(2,),
+        scale=0.25,
+    ),
+    # Table 6 as a standing gate: the same small grid under both
+    # engines; ``repro validate`` pairs the cells and reports normalized
+    # T_res / P / E_res drift per scheme (see repro.engines.validate).
+    "model-validation": CampaignSpec(
+        name="model-validation",
+        matrices=("wathen100", "Andrews"),
+        schemes=("RD", "F0", "FI", "CR-D", "CR-M"),
+        nranks=(8,),
+        fault_loads=(2,),
+        engines=("sim", "analytic"),
         scale=0.25,
     ),
 }

@@ -41,7 +41,13 @@ from repro.core.report import SolveReport
 
 #: Bump when the payload schema or hashed key material changes shape.
 #: 2: telemetry payload field + ExperimentConfig.trace in the key.
-STORE_FORMAT = 2
+#: 3: ExperimentConfig.engine + fault_scope in the key.
+STORE_FORMAT = 3
+
+#: Config fields format 2 did not know about.  A v2 store can only hold
+#: cells at these fields' defaults, which is what makes the read-side
+#: migration in :meth:`ResultStore.get_entry` safe.
+_V3_CONFIG_FIELDS = {"engine": "sim", "fault_scope": "process"}
 
 DEFAULT_ROOT = Path(".repro-cache")
 
@@ -84,6 +90,31 @@ def cell_key(cell: CampaignCell) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def legacy_cell_key(cell: CampaignCell) -> str | None:
+    """The format-2 key this cell would have had, or ``None``.
+
+    Only cells expressible under format 2 — every post-v2 config field
+    at its default — have a legacy identity; anything else (an analytic
+    cell, a node-scope fault load) never existed in a v2 store.
+    """
+    config = asdict(cell.config)
+    for name, default in _V3_CONFIG_FIELDS.items():
+        if config.pop(name) != default:
+            return None
+    material = {
+        "store_format": 2,
+        "versions": {
+            "repro": repro.__version__,
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+        },
+        "config": config,
+        "scheme": cell.scheme,
+    }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 @dataclass(frozen=True)
 class StoreEntry:
     """One indexed result plus the bookkeeping the summary reports."""
@@ -119,11 +150,24 @@ class ResultStore:
         return self.get_entry(cell) is not None
 
     def get_entry(self, cell: CampaignCell) -> StoreEntry | None:
-        """Full entry for a cell, or ``None`` on a miss."""
+        """Full entry for a cell, or ``None`` on a miss.
+
+        A miss under the current key falls back to the cell's format-2
+        identity (when it has one), so stores written before the engine /
+        fault-scope axes keep serving their banked results.
+        """
         key = cell_key(cell)
         row = self._db.execute(
             "SELECT elapsed_s, created_at FROM results WHERE key = ?", (key,)
         ).fetchone()
+        if row is None:
+            legacy = legacy_cell_key(cell)
+            if legacy is not None:
+                row = self._db.execute(
+                    "SELECT elapsed_s, created_at FROM results WHERE key = ?",
+                    (legacy,),
+                ).fetchone()
+                key = legacy
         if row is None:
             return None
         path = self._payload_path(key)

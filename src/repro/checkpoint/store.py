@@ -20,7 +20,7 @@ exact restore, not a simulation.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

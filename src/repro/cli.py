@@ -1,17 +1,21 @@
 """Command-line interface.
 
-Six subcommands mirror the library's main entry points::
+Seven subcommands mirror the library's main entry points::
 
     python -m repro.cli run --matrix crystm02 --scheme LI-DVFS --faults 5
     python -m repro.cli suite --schemes RD F0 LI CR-D --matrices Kuu ex15
     python -m repro.cli campaign --preset iteration-study --workers 8 --resume
+    python -m repro.cli validate --threshold 0.25
     python -m repro.cli trace --store .repro-cache --export trace.jsonl
     python -m repro.cli project --sizes 192 1536 12288 98304
     python -m repro.cli mtbf
 
-Everything prints plain text; only ``campaign`` writes files (its
-result store, ``.repro-cache/`` by default) and ``trace --export``
-(the combined telemetry JSONL).
+``run``, ``suite`` and ``campaign`` accept ``--engine`` to evaluate
+cells with the numeric simulator (default) or the Section-3 closed-form
+models; ``validate`` runs the same grid under both and gates on their
+drift.  Everything prints plain text; only ``campaign``/``validate``
+write files (their result store, ``.repro-cache/`` by default) and
+``trace --export`` (the combined telemetry JSONL).
 """
 
 from __future__ import annotations
@@ -21,11 +25,12 @@ import math
 import sys
 
 from repro.campaign import spec as campaign_presets
-from repro.core.models.projection import FIGURE9_SCHEMES, ProjectionConfig, project
+from repro.core.models.projection import FIGURE9_SCHEMES
 from repro.core.recovery import scheme_names
+from repro.engines import engine_names
 from repro.faults.events import FaultClass
 from repro.faults.mtbf import EXASCALE, PETASCALE, MtbfEstimator
-from repro.harness.experiment import Experiment, ExperimentConfig
+from repro.harness.experiment import FAULT_SCOPES, Experiment, ExperimentConfig
 from repro.harness.normalize import normalize_reports
 from repro.harness.reporting import format_table
 from repro.matrices import suite
@@ -49,6 +54,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--tol", type=float, default=1e-8)
     run.add_argument("--scale", type=float, default=1.0)
     run.add_argument("--seed", type=int, default=0, help="experiment RNG seed")
+    run.add_argument(
+        "--engine", choices=engine_names(), default="sim",
+        help="numeric simulation (sim) or Section-3 closed-form models "
+        "(analytic)",
+    )
+    run.add_argument(
+        "--fault-scope", choices=list(FAULT_SCOPES), default="process",
+        help="blast radius per fault: one rank (process, the paper's "
+        "protocol), every rank on the victim's node, or all ranks",
+    )
     run.add_argument(
         "--precond", choices=["jacobi"], default=None, help="optional preconditioner"
     )
@@ -78,6 +93,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--ranks", type=int, default=64)
     sweep.add_argument("--scale", type=float, default=1.0)
     sweep.add_argument("--seed", type=int, default=0, help="experiment RNG seed")
+    sweep.add_argument(
+        "--engine", choices=engine_names(), default="sim",
+        help="numeric simulation (sim) or Section-3 closed-form models "
+        "(analytic)",
+    )
     sweep.add_argument(
         "--cr-interval",
         default="paper",
@@ -110,6 +130,12 @@ def _build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--ranks", nargs="+", type=int, default=None)
     camp.add_argument("--faults", nargs="+", type=int, default=None)
     camp.add_argument("--seeds", nargs="+", type=int, default=None)
+    camp.add_argument(
+        "--engine", nargs="+", choices=engine_names(), default=None,
+        dest="engines", metavar="ENGINE",
+        help="execution engine(s) to sweep; pass both to build a "
+        "model-vs-sim comparison grid",
+    )
     camp.add_argument("--scale", type=float, default=None)
     camp.add_argument("--tol", type=float, default=None)
     camp.add_argument("--cr-interval", default=None)
@@ -148,6 +174,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-presets", action="store_true",
         help="print the preset grids and exit",
     )
+
+    val = sub.add_parser(
+        "validate",
+        help="model-vs-sim drift gate: run the validation grid under "
+        "both engines and compare normalized T_res / P / E_res",
+    )
+    val.add_argument(
+        "--matrices", nargs="+", default=None, choices=suite.names(),
+        help="restrict the validation grid's matrix set",
+    )
+    val.add_argument(
+        "--schemes", nargs="+", default=None, choices=scheme_names(),
+        help="restrict the validation grid's scheme set",
+    )
+    val.add_argument(
+        "--threshold", type=float, default=None,
+        help="max allowed normalized drift (default: the documented "
+        "envelope, repro.engines.validate.DEFAULT_DRIFT_THRESHOLD)",
+    )
+    val.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the underlying campaign",
+    )
+    val.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result store directory (default .repro-cache)",
+    )
+    val.add_argument(
+        "--no-store", action="store_true",
+        help="run fully in memory: nothing read from or written to disk",
+    )
+    val.add_argument("--quiet", action="store_true", help="suppress progress lines")
 
     trace = sub.add_parser(
         "trace",
@@ -246,30 +304,17 @@ def cmd_run(args) -> int:
         scale=args.scale,
         cr_interval=_parse_cr_interval(args.cr_interval),
         trace=args.trace,
+        engine=args.engine,
+        fault_scope=args.fault_scope,
     )
-    exp = Experiment(cfg, fast=args.fast)
-    if args.precond:
-        # the Experiment driver runs plain CG; preconditioned runs go
-        # through the solver directly
-        from repro.core.recovery import make_scheme
-        from repro.core.solver import ResilientSolver, SolverConfig
-
-        scfg = lambda **kw: SolverConfig(
-            nranks=args.ranks, tol=args.tol, seed=args.seed,
-            preconditioner=args.precond, trace=args.trace,
-            fast=args.fast, **kw
+    exp = Experiment(cfg, fast=args.fast, preconditioner=args.precond)
+    if args.fault_scope != "process":
+        print(
+            f"fault scope {args.fault_scope}: up to "
+            f"{exp.fault_scope_victims()} of {args.ranks} ranks lost per fault"
         )
-        ff = ResilientSolver(exp.a, exp.b, config=scfg()).solve()
-        report = ResilientSolver(
-            exp.a,
-            exp.b,
-            scheme=make_scheme(args.scheme),
-            schedule=exp.schedule(),
-            config=scfg(baseline_iters=ff.iterations),
-        ).solve()
-    else:
-        ff = exp.fault_free
-        report = exp.run(args.scheme)
+    ff = exp.fault_free
+    report = exp.run(args.scheme)
     print("fault-free:")
     print(ff.summary())
     print(f"\n{args.scheme} with {args.faults} faults:")
@@ -297,6 +342,7 @@ def cmd_suite(args) -> int:
                 seed=args.seed,
                 scale=args.scale,
                 cr_interval=_parse_cr_interval(args.cr_interval),
+                engine=args.engine,
             ),
             fast=args.fast,
         )
@@ -329,6 +375,8 @@ def _campaign_spec(args):
         overrides["fault_loads"] = tuple(args.faults)
     if args.seeds:
         overrides["seeds"] = tuple(args.seeds)
+    if args.engines:
+        overrides["engines"] = tuple(args.engines)
     if args.scale is not None:
         overrides["scale"] = args.scale
     if args.tol is not None:
@@ -382,6 +430,53 @@ def cmd_campaign(args) -> int:
         print()
         print(format_telemetry_summary(result))
     return 0 if result.n_failed == 0 else 1
+
+
+def cmd_validate(args) -> int:
+    """Run the model-validation grid under both engines and gate on the
+    worst normalized drift (Table 6 as a standing check)."""
+    from repro.campaign import ProgressReporter, ResultStore, run_campaign
+    from repro.campaign.store import DEFAULT_ROOT
+    from repro.engines.validate import (
+        DEFAULT_DRIFT_THRESHOLD,
+        drift_rows,
+        format_drift_table,
+        max_drift,
+    )
+
+    overrides = {}
+    if args.matrices:
+        overrides["matrices"] = tuple(args.matrices)
+    if args.schemes:
+        overrides["schemes"] = tuple(args.schemes)
+    spec = campaign_presets.preset("model-validation", **overrides)
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_DRIFT_THRESHOLD
+    )
+    store = None if args.no_store else ResultStore(args.store or DEFAULT_ROOT)
+    print(spec.describe())
+    progress = ProgressReporter(
+        len(spec), workers=args.workers, enabled=not args.quiet
+    )
+    result = run_campaign(
+        spec, store=store, max_workers=args.workers, progress=progress
+    )
+    print()
+    rows = drift_rows(result)
+    print(format_drift_table(rows))
+    if result.n_failed:
+        print(f"\nFAIL: {result.n_failed} campaign cells failed")
+        return 1
+    if not rows:
+        print("\nFAIL: no comparable sim/analytic cell pairs")
+        return 1
+    worst = max_drift(rows)
+    verdict = "OK" if worst <= threshold else "FAIL"
+    print(
+        f"\n{verdict}: max normalized drift {worst:.3f} "
+        f"(threshold {threshold:.3f}, {len(rows)} comparisons)"
+    )
+    return 0 if worst <= threshold else 1
 
 
 def cmd_trace(args) -> int:
@@ -489,8 +584,13 @@ def cmd_trace(args) -> int:
 
 
 def cmd_project(args) -> int:
-    data = project(sorted(args.sizes), ProjectionConfig())
-    fmt = lambda x: "HALT" if (math.isinf(x) or math.isnan(x)) else round(x, 3)
+    from repro.engines import AnalyticEngine
+
+    data = AnalyticEngine.project(args.sizes)
+
+    def fmt(x):
+        return "HALT" if (math.isinf(x) or math.isnan(x)) else round(x, 3)
+
     rows = []
     for i, n in enumerate(sorted(args.sizes)):
         row = [n]
@@ -532,6 +632,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": cmd_run,
         "suite": cmd_suite,
         "campaign": cmd_campaign,
+        "validate": cmd_validate,
         "trace": cmd_trace,
         "project": cmd_project,
         "mtbf": cmd_mtbf,

@@ -41,7 +41,6 @@ class FrequencyLadder:
     def steps(self) -> tuple[float, ...]:
         """All available frequencies, ascending, in GHz."""
         out = []
-        f = self.fmin_ghz
         # Use integer stepping to avoid float accumulation drift.
         nsteps = int(round((self.fmax_ghz - self.fmin_ghz) / self.fstep_ghz))
         for i in range(nsteps + 1):

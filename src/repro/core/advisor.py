@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.models.general import GeneralModel, WorkloadParams
 from repro.core.models.schemes import (

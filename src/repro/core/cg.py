@@ -18,7 +18,7 @@ reconstruction of other variables", Section 5.2).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 
 import numpy as np

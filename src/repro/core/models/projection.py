@@ -21,7 +21,7 @@ size*, exactly as Figure 9 plots them.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.models.general import GeneralModel, WorkloadParams
 from repro.core.models.schemes import (

@@ -16,7 +16,6 @@ produces the high/low power plateaus the paper describes.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.checkpoint.interval import interval_in_iterations, young_interval
 from repro.checkpoint.manager import CheckpointManager

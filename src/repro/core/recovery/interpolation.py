@@ -26,7 +26,6 @@ core drops to f_min, cutting node power ~0.75x -> ~0.45x of compute.
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse.linalg as spla
 
 from repro.core.cg import CGState
 from repro.core.recovery.base import (

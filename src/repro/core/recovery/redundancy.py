@@ -22,7 +22,6 @@ to out-vote silent corruption rather than merely recover detected loss.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.cg import CGState
 from repro.core.recovery.base import (

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.cluster.comm import TrafficCounters
 from repro.faults.events import FaultEvent
-from repro.power.energy import EnergyAccount, PhaseTag
+from repro.power.energy import EnergyAccount
 from repro.power.rapl import RaplMeter
 
 

@@ -1,0 +1,30 @@
+"""Pluggable execution engines (numeric simulation vs closed form).
+
+Importing this package registers both built-in engines; everything else
+resolves them by name through :func:`make_engine`.
+"""
+
+from repro.engines.base import (
+    DEFAULT_ENGINE,
+    ExecutionEngine,
+    UnsupportedSchemeError,
+    engine_names,
+    make_engine,
+    register_engine,
+)
+
+# Import order is registration order: the default engine lists first.
+from repro.engines.sim import SimEngine
+from repro.engines.analytic import AnalyticEngine, AnalyticParams
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "AnalyticEngine",
+    "AnalyticParams",
+    "ExecutionEngine",
+    "SimEngine",
+    "UnsupportedSchemeError",
+    "engine_names",
+    "make_engine",
+    "register_engine",
+]

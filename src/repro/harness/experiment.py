@@ -12,24 +12,34 @@ two protocols:
   fault load, but CR intervals derived from Young's formula with the
   MTBF implied by the fault load (``MTBF = T_ff / n_faults``), matching
   "The checkpointing frequency of CR is computed via Young's formula".
+
+Execution is delegated to a pluggable :class:`~repro.engines.base.
+ExecutionEngine` (``config.engine``): ``"sim"`` numerically steps the
+faulty solve, ``"analytic"`` evaluates the Section-3 closed-form models.
+The experiment owns problem construction and protocol policy; engines
+own how a cell's report gets produced.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.core.errors import ConvergenceError
-from repro.core.recovery import make_scheme
 from repro.core.report import SolveReport
-from repro.core.solver import ResilientSolver, SolverConfig
+from repro.core.solver import SolverConfig
+from repro.engines import DEFAULT_ENGINE, ExecutionEngine, engine_names, make_engine
+from repro.faults.events import FaultScope
 from repro.faults.schedule import EvenlySpacedSchedule, FaultSchedule
 from repro.matrices import suite as matrix_suite
 
 #: The paper's fixed CR cadence in the resilience study (Section 5.2).
 PAPER_CR_INTERVAL = 100
+
+#: CLI-facing names of the fault blast radii (`faults.events.FaultScope`).
+FAULT_SCOPES = tuple(s.value for s in FaultScope)
 
 
 @dataclass(frozen=True)
@@ -53,6 +63,13 @@ class ExperimentConfig:
     #: numerics — but it is part of the cell's cache key because it
     #: changes the persisted payload.
     trace: bool = False
+    #: Execution engine: "sim" (numeric co-simulation) or "analytic"
+    #: (Section-3 closed-form models).  Part of the cell's cache key —
+    #: the engines agree on schema, not on bits.
+    engine: str = DEFAULT_ENGINE
+    #: Blast radius of each injected fault: "process" (the paper's
+    #: protocol), "node" (every rank on the victim's node) or "system".
+    fault_scope: str = "process"
 
     def __post_init__(self) -> None:
         if self.n_faults < 0:
@@ -64,6 +81,15 @@ class ExperimentConfig:
             raise ValueError("cr_interval must be 'paper', 'young' or an int")
         if isinstance(self.cr_interval, int) and self.cr_interval < 1:
             raise ValueError("explicit CR interval must be >= 1")
+        if self.engine not in engine_names():
+            raise ValueError(
+                f"unknown engine {self.engine!r}; known: "
+                f"{', '.join(engine_names())}"
+            )
+        if self.fault_scope not in FAULT_SCOPES:
+            raise ValueError(
+                f"fault_scope must be one of {', '.join(FAULT_SCOPES)}"
+            )
 
 
 class Experiment:
@@ -75,16 +101,30 @@ class Experiment:
         *,
         a: sp.spmatrix | None = None,
         fast: bool = True,
+        preconditioner: str | None = None,
+        engine: ExecutionEngine | None = None,
     ):
-        """``fast`` selects the span-batched solve engine (the default).
+        """``fast`` selects the span-batched solve engine (the default)
+        and ``preconditioner`` enables PCG (``"jacobi"``).
 
-        It is an execution knob, not part of :class:`ExperimentConfig`:
-        both paths produce bit-identical reports (see
-        tests/core/test_fast_equivalence.py), so it must not change
-        campaign cache keys.
+        Both are execution knobs, not part of :class:`ExperimentConfig`:
+        ``fast`` produces bit-identical reports (see
+        tests/core/test_fast_equivalence.py) so it must not change
+        campaign cache keys, and the preconditioner is a CLI-level
+        exploration hook campaigns do not sweep.  ``engine`` overrides
+        the instance built from ``config.engine`` (e.g. an
+        :class:`~repro.engines.analytic.AnalyticEngine` with custom
+        parameters); its name must match the config.
         """
         self.config = config
         self.fast = fast
+        self.preconditioner = preconditioner
+        if engine is not None and engine.name != config.engine:
+            raise ValueError(
+                f"engine {engine.name!r} does not match config.engine="
+                f"{config.engine!r}"
+            )
+        self.engine = engine if engine is not None else make_engine(config.engine)
         if a is None:
             a = matrix_suite.build(config.matrix, config.scale)
         self.a = sp.csr_matrix(a)
@@ -92,16 +132,24 @@ class Experiment:
         rng = np.random.default_rng(config.seed)
         self.x_true = rng.standard_normal(n)
         self.b = self.a @ self.x_true
-        self._ff: SolveReport | None = None
+        # Baselines keyed by every execution-relevant knob: mutating
+        # ``fast`` or ``preconditioner`` (or swapping ``engine``) after a
+        # baseline was computed must never silently reuse a stale one.
+        self._baselines: dict[tuple, SolveReport] = {}
 
     # ------------------------------------------------------------------
-    def _solver_config(self, baseline: int | None) -> SolverConfig:
+    def _baseline_key(self) -> tuple:
+        return (self.engine.name, self.preconditioner, self.fast)
+
+    def solver_config(self, baseline: int | None) -> SolverConfig:
+        """The :class:`SolverConfig` for one solve under this experiment."""
         c = self.config
         return SolverConfig(
             nranks=c.nranks,
             tol=c.tol,
             max_iters=c.max_iters,
             seed=c.seed,
+            preconditioner=self.preconditioner,
             trace=c.trace,
             baseline_iters=baseline,
             fast=self.fast,
@@ -109,25 +157,26 @@ class Experiment:
 
     @property
     def fault_free(self) -> SolveReport:
-        """The cached fault-free baseline."""
-        if self._ff is None:
-            solver = ResilientSolver(
-                self.a, self.b, config=self._solver_config(None)
-            )
-            self._ff = solver.solve()
-            if not self._ff.converged:
+        """The cached fault-free baseline (per execution-knob set)."""
+        key = self._baseline_key()
+        ff = self._baselines.get(key)
+        if ff is None:
+            ff = self.engine.solve_fault_free(self)
+            if not ff.converged:
                 raise ConvergenceError(
                     matrix=self.config.matrix,
                     tol=self.config.tol,
-                    final_residual=self._ff.final_relative_residual,
-                    iterations=self._ff.iterations,
+                    final_residual=ff.final_relative_residual,
+                    iterations=ff.iterations,
                 )
-        return self._ff
+            self._baselines[key] = ff
+        return ff
 
     @property
     def has_baseline(self) -> bool:
-        """Whether the fault-free baseline has been computed (or primed)."""
-        return self._ff is not None
+        """Whether the fault-free baseline has been computed (or primed)
+        for the *current* execution knobs."""
+        return self._baseline_key() in self._baselines
 
     def prime_baseline(self, report: SolveReport) -> None:
         """Install a previously computed fault-free baseline.
@@ -135,8 +184,10 @@ class Experiment:
         Lets a campaign worker (or any caller holding a cached ``FF``
         report for this exact config) skip re-running the baseline
         solve.  The report must come from the same
-        :class:`ExperimentConfig`; runs are deterministic, so an equal
-        config implies an identical baseline.
+        :class:`ExperimentConfig` *and* the same engine; runs are
+        deterministic, so an equal config implies an identical baseline.
+        Reports predating engine provenance are treated as simulator
+        output.
         """
         if report.scheme != "FF":
             raise ValueError(f"baseline must be an FF report, got {report.scheme!r}")
@@ -147,11 +198,36 @@ class Experiment:
                 final_residual=report.final_relative_residual,
                 iterations=report.iterations,
             )
-        self._ff = report
+        provenance = report.details.get("engine", "sim")
+        if provenance != self.engine.name:
+            raise ValueError(
+                f"baseline was produced by the {provenance!r} engine; this "
+                f"experiment runs {self.engine.name!r}"
+            )
+        self._baselines[self._baseline_key()] = report
 
     def schedule(self) -> FaultSchedule:
         return EvenlySpacedSchedule(
-            n_faults=self.config.n_faults, seed=self.config.seed
+            n_faults=self.config.n_faults,
+            seed=self.config.seed,
+            scope=FaultScope(self.config.fault_scope),
+        )
+
+    def fault_scope_victims(self) -> int:
+        """Worst-case ranks lost per fault under the configured scope,
+        from the cluster topology (1 / cores-per-node cap / all)."""
+        c = self.config
+        if c.fault_scope == "process":
+            return 1
+        if c.fault_scope == "system":
+            return c.nranks
+        from repro.cluster.comm import SimComm
+        from repro.cluster.machine import paper_machine
+
+        binding = SimComm(paper_machine(), c.nranks).binding
+        return max(
+            len(binding.ranks_on_node(node))
+            for node in range(binding.nodes_used)
         )
 
     def implied_mtbf_s(self) -> float:
@@ -160,7 +236,9 @@ class Experiment:
             raise ValueError("no faults: MTBF undefined")
         return self.fault_free.time_s / self.config.n_faults
 
-    def _cr_kwargs(self) -> dict:
+    def cr_kwargs(self) -> dict:
+        """Checkpoint cadence kwargs for ``make_scheme`` per the
+        configured interval policy."""
         c = self.config
         if c.cr_interval == "paper":
             return {"interval_iters": PAPER_CR_INTERVAL}
@@ -172,20 +250,7 @@ class Experiment:
         """Run one scheme under the configured fault load."""
         if scheme_name == "FF":
             return self.fault_free
-        ff = self.fault_free
-        scheme = make_scheme(
-            scheme_name,
-            construct_tol=self.config.construct_tol,
-            **(self._cr_kwargs() if scheme_name.startswith("CR") else {}),
-        )
-        solver = ResilientSolver(
-            self.a,
-            self.b,
-            scheme=scheme,
-            schedule=self.schedule(),
-            config=self._solver_config(ff.iterations),
-        )
-        return solver.solve()
+        return self.engine.solve_scheme(self, scheme_name, self.fault_free)
 
     def run_all(self, scheme_names: list[str]) -> dict[str, SolveReport]:
         return {name: self.run(name) for name in scheme_names}

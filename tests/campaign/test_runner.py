@@ -9,7 +9,6 @@ from repro.campaign.progress import (
     summary_counters,
 )
 from repro.campaign.runner import (
-    CampaignRunner,
     CellTimeout,
     execute_cell,
     run_campaign,

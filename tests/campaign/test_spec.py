@@ -115,3 +115,60 @@ class TestCell:
         cfg = ExperimentConfig(matrix="Kuu")
         assert CampaignCell(cfg, "FF").is_baseline
         assert not CampaignCell(cfg, "RD").is_baseline
+
+
+class TestEngineAxis:
+    def test_default_grid_is_sim_only(self, tiny_spec):
+        assert tiny_spec.engines == ("sim",)
+        assert all(c.config.engine == "sim" for c in tiny_spec.cells())
+
+    def test_engines_multiply_the_grid(self, tiny_spec):
+        from dataclasses import replace
+
+        both = replace(tiny_spec, engines=("sim", "analytic"))
+        assert len(both) == 2 * len(tiny_spec)
+        engines = {c.config.engine for c in both.cells()}
+        assert engines == {"sim", "analytic"}
+
+    def test_every_grid_point_appears_under_both_engines(self, tiny_spec):
+        from dataclasses import replace
+
+        both = replace(tiny_spec, engines=("sim", "analytic"))
+        points = {}
+        for config in both.experiment_configs():
+            key = (config.matrix, config.nranks, config.n_faults, config.seed)
+            points.setdefault(key, set()).add(config.engine)
+        assert all(v == {"sim", "analytic"} for v in points.values())
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engines"):
+            CampaignSpec(matrices=("Kuu",), engines=("warp",))
+
+    def test_empty_engines_rejected(self):
+        with pytest.raises(ValueError, match="at least one engine"):
+            CampaignSpec(matrices=("Kuu",), engines=())
+
+    def test_describe_mentions_engines_when_swept(self, tiny_spec):
+        from dataclasses import replace
+
+        assert "engines" not in tiny_spec.describe()
+        both = replace(tiny_spec, engines=("sim", "analytic"))
+        assert "analytic" in both.describe()
+
+    def test_label_marks_non_default_engine_and_scope(self):
+        cfg = ExperimentConfig(
+            matrix="Kuu", nranks=8, n_faults=3, engine="analytic",
+            fault_scope="node",
+        )
+        cell = CampaignCell(cfg, "LI")
+        assert "analytic" in cell.label
+        assert "node" in cell.label
+        assert "analytic" not in CampaignCell(
+            ExperimentConfig(matrix="Kuu"), "LI"
+        ).label
+
+    def test_model_validation_preset_sweeps_both_engines(self):
+        spec = preset("model-validation")
+        assert spec.engines == ("sim", "analytic")
+        assert set(spec.schemes) == {"RD", "F0", "FI", "CR-D", "CR-M"}
+        assert "model-validation" in preset_names()

@@ -8,7 +8,7 @@ import pytest
 
 from repro.campaign.serialize import report_from_dict, report_to_dict
 from repro.campaign.spec import CampaignCell
-from repro.campaign.store import ResultStore, cell_key
+from repro.campaign.store import ResultStore, cell_key, legacy_cell_key
 from repro.harness.experiment import Experiment, ExperimentConfig
 
 
@@ -68,6 +68,8 @@ class TestKeying:
             {"tol": 1e-6},
             {"cr_interval": "young"},
             {"scale": 0.5},
+            {"engine": "analytic"},
+            {"fault_scope": "node"},
         ],
     )
     def test_any_config_change_changes_the_key(self, solved, change):
@@ -131,3 +133,107 @@ class TestStore:
         store.clear()
         assert len(store) == 0
         assert store.get(cell) is None
+
+
+def _write_v2_entry(store, cell, report):
+    """Hand-build the entry a format-2 store would hold for this cell:
+    keyed by the legacy hash, payload config without the post-v2 fields."""
+    import time
+    from dataclasses import asdict
+
+    key = legacy_cell_key(cell)
+    config = asdict(cell.config)
+    del config["engine"], config["fault_scope"]
+    path = store._payload_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "key": key,
+        "cell": {"config": config, "scheme": cell.scheme},
+        "report": report_to_dict(report),
+    }
+    path.write_text(json.dumps(payload, sort_keys=True))
+    cfg = cell.config
+    store._db.execute(
+        "INSERT OR REPLACE INTO results VALUES "
+        "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        (
+            key, cfg.matrix, cell.scheme, cfg.nranks, cfg.n_faults, cfg.seed,
+            cfg.scale, str(cfg.cr_interval), cfg.tol, int(report.converged),
+            report.iterations, report.time_s, report.energy_j, 1.0,
+            time.time(), str(path.relative_to(store.root)),
+        ),
+    )
+    store._db.commit()
+    return key
+
+
+class TestMigration:
+    """Format-2 stores keep serving their banked cells under format 3."""
+
+    def test_v3_and_legacy_keys_differ(self, solved):
+        cell, _ = solved
+        assert legacy_cell_key(cell) is not None
+        assert legacy_cell_key(cell) != cell_key(cell)
+
+    def test_post_v2_cells_have_no_legacy_identity(self, solved):
+        cell, _ = solved
+        analytic = CampaignCell(
+            replace(cell.config, engine="analytic"), cell.scheme
+        )
+        node = CampaignCell(
+            replace(cell.config, fault_scope="node"), cell.scheme
+        )
+        assert legacy_cell_key(analytic) is None
+        assert legacy_cell_key(node) is None
+
+    def test_v2_store_loads_under_v3(self, store, solved):
+        cell, report = solved
+        legacy = _write_v2_entry(store, cell, report)
+        entry = store.get_entry(cell)
+        assert entry is not None
+        assert entry.key == legacy
+        assert_reports_equal(entry.report, report)
+        assert cell in store
+
+    def test_v2_payload_config_gains_defaults_in_entries(self, store, solved):
+        cell, report = solved
+        _write_v2_entry(store, cell, report)
+        (entry,) = list(store.entries())
+        assert entry.cell.config.engine == "sim"
+        assert entry.cell.config.fault_scope == "process"
+        assert entry.cell.config == cell.config
+
+    def test_v3_write_wins_over_legacy_fallback(self, store, solved):
+        """Once a cell is recomputed and stored under its v3 key, the
+        fresh entry is served (the legacy row remains, unreferenced)."""
+        cell, report = solved
+        _write_v2_entry(store, cell, report)
+        store.put(cell, report, elapsed_s=9.0)
+        entry = store.get_entry(cell)
+        assert entry.key == cell_key(cell)
+        assert entry.elapsed_s == 9.0
+
+    def test_analytic_cells_never_hit_legacy_rows(self, store, solved):
+        cell, report = solved
+        _write_v2_entry(store, cell, report)
+        analytic = CampaignCell(
+            replace(cell.config, engine="analytic"), cell.scheme
+        )
+        assert store.get(analytic) is None
+
+
+class TestMixedEngines:
+    def test_mixed_engine_entries_round_trip_bit_exactly(self, store, solved):
+        cell, sim_report = solved
+        ana_config = replace(cell.config, engine="analytic")
+        ana_exp = Experiment(ana_config)
+        ana_cell = CampaignCell(ana_config, "LI")
+        ana_report = ana_exp.run("LI")
+        store.put(cell, sim_report)
+        store.put(ana_cell, ana_report)
+        by_engine = {e.cell.config.engine: e for e in store.entries()}
+        assert set(by_engine) == {"sim", "analytic"}
+        assert_reports_equal(by_engine["sim"].report, sim_report)
+        assert_reports_equal(by_engine["analytic"].report, ana_report)
+        assert by_engine["analytic"].report.details["engine"] == "analytic"
+        assert by_engine["analytic"].cell.config == ana_config

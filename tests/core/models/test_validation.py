@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.models.validation import ModelValidation, validate_scheme
+from repro.core.models.validation import validate_scheme
 from repro.core.recovery import make_scheme
 from repro.faults.schedule import EvenlySpacedSchedule
 

@@ -33,7 +33,6 @@ class TestLinearInterpolation:
         assert out.needs_restart
 
     def test_lu_solves_diag_block_exactly(self, services, midsolve_state):
-        before = midsolve_state.x.copy()
         sl = damage(services, midsolve_state, 2)
         LinearInterpolation(method="lu").recover(
             services, midsolve_state, FaultEvent(20, 2)

@@ -1,7 +1,6 @@
 """Tests for the CR-ML recovery scheme (multi-level checkpoint/restart)."""
 
 import numpy as np
-import pytest
 
 from repro.core.recovery import make_scheme
 from repro.core.recovery.multilevel import MultiLevelCheckpointRestart

@@ -1,7 +1,6 @@
 """Unit tests for DMR redundancy."""
 
 import numpy as np
-import pytest
 
 from repro.core.recovery.redundancy import Redundancy
 from repro.faults.events import FaultEvent

@@ -6,7 +6,7 @@ import pytest
 from repro.cluster.machine import MachineSpec, NodeSpec
 from repro.core.recovery import make_scheme
 from repro.core.solver import ResilientSolver, SolverConfig
-from repro.faults.events import FaultClass, FaultEvent, FaultScope
+from repro.faults.events import FaultEvent, FaultScope
 from repro.faults.schedule import EvenlySpacedSchedule, FixedIterationSchedule
 from repro.matrices.generators import banded_spd
 

@@ -10,8 +10,8 @@ import numpy as np
 import pytest
 
 from repro.core.cg import DistributedCG
-from repro.core.recovery import make_scheme, scheme_names
-from repro.core.solver import ResilientSolver, SolverConfig
+from repro.core.recovery import make_scheme
+from repro.core.solver import ResilientSolver
 from repro.faults.schedule import EvenlySpacedSchedule
 from repro.matrices.distributed import DistributedMatrix
 from repro.matrices.generators import banded_spd
@@ -94,7 +94,9 @@ class TestPcgResilience:
 
     def test_rd_still_overlaps_fault_free(self, scaled_system):
         a, b = scaled_system
-        cfg = lambda **kw: quick_config(nranks=8, preconditioner="jacobi", **kw)
+        def cfg(**kw):
+            return quick_config(nranks=8, preconditioner="jacobi", **kw)
+
         ff = ResilientSolver(a, b, config=cfg()).solve()
         rd = ResilientSolver(
             a,

@@ -1,0 +1,73 @@
+"""Model-vs-sim drift rows, the Table-6-style gate behind ``repro validate``."""
+
+import pytest
+
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import preset
+from repro.engines.validate import (
+    DEFAULT_DRIFT_THRESHOLD,
+    DriftRow,
+    drift_rows,
+    format_drift_table,
+    max_drift,
+)
+
+
+@pytest.fixture(scope="module")
+def validation_result():
+    """One matrix of the model-validation preset, both engines."""
+    spec = preset("model-validation", matrices=("wathen100",))
+    return run_campaign(spec)
+
+
+class TestDriftRows:
+    def test_one_row_per_scheme(self, validation_result):
+        rows = drift_rows(validation_result)
+        spec = validation_result.spec
+        assert {r.scheme for r in rows} == set(spec.schemes)
+        assert len(rows) == len(spec.schemes)
+
+    def test_rows_carry_the_grid_point(self, validation_result):
+        row = drift_rows(validation_result)[0]
+        assert row.matrix == "wathen100"
+        assert (row.nranks, row.n_faults, row.seed) == (8, 2, 0)
+
+    def test_drift_within_documented_threshold(self, validation_result):
+        """The acceptance criterion: on the paper's small matrices the
+        models stay inside the documented envelope."""
+        rows = drift_rows(validation_result)
+        assert max_drift(rows) <= DEFAULT_DRIFT_THRESHOLD
+
+    def test_rd_power_drift_is_tiny(self, validation_result):
+        (rd,) = [r for r in drift_rows(validation_result) if r.scheme == "RD"]
+        assert rd.sim[1] == pytest.approx(2.0, abs=0.01)
+        assert rd.analytic[1] == pytest.approx(2.0)
+        assert rd.drift_p < 0.01
+
+    def test_table_renders_every_row(self, validation_result):
+        rows = drift_rows(validation_result)
+        table = format_drift_table(rows)
+        for row in rows:
+            assert row.scheme in table
+
+    def test_sim_only_campaign_yields_no_rows(self):
+        spec = preset(
+            "model-validation", matrices=("wathen100",), engines=("sim",),
+            schemes=("RD",),
+        )
+        result = run_campaign(spec)
+        assert drift_rows(result) == []
+        assert "no comparable" in format_drift_table([])
+
+
+class TestMaxDrift:
+    def test_empty_is_zero(self):
+        assert max_drift([]) == 0.0
+
+    def test_picks_the_worst_component(self):
+        row = DriftRow(
+            matrix="m", scheme="LI", nranks=4, n_faults=1, seed=0, scale=1.0,
+            sim=(1.0, 1.0, 1.0), analytic=(1.1, 0.7, 1.05),
+        )
+        assert row.max_drift == pytest.approx(0.3)
+        assert max_drift([row]) == pytest.approx(0.3)

@@ -227,3 +227,78 @@ class TestCli:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestEngineCli:
+    def test_run_analytic_engine(self, capsys):
+        code = main(
+            [
+                "run", "--matrix", "wathen100", "--scheme", "LI",
+                "--faults", "2", "--ranks", "8", "--scale", "0.25",
+                "--engine", "analytic",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault-free:" in out
+        assert "normalized:" in out
+
+    def test_run_fault_scope_prints_blast_radius(self, capsys):
+        code = main(
+            [
+                "run", "--matrix", "wathen100", "--scheme", "LI",
+                "--faults", "2", "--ranks", "8", "--scale", "0.25",
+                "--fault-scope", "system",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault scope system: up to 8 of 8 ranks lost per fault" in out
+
+    def test_run_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--engine", "quantum"])
+
+    def test_suite_analytic_engine(self, capsys):
+        code = main(
+            [
+                "suite", "--matrices", "wathen100", "--schemes", "RD", "F0",
+                "--faults", "2", "--ranks", "8", "--scale", "0.25",
+                "--engine", "analytic",
+            ]
+        )
+        assert code == 0
+        assert "wathen100" in capsys.readouterr().out
+
+    def test_campaign_sweeps_both_engines(self, capsys, tmp_path):
+        assert main(
+            [
+                "campaign", "--matrices", "wathen100", "--schemes", "RD",
+                "--ranks", "8", "--faults", "2", "--scale", "0.25",
+                "--engine", "sim", "analytic",
+                "--store", str(tmp_path / "cache"), "--quiet",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 engines [sim, analytic]" in out
+        # both engines' cells land in the normalized tables
+        assert out.count("wathen100") >= 4
+
+    def test_validate_passes_on_the_preset_slice(self, capsys):
+        code = main(
+            ["validate", "--matrices", "wathen100", "--no-store", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK: max normalized drift" in out
+        assert "CR-D" in out
+
+    def test_validate_fails_on_a_tight_threshold(self, capsys):
+        code = main(
+            [
+                "validate", "--matrices", "wathen100", "--schemes", "RD",
+                "--threshold", "0.001", "--no-store", "--quiet",
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out

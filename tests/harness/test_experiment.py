@@ -88,6 +88,135 @@ class TestExperiment:
         assert r1.energy_j == r2.energy_j
 
 
+class TestBaselineCache:
+    """The FF baseline is keyed by every execution knob: flipping
+    engine, fast, or preconditioner must never reuse a stale one."""
+
+    @pytest.fixture()
+    def exp(self):
+        a = banded_spd(200, 7, dominance=5e-3, seed=0)
+        return Experiment(
+            ExperimentConfig(matrix="custom", nranks=4, n_faults=2), a=a
+        )
+
+    def test_flipping_fast_recomputes_the_baseline(self, exp):
+        ff_fast = exp.fault_free
+        exp.fast = False
+        assert not exp.has_baseline
+        ff_legacy = exp.fault_free
+        assert ff_legacy is not ff_fast
+        # fast/legacy are bit-identical, so the reports must agree...
+        assert ff_legacy.iterations == ff_fast.iterations
+        assert ff_legacy.energy_j == ff_fast.energy_j
+        # ...and each knob set keeps its own slot.
+        exp.fast = True
+        assert exp.fault_free is ff_fast
+
+    def test_flipping_preconditioner_recomputes_the_baseline(self, exp):
+        ff_plain = exp.fault_free
+        exp.preconditioner = "jacobi"
+        assert not exp.has_baseline
+        ff_pcg = exp.fault_free
+        assert ff_pcg is not ff_plain
+        assert ff_pcg.iterations != ff_plain.iterations
+
+    def test_engines_never_share_baselines(self):
+        a = banded_spd(200, 7, dominance=5e-3, seed=0)
+        cfg = ExperimentConfig(matrix="custom", nranks=4, n_faults=2)
+        sim = Experiment(cfg, a=a)
+        ff_sim = sim.fault_free
+        ana = Experiment(
+            ExperimentConfig(
+                matrix="custom", nranks=4, n_faults=2, engine="analytic"
+            ),
+            a=a,
+        )
+        assert ana.fault_free is not ff_sim
+        assert ana.fault_free.details["engine"] == "analytic"
+
+    def test_prime_rejects_mismatched_engine_provenance(self, exp):
+        ff = exp.fault_free
+        ana = Experiment(
+            ExperimentConfig(
+                matrix="custom", nranks=4, n_faults=2, engine="analytic"
+            ),
+            a=exp.a,
+        )
+        with pytest.raises(ValueError, match="produced by the 'sim' engine"):
+            ana.prime_baseline(ff)
+
+    def test_prime_treats_unstamped_reports_as_sim(self, exp):
+        """v2-era FF payloads predate engine provenance."""
+        ff = exp.fault_free
+        ff.details.pop("engine")
+        fresh = Experiment(exp.config, a=exp.a)
+        fresh.prime_baseline(ff)
+        assert fresh.fault_free is ff
+
+    def test_prime_rejects_non_ff_reports(self, exp):
+        with pytest.raises(ValueError, match="FF report"):
+            exp.prime_baseline(exp.run("RD"))
+
+    def test_engine_instance_must_match_config(self, exp):
+        from repro.engines import AnalyticEngine
+
+        with pytest.raises(ValueError, match="does not match"):
+            Experiment(exp.config, a=exp.a, engine=AnalyticEngine())
+
+
+class TestFaultScope:
+    def test_default_scope_loses_one_rank(self):
+        a = banded_spd(200, 7, dominance=5e-3, seed=0)
+        exp = Experiment(
+            ExperimentConfig(matrix="custom", nranks=8, n_faults=1), a=a
+        )
+        assert exp.fault_scope_victims() == 1
+
+    def test_system_scope_loses_every_rank(self):
+        a = banded_spd(200, 7, dominance=5e-3, seed=0)
+        exp = Experiment(
+            ExperimentConfig(
+                matrix="custom", nranks=8, n_faults=1, fault_scope="system"
+            ),
+            a=a,
+        )
+        assert exp.fault_scope_victims() == 8
+
+    def test_node_scope_is_capped_by_the_topology(self):
+        """30 ranks on 24-core nodes: a node fault takes out at most a
+        full node's worth of ranks."""
+        a = banded_spd(200, 7, dominance=5e-3, seed=0)
+        exp = Experiment(
+            ExperimentConfig(
+                matrix="custom", nranks=30, n_faults=1, fault_scope="node"
+            ),
+            a=a,
+        )
+        assert exp.fault_scope_victims() == 24
+
+    def test_schedule_events_carry_the_scope(self):
+        from repro.faults.events import FaultScope
+
+        a = banded_spd(200, 7, dominance=5e-3, seed=0)
+        exp = Experiment(
+            ExperimentConfig(
+                matrix="custom", nranks=8, n_faults=2, fault_scope="node"
+            ),
+            a=a,
+        )
+        events = exp.schedule().events(nranks=8, horizon_iters=100)
+        assert all(e.scope is FaultScope.NODE for e in events)
+
+    def test_wider_scope_costs_more(self):
+        a = banded_spd(200, 7, dominance=5e-3, seed=0)
+        base = dict(matrix="custom", nranks=8, n_faults=2)
+        process = Experiment(ExperimentConfig(**base), a=a).run("LI")
+        system = Experiment(
+            ExperimentConfig(**base, fault_scope="system"), a=a
+        ).run("LI")
+        assert system.time_s > process.time_s
+
+
 class TestConfigValidation:
     def test_bad_cr_interval_string(self):
         with pytest.raises(ValueError):
@@ -100,6 +229,14 @@ class TestConfigValidation:
     def test_bad_fault_count(self):
         with pytest.raises(ValueError):
             ExperimentConfig(n_faults=-1)
+
+    def test_bad_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            ExperimentConfig(engine="abacus")
+
+    def test_bad_fault_scope(self):
+        with pytest.raises(ValueError, match="fault_scope"):
+            ExperimentConfig(fault_scope="rack")
 
 
 class TestSchemeSets:

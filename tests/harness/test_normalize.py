@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.report import SolveReport
 from repro.harness.normalize import (
-    NormalizedMetrics,
     normalize_report,
     normalize_reports,
     suite_average,

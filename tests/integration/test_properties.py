@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) on core data structures and
 invariants."""
 
-import math
 
 import numpy as np
 import pytest

@@ -9,7 +9,6 @@ Every Table-2 scheme must satisfy, for any fault position and victim:
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

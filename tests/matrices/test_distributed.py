@@ -5,7 +5,7 @@ import pytest
 import scipy.sparse as sp
 
 from repro.matrices.distributed import BYTES_PER_ENTRY, DistributedMatrix
-from repro.matrices.generators import banded_spd, stencil_5pt
+from repro.matrices.generators import banded_spd
 from repro.matrices.partition import BlockRowPartition
 
 
@@ -49,7 +49,7 @@ class TestHaloStructure:
             assert abs(src - dst) == 1
 
     def test_halo_counts_match_structure(self):
-        a = tri = banded_spd(100, 3, dominance=0.1, seed=0)  # tridiagonal band
+        a = banded_spd(100, 3, dominance=0.1, seed=0)  # tridiagonal band
         d = DistributedMatrix(a, BlockRowPartition(100, 4))
         # each interior rank needs exactly 1 entry from each neighbour
         assert d.halo_pair_bytes[(0, 1)] == BYTES_PER_ENTRY

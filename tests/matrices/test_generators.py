@@ -89,7 +89,9 @@ class TestBanded:
     def test_smaller_dominance_is_worse_conditioned(self):
         tight = banded_spd(80, 5, dominance=1e-4, seed=0)
         loose = banded_spd(80, 5, dominance=1.0, seed=0)
-        cond = lambda m: np.linalg.cond(m.toarray())
+        def cond(m):
+            return np.linalg.cond(m.toarray())
+
         assert cond(tight) > cond(loose)
 
     def test_scaling_spread_preserves_pattern(self):

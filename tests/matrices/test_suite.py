@@ -4,7 +4,7 @@ import pytest
 
 from repro.matrices import suite
 from repro.matrices.generators import is_spd_sample
-from repro.matrices.suite import SUITE, MatrixSpec
+from repro.matrices.suite import SUITE
 
 
 class TestRegistry:

@@ -1,0 +1,39 @@
+"""Perf-harness helpers that need no timing: the speedup readout."""
+
+from benchmarks.perf import runner
+
+
+def doc(**benchmarks):
+    return {
+        "suite": "smoke",
+        "repeats": 1,
+        "calibration": {"matvec_s": 1e-3, "pyloop_s": 1e-3},
+        "benchmarks": benchmarks,
+    }
+
+
+def bench(median_s):
+    return {"median_s": median_s, "normalized": median_s / 1e-3, "ref": "pyloop"}
+
+
+class TestModelSpeedup:
+    def test_ratio_of_sim_to_model_medians(self):
+        d = doc(**{
+            "solve_faulty_li.stencil": bench(1.0),
+            "model_faulty_li.stencil": bench(0.01),
+        })
+        assert runner.model_speedup(d) == 100
+
+    def test_none_when_either_side_missing(self):
+        assert runner.model_speedup(doc()) is None
+        assert runner.model_speedup(
+            doc(**{"solve_faulty_li.stencil": bench(1.0)})
+        ) is None
+
+    def test_speedup_line_rendered_only_when_both_sides_ran(self):
+        d = doc(**{
+            "solve_faulty_li.stencil": bench(1.0),
+            "model_faulty_li.stencil": bench(0.005),
+        })
+        assert "analytic model speedup: 200x" in runner.format_results(d)
+        assert "speedup" not in runner.format_results(doc())
