@@ -21,6 +21,7 @@ resumable.
 
 from repro.campaign.progress import (
     ProgressReporter,
+    format_attribution_summary,
     format_normalized_tables,
     format_summary,
     format_telemetry_summary,
@@ -57,6 +58,7 @@ __all__ = [
     "StoreEntry",
     "cell_key",
     "execute_cell",
+    "format_attribution_summary",
     "format_normalized_tables",
     "format_summary",
     "format_telemetry_summary",

@@ -171,6 +171,25 @@ def format_telemetry_summary(result: CampaignResult) -> str:
     return "\n".join(lines)
 
 
+def format_attribution_summary(result: CampaignResult) -> str:
+    """Per-scheme phase waterfalls plus anomaly flags for the wrap-up.
+
+    Renders :meth:`CampaignResult.attribution_summary` and appends any
+    detector findings, so an anomalous cell is flagged right where the
+    campaign summary is read.
+    """
+    from repro.obs.analysis.render import format_attribution_rollup, format_findings
+
+    blocks = [format_attribution_rollup(result.attribution_summary())]
+    findings = result.anomalies()
+    if findings:
+        blocks.append("anomalies:")
+        blocks.append(format_findings(findings))
+    else:
+        blocks.append("anomalies: none")
+    return "\n\n".join(blocks)
+
+
 def format_normalized_tables(result: CampaignResult) -> str:
     """The paper-style normalized tables for every finished group.
 

@@ -182,6 +182,28 @@ class CampaignResult:
             rollup.merge(tel.metrics)
         return rollup
 
+    def run_records(self):
+        """Successful cells as analysis :class:`~repro.obs.analysis.
+        records.RunRecord` objects (label + report + telemetry + config)."""
+        from repro.obs.analysis.records import records_from_campaign
+
+        return records_from_campaign(self)
+
+    def attribution_summary(self):
+        """``{scheme: PhaseAttribution}`` rollup: per-phase time/energy
+        summed across every successful cell of each scheme, with the
+        reconciliation residual carried along."""
+        from repro.obs.analysis.attribution import attribute_record, scheme_rollup
+
+        return scheme_rollup(attribute_record(r) for r in self.run_records())
+
+    def anomalies(self, names=None):
+        """Detector findings over every successful cell (see
+        :mod:`repro.obs.analysis.detectors`); empty means healthy."""
+        from repro.obs.analysis.detectors import run_detectors
+
+        return run_detectors(self.run_records(), names)
+
 
 class CampaignRunner:
     """Executes a spec against a store with a bounded-retry worker pool."""

@@ -1,21 +1,27 @@
 """Command-line interface.
 
-Seven subcommands mirror the library's main entry points::
+Nine subcommands mirror the library's main entry points::
 
     python -m repro.cli run --matrix crystm02 --scheme LI-DVFS --faults 5
     python -m repro.cli suite --schemes RD F0 LI CR-D --matrices Kuu ex15
     python -m repro.cli campaign --preset iteration-study --workers 8 --resume
     python -m repro.cli validate --threshold 0.25
     python -m repro.cli trace --store .repro-cache --export trace.jsonl
+    python -m repro.cli report --store .repro-cache --html report.html
+    python -m repro.cli doctor --store .repro-cache
     python -m repro.cli project --sizes 192 1536 12288 98304
     python -m repro.cli mtbf
 
 ``run``, ``suite`` and ``campaign`` accept ``--engine`` to evaluate
 cells with the numeric simulator (default) or the Section-3 closed-form
 models; ``validate`` runs the same grid under both and gates on their
-drift.  Everything prints plain text; only ``campaign``/``validate``
-write files (their result store, ``.repro-cache/`` by default) and
-``trace --export`` (the combined telemetry JSONL).
+drift.  ``report`` renders phase-attribution waterfalls (plus run
+diffs, Prometheus text and static HTML) from stored or exported
+telemetry, and ``doctor`` runs the anomaly detectors over the same
+inputs, exiting non-zero on findings.  Everything prints plain text;
+only ``campaign``/``validate`` write files (their result store,
+``.repro-cache/`` by default), ``trace --export`` (the combined
+telemetry JSONL) and ``report --html``/``--prometheus``.
 """
 
 from __future__ import annotations
@@ -206,6 +212,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run fully in memory: nothing read from or written to disk",
     )
     val.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    val.add_argument(
+        "--terms", action="store_true",
+        help="also print per-term drift (which Section-3 phase term "
+        "diverges, not just the aggregate ratios)",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -239,6 +250,70 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--export", default=None, metavar="PATH",
         help="write the selected cells' telemetry as combined JSONL",
+    )
+
+    rep = sub.add_parser(
+        "report",
+        help="phase attribution (+ optional diff, HTML, Prometheus) "
+        "from stored or exported telemetry",
+    )
+    rep.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result store directory (default .repro-cache)",
+    )
+    rep.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="read a 'repro trace --export' JSONL file instead of a store",
+    )
+    rep.add_argument(
+        "--matrix", default=None,
+        help="only cells whose label contains this matrix name",
+    )
+    rep.add_argument(
+        "--scheme", default=None,
+        help="only cells of this scheme (FF for baselines)",
+    )
+    rep.add_argument(
+        "--diff", nargs=2, default=None, metavar=("LABEL_A", "LABEL_B"),
+        help="structural diff of two cells by label",
+    )
+    rep.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="also write a self-contained static HTML report",
+    )
+    rep.add_argument(
+        "--prometheus", default=None, metavar="PATH",
+        help="also write the merged metrics as Prometheus text exposition",
+    )
+
+    doc = sub.add_parser(
+        "doctor",
+        help="run anomaly detectors over a trace or a whole result "
+        "store; exits non-zero on findings",
+    )
+    doc.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result store directory (default .repro-cache)",
+    )
+    doc.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="read a 'repro trace --export' JSONL file instead of a store",
+    )
+    doc.add_argument(
+        "--matrix", default=None,
+        help="only cells whose label contains this matrix name",
+    )
+    doc.add_argument(
+        "--scheme", default=None,
+        help="only cells of this scheme (FF for baselines)",
+    )
+    doc.add_argument(
+        "--detectors", nargs="+", default=None, metavar="NAME",
+        help="run only these detectors (default: all registered)",
+    )
+    doc.add_argument(
+        "--list-detectors", action="store_true",
+        help="print the registered detectors and exit",
     )
 
     proj = sub.add_parser("project", help="Section-6 weak-scaling projection")
@@ -279,19 +354,11 @@ def _print_trace_summary(report) -> None:
             f"fault→recovery latency: mean {sum(latencies) / len(latencies):.3g}s  "
             f"max {max(latencies):.3g}s  ({len(latencies)} recovered)"
         )
-    rows = [
-        [r["name"], r["count"], f"{r['total_s']:.4g}", f"{r['mean_s']:.3g}",
-         f"{r['max_s']:.3g}"]
-        for r in tel.spans.summary()
-    ]
-    if rows:
-        print(
-            format_table(
-                ["span", "count", "total_s", "mean_s", "max_s"],
-                rows,
-                title="span summary (simulated seconds)",
-            )
-        )
+    from repro.obs.analysis import format_span_tree
+
+    if tel.spans.spans:
+        print("span summary (simulated seconds):")
+        print(format_span_tree(tel.spans.spans))
 
 
 def cmd_run(args) -> int:
@@ -394,6 +461,7 @@ def cmd_campaign(args) -> int:
     from repro.campaign import (
         ProgressReporter,
         ResultStore,
+        format_attribution_summary,
         format_normalized_tables,
         format_summary,
         format_telemetry_summary,
@@ -429,6 +497,8 @@ def cmd_campaign(args) -> int:
     if args.trace:
         print()
         print(format_telemetry_summary(result))
+        print()
+        print(format_attribution_summary(result))
     return 0 if result.n_failed == 0 else 1
 
 
@@ -441,7 +511,9 @@ def cmd_validate(args) -> int:
         DEFAULT_DRIFT_THRESHOLD,
         drift_rows,
         format_drift_table,
+        format_term_drift_table,
         max_drift,
+        term_drift_rows,
     )
 
     overrides = {}
@@ -464,6 +536,9 @@ def cmd_validate(args) -> int:
     print()
     rows = drift_rows(result)
     print(format_drift_table(rows))
+    if args.terms:
+        print()
+        print(format_term_drift_table(term_drift_rows(result)))
     if result.n_failed:
         print(f"\nFAIL: {result.n_failed} campaign cells failed")
         return 1
@@ -539,19 +614,11 @@ def cmd_trace(args) -> int:
             print()
 
     if args.spans:
+        from repro.obs.analysis import format_span_tree
+
         for label, tel in cells.items():
-            rows = [
-                [r["name"], r["count"], f"{r['total_s']:.4g}",
-                 f"{r['mean_s']:.3g}", f"{r['max_s']:.3g}"]
-                for r in tel.spans.summary()
-            ]
-            print(
-                format_table(
-                    ["span", "count", "total_s", "mean_s", "max_s"],
-                    rows or [["-", "-", "-", "-", "-"]],
-                    title=f"{label}: span summary ({tel.timebase} seconds)",
-                )
-            )
+            print(f"{label}: span summary ({tel.timebase} seconds)")
+            print(format_span_tree(tel.spans.spans))
             print()
 
     # per-scheme fault→recovery latency rollup (always printed)
@@ -581,6 +648,139 @@ def cmd_trace(args) -> int:
         )
     )
     return 0
+
+
+def _load_records(args) -> list:
+    """Records for report/doctor: a JSONL trace or a result store."""
+    from pathlib import Path
+
+    from repro.obs.analysis import (
+        records_from_jsonl,
+        records_from_store,
+        select_records,
+    )
+
+    if args.jsonl and args.store:
+        raise SystemExit("--jsonl and --store are mutually exclusive")
+    if args.jsonl:
+        records = records_from_jsonl(args.jsonl)
+    else:
+        from repro.campaign import ResultStore
+        from repro.campaign.store import DEFAULT_ROOT
+
+        root = Path(args.store or DEFAULT_ROOT)
+        if not (root / "index.db").exists():
+            raise SystemExit(f"no result store at {root}")
+        with ResultStore(root) as store:
+            records = records_from_store(store)
+    return select_records(records, matrix=args.matrix, scheme=args.scheme)
+
+
+def cmd_report(args) -> int:
+    """Phase attribution waterfalls (+ rollup, diff, HTML, Prometheus)."""
+    from pathlib import Path
+
+    from repro.obs.analysis import (
+        attribute_record,
+        build_span_tree,
+        critical_path,
+        diff_runs,
+        format_attribution,
+        format_attribution_rollup,
+        format_critical_path,
+        format_run_diff,
+        html_report,
+        prometheus_text,
+        scheme_rollup,
+    )
+    from repro.obs.metrics import MetricsRegistry
+
+    records = _load_records(args)
+    if not records:
+        print("no cells match the filters")
+        return 1
+
+    attributions = [attribute_record(r) for r in records]
+    for attr in attributions:
+        print(format_attribution(attr))
+        print()
+    rollup = {}
+    if len(records) > 1:
+        rollup = scheme_rollup(attributions)
+        print("per-scheme rollup:")
+        print(format_attribution_rollup(rollup))
+        print()
+    traced = [r for r in records if r.telemetry is not None]
+    if traced:
+        longest = max(
+            traced,
+            key=lambda r: sum(s.duration_s for s in r.telemetry.spans.spans),
+        )
+        print(f"{longest.label}:")
+        print(
+            format_critical_path(
+                critical_path(build_span_tree(longest.telemetry.spans.spans))
+            )
+        )
+
+    diff_text = None
+    if args.diff:
+        by_label = {r.label: r for r in records}
+        missing = [label for label in args.diff if label not in by_label]
+        if missing:
+            known = "\n  ".join(sorted(by_label))
+            raise SystemExit(
+                f"no cell labelled {missing[0]!r}; have:\n  {known}"
+            )
+        diff_text = format_run_diff(
+            diff_runs(by_label[args.diff[0]], by_label[args.diff[1]])
+        )
+        print()
+        print(diff_text)
+
+    if args.prometheus:
+        merged = MetricsRegistry()
+        for r in traced:
+            merged.merge(r.telemetry.metrics)
+        Path(args.prometheus).write_text(prometheus_text(merged))
+        print(f"\nwrote Prometheus exposition to {args.prometheus}")
+
+    if args.html:
+        html = html_report(
+            title="repro report",
+            attributions=attributions + list(rollup.values()),
+            span_trees={
+                r.label: r.telemetry.spans.spans for r in traced
+            },
+            diff_text=diff_text,
+        )
+        Path(args.html).write_text(html)
+        print(f"wrote HTML report to {args.html}")
+    return 0
+
+
+def cmd_doctor(args) -> int:
+    """Anomaly detectors over a trace or store; non-zero on findings."""
+    from repro.obs.analysis import detectors, format_findings, run_detectors
+
+    if args.list_detectors:
+        for det in detectors():
+            print(f"{det.name:<22} [{det.scope}] {det.description}")
+        return 0
+    records = _load_records(args)
+    if not records:
+        print("no cells match the filters")
+        return 1
+    try:
+        findings = run_detectors(records, args.detectors)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    n_det = len(args.detectors) if args.detectors else len(detectors())
+    print(
+        f"doctor: {len(records)} cell(s), {n_det} detector(s)"
+    )
+    print(format_findings(findings))
+    return 1 if findings else 0
 
 
 def cmd_project(args) -> int:
@@ -634,6 +834,8 @@ def main(argv: list[str] | None = None) -> int:
         "campaign": cmd_campaign,
         "validate": cmd_validate,
         "trace": cmd_trace,
+        "report": cmd_report,
+        "doctor": cmd_doctor,
         "project": cmd_project,
         "mtbf": cmd_mtbf,
     }[args.command](args)

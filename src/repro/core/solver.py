@@ -772,6 +772,7 @@ class ResilientSolver:
         if self.obs is not None:
             m = self.obs.metrics
             m.gauge("solver.sim_time_s").set(self.comm.now)
+            m.gauge("solver.energy_j").set(self.account.total_energy_j)
             m.gauge("solver.relative_residual").set(cg.relative_residual)
             m.gauge("solver.converged").set(1.0 if cg.converged else 0.0)
             details["trace"] = self.trace

@@ -664,6 +664,7 @@ class AnalyticEngine(ExecutionEngine):
         if terms.restarts:
             m.counter("solver.restarts").inc(float(terms.restarts))
         m.gauge("solver.sim_time_s").set(report.time_s)
+        m.gauge("solver.energy_j").set(report.energy_j)
         m.gauge("solver.relative_residual").set(report.final_relative_residual)
         m.gauge("solver.converged").set(1.0)
         report.details["telemetry"] = tel

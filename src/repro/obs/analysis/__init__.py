@@ -1,0 +1,99 @@
+"""Trace analytics: attribution, anomaly detection, diffing, rendering.
+
+This subpackage turns the raw telemetry the solver and campaign layers
+emit (``repro.obs``) into the *figures and sanity checks* the paper's
+claims live on (see DESIGN.md §5g):
+
+* :mod:`~repro.obs.analysis.records` — :class:`RunRecord`, the common
+  unit every analysis consumes (report + telemetry + config, any subset);
+* :mod:`~repro.obs.analysis.spantree` — exact span-nesting
+  reconstruction, flamegraph summaries, critical-path extraction;
+* :mod:`~repro.obs.analysis.attribution` — per-phase time/energy
+  waterfalls reconciled against the EnergyAccount with an explicit
+  residual;
+* :mod:`~repro.obs.analysis.detectors` — the pluggable anomaly-detector
+  registry behind ``repro doctor``;
+* :mod:`~repro.obs.analysis.diffing` — structural run-vs-run comparison
+  over the store's own payload schema;
+* :mod:`~repro.obs.analysis.render` / :mod:`~repro.obs.analysis.html` —
+  terminal tables, Prometheus text exposition, static HTML reports.
+"""
+
+from repro.obs.analysis.attribution import (
+    PhaseAttribution,
+    PhaseRow,
+    attribute_record,
+    attribute_telemetry,
+    phase_counters,
+    scheme_rollup,
+)
+from repro.obs.analysis.detectors import (
+    Detector,
+    Finding,
+    detectors,
+    register_detector,
+    run_detectors,
+)
+from repro.obs.analysis.diffing import MetricDelta, RunDiff, SpanDelta, diff_runs
+from repro.obs.analysis.html import html_report
+from repro.obs.analysis.records import (
+    RunRecord,
+    record_from_report,
+    records_from_campaign,
+    records_from_jsonl,
+    records_from_store,
+    select_records,
+)
+from repro.obs.analysis.render import (
+    format_attribution,
+    format_attribution_rollup,
+    format_critical_path,
+    format_findings,
+    format_run_diff,
+    format_span_tree,
+    prometheus_text,
+)
+from repro.obs.analysis.spantree import (
+    SpanNode,
+    build_span_tree,
+    critical_path,
+    tree_summary,
+    walk,
+)
+
+__all__ = [
+    "Detector",
+    "Finding",
+    "MetricDelta",
+    "PhaseAttribution",
+    "PhaseRow",
+    "RunDiff",
+    "RunRecord",
+    "SpanDelta",
+    "SpanNode",
+    "attribute_record",
+    "attribute_telemetry",
+    "build_span_tree",
+    "critical_path",
+    "detectors",
+    "diff_runs",
+    "format_attribution",
+    "format_attribution_rollup",
+    "format_critical_path",
+    "format_findings",
+    "format_run_diff",
+    "format_span_tree",
+    "html_report",
+    "phase_counters",
+    "prometheus_text",
+    "record_from_report",
+    "records_from_campaign",
+    "records_from_jsonl",
+    "records_from_store",
+    "register_detector",
+    "run_detectors",
+    "scheme_rollup",
+    "select_records",
+    "tree_summary",
+    "walk",
+]

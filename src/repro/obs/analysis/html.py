@@ -1,0 +1,146 @@
+"""Self-contained static HTML report: attribution, findings, spans, diff.
+
+One function, one string, zero external assets — the output opens from
+disk anywhere (CI artifact, laptop, mail attachment).  All dynamic text
+is escaped; styling is a small inline stylesheet.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import Iterable
+
+from repro.obs.analysis.attribution import PhaseAttribution
+from repro.obs.analysis.detectors import Finding
+from repro.obs.analysis.diffing import RunDiff
+from repro.obs.analysis.spantree import tree_summary
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 70rem; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #4a4e69; padding-bottom: .3rem; }
+h2 { margin-top: 2rem; color: #22223b; }
+table { border-collapse: collapse; margin: .6rem 0; font-size: .9rem; }
+th, td { border: 1px solid #c9cbd8; padding: .25rem .6rem; text-align: right; }
+th { background: #f2f3f7; }
+td.name, th.name { text-align: left; font-family: ui-monospace, monospace; }
+.bar { display: inline-block; height: .7rem; background: #5f7fbf;
+       vertical-align: middle; }
+.bar.res { background: #c1633f; }
+.residual { font-family: ui-monospace, monospace; color: #444; }
+.finding-error { color: #8b1e1e; }
+.finding-warning { color: #8a6d1a; }
+.ok { color: #20603d; }
+.small { color: #666; font-size: .8rem; }
+pre { background: #f6f6fa; padding: .6rem; overflow-x: auto; }
+"""
+
+
+def _attr_table(attr: PhaseAttribution) -> list[str]:
+    out = [
+        f"<h3>{escape(attr.label)} <span class='small'>[{escape(attr.scheme or '?')}, "
+        f"source: {escape(attr.source)}]</span></h3>",
+        "<table>",
+        "<tr><th class='name'>phase</th><th>time (s)</th><th>time %</th>"
+        "<th>energy (J)</th><th>energy %</th><th class='name'>waterfall</th></tr>",
+    ]
+    for row in attr.rows:
+        klass = "bar res" if row.is_resilience else "bar"
+        width = max(0.0, min(100.0, row.energy_share * 100.0))
+        out.append(
+            f"<tr><td class='name'>{escape(row.phase)}</td>"
+            f"<td>{row.time_s:.4f}</td><td>{row.time_share:.1%}</td>"
+            f"<td>{row.energy_j:.2f}</td><td>{row.energy_share:.1%}</td>"
+            f"<td class='name'><span class='{klass}' "
+            f"style='width:{width:.2f}%;'></span></td></tr>"
+        )
+    out.append(
+        f"<tr><th class='name'>attributed</th><th>{attr.attributed_time_s:.4f}</th>"
+        f"<th></th><th>{attr.attributed_energy_j:.2f}</th><th></th><th></th></tr>"
+    )
+    out.append(
+        f"<tr><th class='name'>total</th><th>{attr.total_time_s:.4f}</th>"
+        f"<th></th><th>{attr.total_energy_j:.2f}</th><th></th><th></th></tr>"
+    )
+    out.append("</table>")
+    out.append(
+        f"<p class='residual'>residual: {attr.residual_time_s:.3e} s, "
+        f"{attr.residual_energy_j:.3e} J "
+        f"(relative {attr.residual_energy_rel:.2e})</p>"
+    )
+    return out
+
+
+def _findings_block(findings: list[Finding]) -> list[str]:
+    if not findings:
+        return ["<p class='ok'>no findings — all detectors passed.</p>"]
+    out = ["<table>", "<tr><th class='name'>severity</th><th class='name'>cell</th>"
+           "<th class='name'>detector</th><th class='name'>message</th></tr>"]
+    for f in findings:
+        out.append(
+            f"<tr><td class='name finding-{escape(f.severity)}'>"
+            f"{escape(f.severity)}</td>"
+            f"<td class='name'>{escape(f.cell)}</td>"
+            f"<td class='name'>{escape(f.detector)}</td>"
+            f"<td class='name'>{escape(f.message)}</td></tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def _span_block(label: str, spans) -> list[str]:
+    rows = tree_summary(spans)
+    if not rows:
+        return []
+    out = [
+        f"<h3>{escape(label)}</h3>",
+        "<table>",
+        "<tr><th class='name'>span</th><th>count</th><th>total (s)</th>"
+        "<th>mean (s)</th><th>max (s)</th></tr>",
+    ]
+    for row in rows:
+        indent = "&nbsp;" * (4 * row["depth"])
+        out.append(
+            f"<tr><td class='name'>{indent}{escape(row['name'])}</td>"
+            f"<td>{row['count']}</td><td>{row['total_s']:.4f}</td>"
+            f"<td>{row['mean_s']:.6f}</td><td>{row['max_s']:.6f}</td></tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def html_report(
+    *,
+    title: str = "repro report",
+    attributions: Iterable[PhaseAttribution] = (),
+    findings: Iterable[Finding] | None = None,
+    diff_text: str | None = None,
+    span_trees: dict | None = None,
+) -> str:
+    """Render one self-contained HTML document.
+
+    ``span_trees`` maps a label to a span list; ``diff_text`` is the
+    terminal diff rendering, embedded verbatim in a ``<pre>`` block so
+    HTML and terminal always tell the same story.
+    """
+    body: list[str] = [f"<h1>{escape(title)}</h1>"]
+    attributions = list(attributions)
+    if attributions:
+        body.append("<h2>Phase attribution</h2>")
+        for attr in attributions:
+            body.extend(_attr_table(attr))
+    if findings is not None:
+        body.append("<h2>Doctor findings</h2>")
+        body.extend(_findings_block(list(findings)))
+    if span_trees:
+        body.append("<h2>Span trees</h2>")
+        for label, spans in span_trees.items():
+            body.extend(_span_block(label, spans))
+    if diff_text is not None:
+        body.append("<h2>Run diff</h2>")
+        body.append(f"<pre>{escape(diff_text)}</pre>")
+    return (
+        "<!DOCTYPE html>\n<html lang='en'><head><meta charset='utf-8'>"
+        f"<title>{escape(title)}</title><style>{_CSS}</style></head>\n"
+        "<body>\n" + "\n".join(body) + "\n</body></html>\n"
+    )

@@ -1,0 +1,142 @@
+"""Span-tree reconstruction: nesting, aggregation, critical path.
+
+The solver records spans flat, in *completion* order (a child closes
+before its parent), with the open-stack depth stamped on each span.
+That makes the tree exact to rebuild: walking the flat list, a span at
+depth ``d`` adopts every already-completed-but-unadopted span at depth
+``d + 1``.
+
+Legacy traces (exported before depth stamping) carry ``depth == 0`` on
+every span; for those a containment fallback infers nesting from
+intervals — the innermost later-completing span containing a child is
+its parent.  Containment is ambiguous when zero-duration spans share a
+timestamp (common in sim time), which is exactly why depth stamping
+exists; the fallback only has to serve old traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.obs.spans import Span
+
+
+@dataclass
+class SpanNode:
+    """One span plus its (time-ordered) children."""
+
+    span: Span
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.span.name
+
+    @property
+    def duration_s(self) -> float:
+        return self.span.duration_s
+
+    @property
+    def self_time_s(self) -> float:
+        """Duration not covered by children (may be negative on a
+        corrupted trace; the span-integrity detector flags that)."""
+        return self.duration_s - sum(c.duration_s for c in self.children)
+
+
+def build_span_tree(spans: Iterable[Span]) -> list[SpanNode]:
+    """Roots of the span forest, children in start-time order."""
+    spans = list(spans)
+    if any(s.depth > 0 for s in spans):
+        roots = _build_from_depths(spans)
+    else:
+        roots = _build_from_containment(spans)
+    for node, _ in walk(roots):
+        node.children.sort(key=lambda n: (n.span.t_start, n.span.t_end))
+    roots.sort(key=lambda n: (n.span.t_start, n.span.t_end))
+    return roots
+
+
+def _build_from_depths(spans: list[Span]) -> list[SpanNode]:
+    # pending[d]: completed depth-d nodes not yet adopted by a parent.
+    pending: dict[int, list[SpanNode]] = {}
+    for s in spans:
+        node = SpanNode(s, children=pending.pop(s.depth + 1, []))
+        pending.setdefault(s.depth, []).append(node)
+    roots = pending.pop(0, [])
+    # Orphans (recorder torn down with spans still open) become roots.
+    for d in sorted(pending):
+        roots.extend(pending[d])
+    return roots
+
+
+def _build_from_containment(spans: list[Span]) -> list[SpanNode]:
+    nodes = [SpanNode(s) for s in spans]
+    roots: list[SpanNode] = []
+    for i, node in enumerate(nodes):
+        s = node.span
+        parent = None
+        # Children complete before parents, so only a later-completing
+        # span can be an ancestor; the tightest such interval wins.
+        for j in range(i + 1, len(nodes)):
+            cand = nodes[j].span
+            if cand.t_start <= s.t_start and s.t_end <= cand.t_end:
+                if parent is None or cand.duration_s < parent.span.duration_s:
+                    parent = nodes[j]
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+def walk(roots: list[SpanNode]) -> Iterator[tuple[SpanNode, int]]:
+    """Depth-first ``(node, depth)`` pairs, children in stored order."""
+    stack = [(node, 0) for node in reversed(roots)]
+    while stack:
+        node, depth = stack.pop()
+        yield node, depth
+        for child in reversed(node.children):
+            stack.append((child, depth + 1))
+
+
+def tree_summary(spans: Iterable[Span]) -> list[dict]:
+    """Flamegraph rows with nesting: one row per ``(depth, name)``.
+
+    Rows appear in depth-first first-visit order, so a child row always
+    follows some ancestor row, and ``depth`` says how far to indent.
+    Fields: ``name, depth, count, total_s, mean_s, max_s``.
+    """
+    agg: dict[tuple[int, str], dict] = {}
+    order: list[tuple[int, str]] = []
+    for node, depth in walk(build_span_tree(spans)):
+        key = (depth, node.name)
+        row = agg.get(key)
+        if row is None:
+            row = agg[key] = {
+                "name": node.name,
+                "depth": depth,
+                "count": 0,
+                "total_s": 0.0,
+                "max_s": 0.0,
+            }
+            order.append(key)
+        row["count"] += 1
+        row["total_s"] += node.duration_s
+        row["max_s"] = max(row["max_s"], node.duration_s)
+    out = [agg[key] for key in order]
+    for row in out:
+        row["mean_s"] = row["total_s"] / row["count"]
+    return out
+
+
+def critical_path(roots: list[SpanNode]) -> list[SpanNode]:
+    """Longest chain by duration: the max-duration root, then its
+    max-duration child, and so on down — e.g. the solve span, its most
+    expensive recovery, that recovery's construction."""
+    if not roots:
+        return []
+    path = [max(roots, key=lambda n: n.duration_s)]
+    while path[-1].children:
+        path.append(max(path[-1].children, key=lambda n: n.duration_s))
+    return path

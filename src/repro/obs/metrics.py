@@ -25,6 +25,16 @@ DEFAULT_BUCKETS = (
     1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
 )
 
+#: Default cap on distinct label sets per metric name (per instrument
+#: family).  Every label axis we record is low-cardinality — phases,
+#: schemes, statuses — so a run that approaches this is labelling by
+#: something unbounded (rank ids, iterations) by mistake.
+DEFAULT_MAX_LABEL_SETS = 128
+
+
+class MetricsCardinalityError(ValueError):
+    """A metric acquired more distinct label sets than the registry cap."""
+
 
 def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -98,20 +108,38 @@ class MetricsRegistry:
     _counters: dict = field(default_factory=dict)
     _gauges: dict = field(default_factory=dict)
     _histograms: dict = field(default_factory=dict)
+    #: Cap on distinct label sets per metric name within each instrument
+    #: family; 0 disables the guard.
+    max_label_sets: int = DEFAULT_MAX_LABEL_SETS
+
+    def _get_or_create(self, table: dict, name: str, labels: dict, make):
+        key = (name, _label_key(labels))
+        inst = table.get(key)
+        if inst is None:
+            if self.max_label_sets > 0:
+                existing = sum(1 for k in table if k[0] == name)
+                if existing >= self.max_label_sets:
+                    raise MetricsCardinalityError(
+                        f"metric {name!r} already has {existing} label sets "
+                        f"(cap {self.max_label_sets}); a label is carrying an "
+                        "unbounded value (rank? iteration?)"
+                    )
+            inst = table[key] = make()
+        return inst
 
     # -- instrument accessors (get-or-create) ---------------------------
     def counter(self, name: str, **labels: str) -> Counter:
-        return self._counters.setdefault((name, _label_key(labels)), Counter())
+        return self._get_or_create(self._counters, name, labels, Counter)
 
     def gauge(self, name: str, **labels: str) -> Gauge:
-        return self._gauges.setdefault((name, _label_key(labels)), Gauge())
+        return self._get_or_create(self._gauges, name, labels, Gauge)
 
     def histogram(
         self, name: str, *, buckets: tuple[float, ...] = DEFAULT_BUCKETS,
         **labels: str,
     ) -> Histogram:
-        return self._histograms.setdefault(
-            (name, _label_key(labels)), Histogram(buckets=buckets)
+        return self._get_or_create(
+            self._histograms, name, labels, lambda: Histogram(buckets=buckets)
         )
 
     def __len__(self) -> int:

@@ -24,12 +24,21 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class Span:
-    """One closed interval."""
+    """One closed interval.
+
+    ``depth`` is the nesting level at which the span was *opened* (0 for
+    top-level spans).  Sim-time spans frequently share timestamps — a
+    zero-cost recovery closes at the instant its restart opens — so
+    interval containment alone cannot reconstruct nesting; recording the
+    live open-stack depth makes the tree exact
+    (:func:`repro.obs.analysis.spantree.build_span_tree`).
+    """
 
     name: str
     t_start: float
     t_end: float
     attrs: tuple[tuple[str, object], ...] = ()
+    depth: int = 0
 
     @property
     def duration_s(self) -> float:
@@ -41,6 +50,7 @@ class Span:
             "t_start": self.t_start,
             "t_end": self.t_end,
             "attrs": dict(self.attrs),
+            "depth": self.depth,
         }
 
     @classmethod
@@ -50,6 +60,7 @@ class Span:
             t_start=row["t_start"],
             t_end=row["t_end"],
             attrs=tuple(sorted(row.get("attrs", {}).items())),
+            depth=int(row.get("depth", 0)),
         )
 
 
@@ -62,6 +73,8 @@ class SpanRecorder:
     clock: object = None
     timebase: str = "wall"
     spans: list[Span] = field(default_factory=list)
+    #: Number of currently-open spans; stamped onto each Span as its depth.
+    _depth: int = 0
 
     def now(self) -> float:
         return self.clock() if self.clock is not None else time.perf_counter()
@@ -69,15 +82,19 @@ class SpanRecorder:
     @contextmanager
     def span(self, name: str, **attrs):
         t0 = self.now()
+        depth = self._depth
+        self._depth = depth + 1
         try:
             yield
         finally:
+            self._depth = depth
             self.spans.append(
                 Span(
                     name=name,
                     t_start=t0,
                     t_end=self.now(),
                     attrs=tuple(sorted(attrs.items())),
+                    depth=depth,
                 )
             )
 

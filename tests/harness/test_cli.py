@@ -302,3 +302,160 @@ class TestEngineCli:
         )
         assert code == 1
         assert "FAIL" in capsys.readouterr().out
+
+    def test_validate_terms_prints_per_term_drift(self, capsys):
+        code = main(
+            [
+                "validate", "--matrices", "wathen100", "--schemes", "RD",
+                "--no-store", "--quiet", "--terms",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "term" in out
+        assert "T_" in out or "E_" in out  # at least one Section-3 term row
+
+
+@pytest.fixture(scope="module")
+def traced_store(tmp_path_factory):
+    """A small traced campaign persisted to a store, shared read-only."""
+    store = str(tmp_path_factory.mktemp("cli-obs") / "cache")
+    assert main(
+        [
+            "campaign", "--matrices", "wathen100", "--schemes", "RD", "F0",
+            "--ranks", "8", "--faults", "2", "--scale", "0.25",
+            "--store", store, "--quiet", "--trace",
+        ]
+    ) == 0
+    return store
+
+
+class TestReportCli:
+    def test_report_prints_waterfalls_and_critical_path(self, capsys, traced_store):
+        assert main(["report", "--store", traced_store]) == 0
+        out = capsys.readouterr().out
+        assert "source: metrics" in out
+        assert "residual" in out
+        assert "per-scheme rollup:" in out
+        assert "critical path:" in out
+
+    def test_report_filters_by_scheme(self, capsys, traced_store):
+        assert main(["report", "--store", traced_store, "--scheme", "RD"]) == 0
+        out = capsys.readouterr().out
+        assert "[RD]" in out
+        assert "[F0]" not in out
+
+    def test_report_no_matching_cells_fails(self, capsys, traced_store):
+        assert main(["report", "--store", traced_store, "--matrix", "nope"]) == 1
+        assert "no cells match" in capsys.readouterr().out
+
+    def test_report_missing_store_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no result store"):
+            main(["report", "--store", str(tmp_path / "nope")])
+
+    def test_report_diff_two_cells(self, capsys, traced_store):
+        assert main(
+            [
+                "report", "--store", traced_store, "--diff",
+                "wathen100/r8/f2/x0.25/RD", "wathen100/r8/f2/x0.25/F0",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "diff: A=wathen100/r8/f2/x0.25/RD" in out
+
+    def test_report_diff_unknown_label_lists_known(self, traced_store):
+        with pytest.raises(SystemExit, match="no cell labelled"):
+            main(["report", "--store", traced_store, "--diff", "x", "y"])
+
+    def test_report_writes_html_and_prometheus(self, capsys, tmp_path, traced_store):
+        html = tmp_path / "report.html"
+        prom = tmp_path / "metrics.prom"
+        assert main(
+            [
+                "report", "--store", traced_store,
+                "--html", str(html), "--prometheus", str(prom),
+            ]
+        ) == 0
+        assert html.read_text().startswith("<!DOCTYPE html>")
+        assert "Phase attribution" in html.read_text()
+        assert "# TYPE" in prom.read_text()
+
+    def test_report_rejects_jsonl_plus_store(self, traced_store, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(
+                [
+                    "report", "--store", traced_store,
+                    "--jsonl", str(tmp_path / "t.jsonl"),
+                ]
+            )
+
+
+class TestDoctorCli:
+    def test_doctor_passes_on_a_clean_store(self, capsys, traced_store):
+        assert main(["doctor", "--store", traced_store]) == 0
+        out = capsys.readouterr().out
+        assert "doctor:" in out
+        assert "no findings" in out
+
+    def test_doctor_lists_detectors(self, capsys):
+        assert main(["doctor", "--list-detectors"]) == 0
+        out = capsys.readouterr().out
+        assert "energy_balance" in out
+        assert "span_integrity" in out
+        assert "[campaign]" in out  # model_divergence scope
+
+    def test_doctor_rejects_unknown_detector(self, traced_store):
+        with pytest.raises(SystemExit, match="unknown detectors"):
+            main(["doctor", "--store", traced_store, "--detectors", "nope"])
+
+    def test_doctor_named_subset_runs(self, capsys, traced_store):
+        assert main(
+            [
+                "doctor", "--store", traced_store,
+                "--detectors", "span_integrity", "energy_balance",
+            ]
+        ) == 0
+        assert "2 detector(s)" in capsys.readouterr().out
+
+    def test_doctor_no_matching_cells_fails(self, capsys, traced_store):
+        assert main(["doctor", "--store", traced_store, "--matrix", "nope"]) == 1
+
+    def test_doctor_jsonl_round_trip_is_clean(self, capsys, tmp_path, traced_store):
+        export = tmp_path / "trace.jsonl"
+        assert main(
+            ["trace", "--store", traced_store, "--export", str(export)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["doctor", "--jsonl", str(export)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_doctor_flags_a_corrupted_trace(self, capsys, tmp_path, traced_store):
+        """The acceptance case: span gap + energy imbalance -> exit 1."""
+        from dataclasses import replace
+
+        from repro.obs.export import load_trace_jsonl, write_trace_jsonl
+
+        export = tmp_path / "trace.jsonl"
+        assert main(
+            ["trace", "--store", traced_store, "--export", str(export)]
+        ) == 0
+        capsys.readouterr()
+        cells = load_trace_jsonl(export)
+        label, tel = next(
+            (lbl, t) for lbl, t in cells.items() if lbl.endswith("/RD")
+        )
+        spans = tel.spans.spans
+        root = max(spans, key=lambda s: s.duration_s)
+        child = next(i for i, s in enumerate(spans) if s.depth == 1)
+        spans[child] = replace(  # a gap: the child escapes the solve span
+            spans[child], t_start=root.t_end + 1.0, t_end=root.t_end + 2.0
+        )
+        tel.metrics.counter("phase.energy_j", phase="solve").inc(1e9)
+        corrupted = tmp_path / "corrupted.jsonl"
+        write_trace_jsonl(corrupted, cells)
+
+        assert main(["doctor", "--jsonl", str(corrupted)]) == 1
+        out = capsys.readouterr().out
+        assert "span_integrity" in out
+        assert "energy_balance" in out
+        assert label in out

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsCardinalityError,
+    MetricsRegistry,
+)
 
 
 class TestInstruments:
@@ -94,3 +100,45 @@ class TestRegistry:
         b.histogram("h", buckets=(2.0,)).observe(0.5)
         with pytest.raises(ValueError):
             a.merge(b)
+
+
+class TestCardinalityGuard:
+    def test_cap_is_per_metric_name(self):
+        reg = MetricsRegistry(max_label_sets=3)
+        for i in range(3):
+            reg.counter("ok", k=str(i)).inc()
+        with pytest.raises(MetricsCardinalityError, match="cap 3"):
+            reg.counter("ok", k="3").inc()
+        # a different metric name has its own budget
+        reg.counter("other", k="whatever").inc()
+
+    def test_existing_series_stay_reachable_at_the_cap(self):
+        reg = MetricsRegistry(max_label_sets=2)
+        reg.counter("c", k="a").inc()
+        reg.counter("c", k="b").inc()
+        reg.counter("c", k="a").inc()  # touch, not create: allowed
+        assert reg.snapshot()["counters"]["c{k=a}"] == 2.0
+
+    def test_guard_covers_every_instrument_family(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        reg.counter("c", k="a").inc()
+        reg.gauge("g", k="a").set(1)
+        reg.histogram("h", buckets=(1.0,), k="a").observe(0.5)
+        with pytest.raises(MetricsCardinalityError):
+            reg.counter("c", k="b")
+        with pytest.raises(MetricsCardinalityError):
+            reg.gauge("g", k="b")
+        with pytest.raises(MetricsCardinalityError):
+            reg.histogram("h", buckets=(1.0,), k="b")
+
+    def test_families_have_separate_budgets(self):
+        # a counter and a gauge may share a name without colliding
+        reg = MetricsRegistry(max_label_sets=1)
+        reg.counter("x", k="a").inc()
+        reg.gauge("x", k="b").set(1)
+
+    def test_zero_cap_disables_the_guard(self):
+        reg = MetricsRegistry(max_label_sets=0)
+        for i in range(300):
+            reg.counter("free", k=str(i)).inc()
+        assert len(reg.snapshot()["counters"]) == 300
