@@ -27,6 +27,7 @@ import hashlib
 import json
 import os
 import sqlite3
+import threading
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -133,11 +134,25 @@ class ResultStore:
         self.root = Path(root)
         self.payload_dir = self.root / "payloads"
         self.payload_dir.mkdir(parents=True, exist_ok=True)
-        self._db = sqlite3.connect(self.root / "index.db", timeout=30.0)
+        # One connection shared across threads: the serving tier reads
+        # and writes from worker-pool threads, so the connection is
+        # opened with check_same_thread=False and every statement runs
+        # under _lock (sqlite3 objects are not themselves thread-safe).
+        # WAL + busy_timeout handle concurrent *processes* on the same
+        # store; the lock handles concurrent threads on this handle.
+        self._lock = threading.RLock()
+        self._db = sqlite3.connect(
+            self.root / "index.db", timeout=30.0, check_same_thread=False
+        )
         self._db.executescript(_SCHEMA)
         self._db.execute("PRAGMA journal_mode=WAL")
         self._db.execute("PRAGMA busy_timeout=30000")
         self._db.commit()
+        #: Lookup counters since open: ``hits`` counts get_entry() calls
+        #: served a report, ``misses`` the rest.  Surfaced by stats()
+        #: and the serving tier's /v1/store/stats endpoint.
+        self.hits = 0
+        self.misses = 0
 
     # ------------------------------------------------------------------
     def key(self, cell: CampaignCell) -> str:
@@ -157,27 +172,34 @@ class ResultStore:
         fault-scope axes keep serving their banked results.
         """
         key = cell_key(cell)
-        row = self._db.execute(
-            "SELECT elapsed_s, created_at FROM results WHERE key = ?", (key,)
-        ).fetchone()
+        with self._lock:
+            row = self._db.execute(
+                "SELECT elapsed_s, created_at FROM results WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                legacy = legacy_cell_key(cell)
+                if legacy is not None:
+                    row = self._db.execute(
+                        "SELECT elapsed_s, created_at FROM results WHERE key = ?",
+                        (legacy,),
+                    ).fetchone()
+                    key = legacy
         if row is None:
-            legacy = legacy_cell_key(cell)
-            if legacy is not None:
-                row = self._db.execute(
-                    "SELECT elapsed_s, created_at FROM results WHERE key = ?",
-                    (legacy,),
-                ).fetchone()
-                key = legacy
-        if row is None:
+            with self._lock:
+                self.misses += 1
             return None
         path = self._payload_path(key)
         try:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             # stale index row (payload pruned or corrupted): self-heal
-            self._db.execute("DELETE FROM results WHERE key = ?", (key,))
-            self._db.commit()
+            with self._lock:
+                self._db.execute("DELETE FROM results WHERE key = ?", (key,))
+                self._db.commit()
+                self.misses += 1
             return None
+        with self._lock:
+            self.hits += 1
         return StoreEntry(
             key=key,
             cell=cell,
@@ -202,33 +224,34 @@ class ResultStore:
             "cell": {"config": asdict(cell.config), "scheme": cell.scheme},
             "report": report_to_dict(report),
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
         tmp.write_text(json.dumps(payload, sort_keys=True))
         os.replace(tmp, path)
         cfg = cell.config
-        self._db.execute(
-            "INSERT OR REPLACE INTO results VALUES "
-            "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                key,
-                cfg.matrix,
-                cell.scheme,
-                cfg.nranks,
-                cfg.n_faults,
-                cfg.seed,
-                cfg.scale,
-                str(cfg.cr_interval),
-                cfg.tol,
-                int(report.converged),
-                report.iterations,
-                report.time_s,
-                report.energy_j,
-                elapsed_s,
-                time.time(),
-                str(path.relative_to(self.root)),
-            ),
-        )
-        self._db.commit()
+        with self._lock:
+            self._db.execute(
+                "INSERT OR REPLACE INTO results VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    key,
+                    cfg.matrix,
+                    cell.scheme,
+                    cfg.nranks,
+                    cfg.n_faults,
+                    cfg.seed,
+                    cfg.scale,
+                    str(cfg.cr_interval),
+                    cfg.tol,
+                    int(report.converged),
+                    report.iterations,
+                    report.time_s,
+                    report.energy_j,
+                    elapsed_s,
+                    time.time(),
+                    str(path.relative_to(self.root)),
+                ),
+            )
+            self._db.commit()
         return key
 
     # ------------------------------------------------------------------
@@ -241,10 +264,11 @@ class ResultStore:
         """
         from repro.harness.experiment import ExperimentConfig
 
-        rows = self._db.execute(
-            "SELECT key, elapsed_s, created_at FROM results "
-            "ORDER BY created_at, key"
-        ).fetchall()
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT key, elapsed_s, created_at FROM results "
+                "ORDER BY created_at, key"
+            ).fetchall()
         for key, elapsed_s, created_at in rows:
             path = self._payload_path(key)
             try:
@@ -264,30 +288,52 @@ class ResultStore:
             )
 
     def __len__(self) -> int:
-        return self._db.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        with self._lock:
+            return self._db.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def payload_bytes(self) -> int:
+        """Total on-disk size of every payload file, in bytes."""
+        total = 0
+        for sub in self.payload_dir.iterdir():
+            if sub.is_dir():
+                for f in sub.glob("*.json"):
+                    try:
+                        total += f.stat().st_size
+                    except OSError:
+                        continue  # pruned between listing and stat
+        return total
 
     def stats(self) -> dict:
-        """Store-wide counters for ``campaign --store-stats`` style output."""
-        n, elapsed = self._db.execute(
-            "SELECT COUNT(*), COALESCE(SUM(elapsed_s), 0) FROM results"
-        ).fetchone()
+        """Store-wide counters: index totals, on-disk payload bytes and
+        the hit/miss counters since open (the serving tier's
+        ``/v1/store/stats`` payload)."""
+        with self._lock:
+            n, elapsed = self._db.execute(
+                "SELECT COUNT(*), COALESCE(SUM(elapsed_s), 0) FROM results"
+            ).fetchone()
+            hits, misses = self.hits, self.misses
         return {
             "entries": n,
             "compute_seconds_banked": elapsed,
+            "payload_bytes": self.payload_bytes(),
+            "hits": hits,
+            "misses": misses,
             "root": str(self.root),
         }
 
     def clear(self) -> None:
         """Drop every entry (index and payloads)."""
-        self._db.execute("DELETE FROM results")
-        self._db.commit()
+        with self._lock:
+            self._db.execute("DELETE FROM results")
+            self._db.commit()
         for sub in self.payload_dir.iterdir():
             if sub.is_dir():
                 for f in sub.glob("*.json"):
                     f.unlink()
 
     def close(self) -> None:
-        self._db.close()
+        with self._lock:
+            self._db.close()
 
     def __enter__(self) -> "ResultStore":
         return self

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands mirror the library's main entry points::
+Ten subcommands mirror the library's main entry points::
 
     python -m repro.cli run --matrix crystm02 --scheme LI-DVFS --faults 5
     python -m repro.cli suite --schemes RD F0 LI CR-D --matrices Kuu ex15
@@ -11,6 +11,7 @@ Nine subcommands mirror the library's main entry points::
     python -m repro.cli doctor --store .repro-cache
     python -m repro.cli project --sizes 192 1536 12288 98304
     python -m repro.cli mtbf
+    python -m repro.cli serve --port 8030 --workers 2
 
 ``run``, ``suite`` and ``campaign`` accept ``--engine`` to evaluate
 cells with the numeric simulator (default) or the Section-3 closed-form
@@ -18,7 +19,10 @@ models; ``validate`` runs the same grid under both and gates on their
 drift.  ``report`` renders phase-attribution waterfalls (plus run
 diffs, Prometheus text and static HTML) from stored or exported
 telemetry, and ``doctor`` runs the anomaly detectors over the same
-inputs, exiting non-zero on findings.  Everything prints plain text;
+inputs, exiting non-zero on findings.  ``serve`` stands up the async
+HTTP tier (`repro.serve`) over the store and the engines — solve and
+projection queries, stored-report retrieval and Prometheus
+``/metrics``.  Everything prints plain text;
 only ``campaign``/``validate`` write files (their result store,
 ``.repro-cache/`` by default), ``trace --export`` (the combined
 telemetry JSONL) and ``report --html``/``--prometheus``.
@@ -323,6 +327,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("mtbf", help="Figure-1 MTBF estimates")
+
+    srv = sub.add_parser(
+        "serve",
+        help="async HTTP serving tier over the result store and the "
+        "execution engines (solve/project/report queries, /metrics)",
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument(
+        "--port", type=int, default=8030,
+        help="bind port (0 picks an ephemeral port and prints it)",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads for CPU-bound simulation cells and store I/O",
+    )
+    srv.add_argument(
+        "--cache-size", type=int, default=256,
+        help="entries in the in-memory LRU hot-cache over store lookups",
+    )
+    srv.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="micro-batch collection window for analytic-engine cells",
+    )
+    srv.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result store directory (default .repro-cache)",
+    )
+    srv.add_argument(
+        "--no-store", action="store_true",
+        help="serve without a persistent store (LRU + compute only)",
+    )
     return parser
 
 
@@ -805,6 +840,54 @@ def cmd_project(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Stand up the async serving tier (DESIGN.md §5h)."""
+    import asyncio
+
+    from repro.campaign import ResultStore
+    from repro.campaign.store import DEFAULT_ROOT
+    from repro.serve import ServeApp, ServeServer, ServingCore
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.cache_size < 0:
+        raise SystemExit("--cache-size must be >= 0")
+    store = None if args.no_store else ResultStore(args.store or DEFAULT_ROOT)
+    core = ServingCore(
+        store,
+        cache_size=args.cache_size,
+        workers=args.workers,
+        batch_window_s=args.batch_window_ms / 1e3,
+    )
+    app = ServeApp(core)
+    server = ServeServer(app.handle, host=args.host, port=args.port)
+
+    async def _main() -> None:
+        await server.start()
+        where = "no store" if store is None else store.root
+        print(
+            f"repro serve listening on http://{server.host}:{server.port} "
+            f"({args.workers} workers, LRU {args.cache_size}, {where})",
+            flush=True,
+        )
+        print(
+            "endpoints: GET /healthz /metrics /v1/store/stats /v1/reports  "
+            "POST /v1/solve /v1/project",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        core.close()
+        if store is not None:
+            store.close()
+    return 0
+
+
 def cmd_mtbf(args) -> int:
     est = MtbfEstimator()
     rows = [
@@ -838,6 +921,7 @@ def main(argv: list[str] | None = None) -> int:
         "doctor": cmd_doctor,
         "project": cmd_project,
         "mtbf": cmd_mtbf,
+        "serve": cmd_serve,
     }[args.command](args)
 
 

@@ -1,0 +1,320 @@
+"""HTTP API surface: routes requests onto the serving core.
+
+Endpoints (all JSON unless noted)::
+
+    GET  /healthz             liveness + engine/store inventory
+    GET  /metrics             Prometheus text exposition (server +
+                              serving-core metrics)
+    GET  /v1/store/stats      ResultStore counters + serving caches
+    POST /v1/solve            one (config, scheme) cell through the
+                              cache tiers; body = ExperimentConfig
+                              fields + "scheme"; engine defaults to
+                              the analytic model
+    POST /v1/project          Section-6 weak-scaling projection;
+                              body = {"sizes": [...], "schemes": [...]}
+    GET  /v1/reports          index of stored cells
+    GET  /v1/reports/{key}    one stored payload (full SolveReport)
+    GET  /v1/reports/diff?a=KEY&b=KEY   structural run diff
+
+Solve responses carry cache provenance (``"cache": "lru" | "store" |
+"coalesced" | "computed"``) next to the report so clients — and the CI
+smoke job — can assert reuse.  Report JSON is the store's own payload
+schema (:func:`repro.campaign.serialize.report_to_dict`), so numbers
+are bit-identical to a direct engine call.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.campaign.serialize import report_to_dict
+from repro.campaign.spec import BASELINE_SCHEME, CampaignCell
+from repro.core.recovery import scheme_names
+from repro.engines import engine_names
+from repro.harness.experiment import ExperimentConfig
+from repro.obs.analysis.render import prometheus_text
+from repro.serve.core import ServingCore
+from repro.serve.http import HttpRequest, HttpResponse
+
+#: Engine the solve endpoint uses when the request names none: the
+#: closed-form model — the 145x-cheaper path an interactive tier wants.
+DEFAULT_SERVE_ENGINE = "analytic"
+
+#: Accepted spelling for the analytic engine in requests ("the model").
+ENGINE_ALIASES = {"model": "analytic"}
+
+#: ExperimentConfig fields a solve request may set, with the JSON types
+#: each accepts.  Checked before construction: ExperimentConfig itself
+#: validates values, not types, and a str nranks would only explode deep
+#: inside a solve.
+_CONFIG_FIELDS: dict[str, tuple[type, ...]] = {
+    "matrix": (str,),
+    "nranks": (int,),
+    "n_faults": (int,),
+    "tol": (int, float),
+    "seed": (int,),
+    "scale": (int, float),
+    "cr_interval": (str, int),
+    "construct_tol": (int, float),
+    "max_iters": (int,),
+    "engine": (str,),
+    "fault_scope": (str,),
+}
+
+
+class RequestError(ValueError):
+    """A well-formed HTTP request asking for something invalid (400)."""
+
+
+def parse_solve_request(payload: dict) -> CampaignCell:
+    """Validate a /v1/solve body into a campaign cell."""
+    if not isinstance(payload, dict):
+        raise RequestError("body must be a JSON object")
+    payload = dict(payload)
+    scheme = payload.pop("scheme", BASELINE_SCHEME)
+    known = set(scheme_names()) | {BASELINE_SCHEME}
+    if scheme not in known:
+        raise RequestError(
+            f"unknown scheme {scheme!r}; known: {', '.join(sorted(known))}"
+        )
+    unknown = set(payload) - set(_CONFIG_FIELDS)
+    if unknown:
+        raise RequestError(
+            f"unknown fields: {', '.join(sorted(unknown))}; "
+            f"accepted: scheme, {', '.join(sorted(_CONFIG_FIELDS))}"
+        )
+    for name, value in payload.items():
+        accepted = _CONFIG_FIELDS[name]
+        if isinstance(value, bool) or not isinstance(value, accepted):
+            raise RequestError(
+                f"field {name!r} must be "
+                f"{' or '.join(t.__name__ for t in accepted)}, "
+                f"got {type(value).__name__}"
+            )
+    engine = payload.get("engine", DEFAULT_SERVE_ENGINE)
+    payload["engine"] = ENGINE_ALIASES.get(engine, engine)
+    if payload["engine"] not in engine_names():
+        raise RequestError(
+            f"unknown engine {engine!r}; known: "
+            f"{', '.join(engine_names())} (alias: model)"
+        )
+    try:
+        config = ExperimentConfig(**payload)
+    except (TypeError, ValueError) as exc:
+        raise RequestError(str(exc)) from None
+    return CampaignCell(config=config, scheme=scheme)
+
+
+def _finite(x: float) -> float | None:
+    """Strict-JSON stand-in: the projection's halt state (inf) -> None."""
+    return None if (math.isinf(x) or math.isnan(x)) else x
+
+
+class ServeApp:
+    """Route table over one :class:`ServingCore` (+ optional store)."""
+
+    def __init__(self, core: ServingCore) -> None:
+        self.core = core
+        self.started_at = time.time()
+
+    # -- dispatch ------------------------------------------------------
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        """The ``ServeServer`` app callback."""
+        t0 = time.perf_counter()
+        endpoint, handler = self._route(request)
+        try:
+            if handler is None:
+                response = HttpResponse.error(
+                    404, f"no route for {request.method} {request.path}"
+                )
+            else:
+                response = await handler(request)
+        except RequestError as exc:
+            response = HttpResponse.error(400, str(exc))
+        except ValueError as exc:
+            # bad JSON bodies and engine/scheme validation both land here
+            response = HttpResponse.error(400, str(exc))
+        metrics = self.core.metrics
+        metrics.counter(
+            "serve_requests",
+            endpoint=endpoint,
+            status=str(response.status),
+        ).inc()
+        metrics.histogram(
+            "serve_request_latency_s", endpoint=endpoint
+        ).observe(time.perf_counter() - t0)
+        return response
+
+    __call__ = handle
+
+    def _route(self, request: HttpRequest):
+        """(endpoint label, handler) for one request; label is the
+        metrics axis, so path parameters collapse onto one series."""
+        path, method = request.path.rstrip("/") or "/", request.method
+        table = {
+            ("GET", "/healthz"): ("/healthz", self.healthz),
+            ("GET", "/metrics"): ("/metrics", self.metrics),
+            ("GET", "/v1/store/stats"): ("/v1/store/stats", self.store_stats),
+            ("POST", "/v1/solve"): ("/v1/solve", self.solve),
+            ("POST", "/v1/project"): ("/v1/project", self.project),
+            ("GET", "/v1/reports"): ("/v1/reports", self.reports_index),
+            ("GET", "/v1/reports/diff"): ("/v1/reports/diff", self.reports_diff),
+        }
+        if (method, path) in table:
+            return table[(method, path)]
+        if method == "GET" and path.startswith("/v1/reports/"):
+            return "/v1/reports/{key}", self.report_by_key
+        return request.path, None
+
+    # -- handlers ------------------------------------------------------
+    async def healthz(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.json(
+            {
+                "status": "ok",
+                "engines": engine_names(),
+                "store": self.core.store is not None,
+                "uptime_s": round(time.time() - self.started_at, 3),
+            }
+        )
+
+    async def metrics(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.text(prometheus_text(self.core.metrics))
+
+    async def store_stats(self, request: HttpRequest) -> HttpResponse:
+        store = self.core.store
+        stats = {"store": None if store is None else store.stats()}
+        stats["serving"] = self.core.cache_stats()
+        return HttpResponse.json(stats)
+
+    async def solve(self, request: HttpRequest) -> HttpResponse:
+        cell = parse_solve_request(request.json())
+        outcome = await self.core.solve_cell(cell)
+        return HttpResponse.json(
+            {
+                "key": outcome.key,
+                "label": cell.label,
+                "cache": outcome.source,
+                "elapsed_s": outcome.elapsed_s,
+                "report": report_to_dict(outcome.report),
+            }
+        )
+
+    async def project(self, request: HttpRequest) -> HttpResponse:
+        from repro.core.models.projection import FIGURE9_SCHEMES, project
+
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise RequestError("body must be a JSON object")
+        unknown = set(payload) - {"sizes", "schemes"}
+        if unknown:
+            raise RequestError(f"unknown fields: {', '.join(sorted(unknown))}")
+        sizes = payload.get("sizes")
+        if not isinstance(sizes, list) or not sizes or not all(
+            isinstance(n, int) and n >= 1 for n in sizes
+        ):
+            raise RequestError("'sizes' must be a non-empty list of ints >= 1")
+        schemes = payload.get("schemes", list(FIGURE9_SCHEMES))
+        unknown = set(schemes) - set(FIGURE9_SCHEMES)
+        if unknown:
+            raise RequestError(
+                f"unknown projection schemes: {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(FIGURE9_SCHEMES)}"
+            )
+        data = project(sorted(sizes), schemes=tuple(schemes))
+        return HttpResponse.json(
+            {
+                "sizes": sorted(sizes),
+                "points": {
+                    scheme: [
+                        {
+                            "n": p.n,
+                            "system_mtbf_s": _finite(p.system_mtbf_s),
+                            "t_res_ratio": _finite(p.t_res_ratio),
+                            "e_res_ratio": _finite(p.e_res_ratio),
+                            "power_ratio": _finite(p.power_ratio),
+                            "halted": p.halted,
+                        }
+                        for p in points
+                    ]
+                    for scheme, points in data.items()
+                },
+            }
+        )
+
+    def _require_store(self):
+        if self.core.store is None:
+            raise RequestError("this server runs without a result store")
+        return self.core.store
+
+    async def reports_index(self, request: HttpRequest) -> HttpResponse:
+        store = self._require_store()
+        rows = [
+            {
+                "key": entry.key,
+                "label": entry.cell.label,
+                "scheme": entry.cell.scheme,
+                "matrix": entry.cell.config.matrix,
+                "engine": entry.cell.config.engine,
+                "converged": entry.report.converged,
+                "iterations": entry.report.iterations,
+                "time_s": entry.report.time_s,
+                "energy_j": entry.report.energy_j,
+            }
+            for entry in store.entries()
+        ]
+        return HttpResponse.json({"entries": rows, "count": len(rows)})
+
+    async def report_by_key(self, request: HttpRequest) -> HttpResponse:
+        store = self._require_store()
+        key = request.path.rstrip("/").rsplit("/", 1)[-1]
+        for entry in store.entries():
+            if entry.key == key:
+                return HttpResponse.json(
+                    {
+                        "key": entry.key,
+                        "label": entry.cell.label,
+                        "elapsed_s": entry.elapsed_s,
+                        "created_at": entry.created_at,
+                        "report": report_to_dict(entry.report),
+                    }
+                )
+        return HttpResponse.error(404, f"no stored cell with key {key!r}")
+
+    async def reports_diff(self, request: HttpRequest) -> HttpResponse:
+        from repro.obs.analysis.diffing import diff_runs
+        from repro.obs.analysis.records import RunRecord
+        from repro.obs.analysis.render import format_run_diff
+
+        store = self._require_store()
+        want_a, want_b = request.query.get("a"), request.query.get("b")
+        if not want_a or not want_b:
+            raise RequestError("need query params a=KEY and b=KEY")
+        found = {}
+        for entry in store.entries():
+            if entry.key in (want_a, want_b):
+                found[entry.key] = entry
+        missing = [k for k in (want_a, want_b) if k not in found]
+        if missing:
+            return HttpResponse.error(
+                404, f"no stored cell with key {missing[0]!r}"
+            )
+        records = [
+            RunRecord(
+                label=found[k].cell.label,
+                report=found[k].report,
+                telemetry=found[k].report.details.get("telemetry"),
+                config=found[k].cell.config,
+            )
+            for k in (want_a, want_b)
+        ]
+        diff = diff_runs(records[0], records[1])
+        return HttpResponse.json(
+            {
+                "a": {"key": want_a, "label": records[0].label},
+                "b": {"key": want_b, "label": records[1].label},
+                "identical": diff.identical,
+                "n_changes": diff.n_changes,
+                "text": format_run_diff(diff),
+            }
+        )

@@ -1,0 +1,130 @@
+"""Threaded load generator: req/s and latency percentiles.
+
+Drives any request function against a running server from N worker
+threads (each with its own keep-alive :class:`ServeClient`) and folds
+every request's wall latency into a :class:`LoadReport`.  This is what
+the serving benchmark (benchmarks/perf/serving.py) and the CI smoke
+job run; it is deliberately simple — closed-loop workers, no ramp-up —
+because its job is a trajectory, not a capacity plan.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.serve.client import ServeClient
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted data (q in [0, 1])."""
+    if not sorted_values:
+        raise ValueError("no samples")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be within [0, 1]")
+    rank = min(len(sorted_values) - 1, max(0, round(q * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run."""
+
+    n_requests: int
+    concurrency: int
+    duration_s: float
+    latencies_s: list[float] = field(repr=False, default_factory=list)
+    errors: int = 0
+
+    @property
+    def req_per_s(self) -> float:
+        return self.n_requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    def latency_s(self, q: float) -> float:
+        return percentile(sorted(self.latencies_s), q)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_requests": self.n_requests,
+            "concurrency": self.concurrency,
+            "duration_s": self.duration_s,
+            "req_per_s": self.req_per_s,
+            "p50_ms": self.latency_s(0.50) * 1e3,
+            "p90_ms": self.latency_s(0.90) * 1e3,
+            "p99_ms": self.latency_s(0.99) * 1e3,
+            "max_ms": max(self.latencies_s) * 1e3,
+            "errors": self.errors,
+        }
+
+    def summary(self) -> str:
+        d = self.to_dict()
+        return (
+            f"{d['n_requests']} requests, {d['concurrency']} workers, "
+            f"{d['duration_s']:.2f}s: {d['req_per_s']:.0f} req/s, "
+            f"p50 {d['p50_ms']:.2f}ms, p90 {d['p90_ms']:.2f}ms, "
+            f"p99 {d['p99_ms']:.2f}ms, max {d['max_ms']:.2f}ms, "
+            f"{d['errors']} errors"
+        )
+
+
+def run_load(
+    host: str,
+    port: int,
+    request_fn,
+    *,
+    n_requests: int = 200,
+    concurrency: int = 4,
+    timeout: float = 60.0,
+) -> LoadReport:
+    """Fire ``n_requests`` total from ``concurrency`` closed-loop workers.
+
+    ``request_fn(client, i)`` issues request ``i`` on a worker's own
+    client; exceptions count as errors (their wall time still counts,
+    so a timing-out server cannot flatter its percentiles).
+    """
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    latencies: list[float] = []
+    errors = [0]
+    lock = threading.Lock()
+    counter = iter(range(n_requests))
+
+    def worker() -> None:
+        with ServeClient(host, port, timeout=timeout) as client:
+            while True:
+                with lock:
+                    i = next(counter, None)
+                if i is None:
+                    return
+                t0 = time.perf_counter()
+                try:
+                    request_fn(client, i)
+                    failed = False
+                except Exception:
+                    failed = True
+                elapsed = time.perf_counter() - t0
+                with lock:
+                    latencies.append(elapsed)
+                    if failed:
+                        errors[0] += 1
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{w}")
+        for w in range(min(concurrency, n_requests))
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    duration = time.perf_counter() - t0
+    return LoadReport(
+        n_requests=n_requests,
+        concurrency=len(threads),
+        duration_s=duration,
+        latencies_s=latencies,
+        errors=errors[0],
+    )

@@ -1,6 +1,7 @@
 """Result store: hashing, round-trips, hits and misses, self-healing."""
 
 import json
+import threading
 from dataclasses import replace
 
 import numpy as np
@@ -127,12 +128,81 @@ class TestStore:
         assert stats["entries"] == 1
         assert stats["compute_seconds_banked"] == 2.0
 
+    def test_stats_report_disk_bytes_and_lookup_counters(self, store, solved):
+        cell, report = solved
+        assert store.stats()["payload_bytes"] == 0
+        assert store.get(cell) is None  # one miss
+        store.put(cell, report)
+        assert store.get(cell) is not None  # one hit
+        stats = store.stats()
+        payload = store._payload_path(cell_key(cell))
+        assert stats["payload_bytes"] == payload.stat().st_size > 0
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
     def test_clear(self, store, solved):
         cell, report = solved
         store.put(cell, report)
         store.clear()
         assert len(store) == 0
         assert store.get(cell) is None
+
+
+class TestConcurrency:
+    """The serving tier reads and writes from worker threads; two CLI
+    processes may share one store.  Neither may see 'database is locked'
+    or a torn payload."""
+
+    N_THREADS = 8
+    N_READS = 5
+
+    def _hammer(self, store_for_thread, cell, report, errors):
+        def work(seed):
+            try:
+                mine = CampaignCell(replace(cell.config, seed=seed), cell.scheme)
+                s = store_for_thread(seed)
+                assert s.put(mine, report) == cell_key(mine)
+                for _ in range(self.N_READS):
+                    got = s.get(mine)
+                    assert got is not None
+                    assert got.iterations == report.iterations
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(seed,))
+            for seed in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_threads_share_one_connection(self, store, solved):
+        cell, report = solved
+        errors = []
+        self._hammer(lambda seed: store, cell, report, errors)
+        assert errors == []
+        assert len(store) == self.N_THREADS
+        assert store.hits == self.N_THREADS * self.N_READS
+
+    def test_two_instances_share_one_store_on_disk(self, tmp_path, solved):
+        """Separate connections on one directory — WAL + busy_timeout
+        territory, the cross-process sharing mode."""
+        cell, report = solved
+        with ResultStore(tmp_path / "c") as a, ResultStore(tmp_path / "c") as b:
+            errors = []
+            self._hammer(
+                lambda seed: a if seed % 2 == 0 else b, cell, report, errors
+            )
+            assert errors == []
+            assert len(a) == len(b) == self.N_THREADS
+            # every cell is visible through both connections
+            for seed in range(self.N_THREADS):
+                mine = CampaignCell(
+                    replace(cell.config, seed=seed), cell.scheme
+                )
+                assert mine in a and mine in b
 
 
 def _write_v2_entry(store, cell, report):

@@ -459,3 +459,22 @@ class TestDoctorCli:
         assert "span_integrity" in out
         assert "energy_balance" in out
         assert label in out
+
+
+class TestServeCli:
+    def test_serve_help_lists_every_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for flag in (
+            "--host", "--port", "--workers", "--cache-size",
+            "--batch-window-ms", "--store", "--no-store",
+        ):
+            assert flag in out
+
+    def test_serve_appears_in_the_top_level_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        assert "serve" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Prometheus text-exposition conformance, pinned by a golden file.
+
+``/metrics`` is scraped by real collectors, so the exposition format is
+a public contract: counter ``_total`` suffixes, label-value escaping,
+the implicit ``+Inf`` bucket, ``_count``/``_sum`` consistency and
+deterministic ordering all get pinned here — first structurally, then
+byte-for-byte against ``golden/prometheus_exposition.txt``.
+
+To regenerate the golden after an intentional format change::
+
+    PYTHONPATH=src python -c "
+    from tests.obs.test_prometheus_golden import build_registry, GOLDEN
+    from repro.obs.analysis import prometheus_text
+    GOLDEN.write_text(prometheus_text(build_registry()))"
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.obs.analysis import prometheus_text
+from repro.obs.metrics import MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "golden" / "prometheus_exposition.txt"
+
+
+def build_registry() -> MetricsRegistry:
+    """A fixed registry exercising every exposition feature."""
+    reg = MetricsRegistry()
+    # counters: bare, labelled, name sanitization, awkward label values
+    reg.counter("cg.iterations", scheme="LI").inc(42)
+    reg.counter("cg.iterations", scheme="CR-D").inc(7)
+    reg.counter("plain").inc(3)
+    reg.counter("escapes", path='say "hi"\\now', note="line1\nline2").inc()
+    # gauges
+    reg.gauge("solver.energy_j").set(12.5)
+    reg.gauge("queue_depth", pool="serve").set(0)
+    # histograms: mid-bucket, boundary and overflow observations
+    h = reg.histogram("latency_s", buckets=(0.001, 0.01, 0.1), stage="solve")
+    for v in (0.0005, 0.01, 0.05, 3.0):
+        h.observe(v)
+    reg.histogram("latency_s", buckets=(0.001, 0.01, 0.1), stage="io")
+    return reg
+
+
+class TestExpositionConformance:
+    def test_counters_carry_the_total_suffix(self):
+        text = prometheus_text(build_registry())
+        for line in text.splitlines():
+            if line.startswith("# TYPE") and line.endswith("counter"):
+                assert line.split()[2].endswith("_total"), line
+
+    def test_label_values_are_escaped(self):
+        text = prometheus_text(build_registry())
+        (line,) = [x for x in text.splitlines() if x.startswith("escapes")]
+        assert r'note="line1\nline2"' in line
+        assert r'path="say \"hi\"\\now"' in line
+        assert "\n" not in line
+
+    def test_inf_bucket_equals_count(self):
+        text = prometheus_text(build_registry())
+        inf = {
+            m.group(1): int(m.group(2))
+            for m in re.finditer(
+                r'^(\w+_bucket\{[^}]*le="\+Inf"[^}]*\}) (\d+)$', text, re.M
+            )
+        }
+        counts = {
+            m.group(1): int(m.group(2))
+            for m in re.finditer(r"^(\w+_count\S*) (\d+)$", text, re.M)
+        }
+        assert inf  # the +Inf bucket is emitted at all
+        for series, n in inf.items():
+            name, raw = series.split("_bucket")
+            kept = [
+                item
+                for item in raw.strip("{}").split(",")
+                if not item.startswith("le=")
+            ]
+            labels = "{" + ",".join(kept) + "}" if kept else ""
+            assert counts[f"{name}_count{labels}"] == n
+
+    def test_bucket_counts_are_cumulative_and_sum_matches(self):
+        reg = build_registry()
+        text = prometheus_text(reg)
+        solve = [
+            int(m.group(1))
+            for m in re.finditer(
+                r'latency_s_bucket\{le="[^+][^"]*",stage="solve"\} (\d+)', text
+            )
+        ]
+        assert solve == sorted(solve)  # cumulative, never decreasing
+        (total,) = re.findall(r'latency_s_sum\{stage="solve"\} (\S+)', text)
+        assert float(total) == 0.0005 + 0.01 + 0.05 + 3.0
+
+    def test_equal_registries_expose_byte_identically(self):
+        assert prometheus_text(build_registry()) == prometheus_text(
+            build_registry()
+        )
+        # and insertion order does not leak into the output
+        reordered = MetricsRegistry()
+        reordered.counter("plain").inc(3)
+        reordered.counter("cg.iterations", scheme="CR-D").inc(7)
+        reordered.counter("cg.iterations", scheme="LI").inc(42)
+        a = [
+            line
+            for line in prometheus_text(reordered).splitlines()
+            if "cg_iterations" in line or line.startswith("plain")
+        ]
+        b = [
+            line
+            for line in prometheus_text(build_registry()).splitlines()
+            if "cg_iterations" in line or line.startswith("plain")
+        ]
+        assert a == b
+
+
+class TestGolden:
+    def test_exposition_matches_the_golden_file(self):
+        assert prometheus_text(build_registry()) == GOLDEN.read_text(), (
+            "exposition format drifted; if intentional, regenerate the "
+            "golden (see module docstring) and call out the change in "
+            "the PR"
+        )

@@ -1,0 +1,53 @@
+"""Serving-tier fixtures: cell builders and one shared live server."""
+
+from __future__ import annotations
+
+import asyncio
+from types import SimpleNamespace
+
+import pytest
+
+from repro.campaign.spec import CampaignCell
+from repro.campaign.store import ResultStore
+from repro.harness.experiment import ExperimentConfig
+from repro.serve import BackgroundServer, ServeApp, ServeClient, ServingCore
+
+
+def make_cell(scheme: str = "RD", engine: str = "analytic", **overrides):
+    """The test cell: small enough that real solves stay in milliseconds."""
+    config = ExperimentConfig(
+        matrix="wathen100",
+        nranks=8,
+        n_faults=2,
+        scale=0.25,
+        engine=engine,
+        **overrides,
+    )
+    return CampaignCell(config, scheme)
+
+
+def run(coro):
+    """Drive one serving-core coroutine on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """A real server on an ephemeral port, with its store and a client.
+
+    Module-scoped: tests share the server (and therefore its metrics and
+    store), so each test uses distinct cells (seeds) where counts matter.
+    """
+    store = ResultStore(tmp_path_factory.mktemp("serve-store"))
+    core = ServingCore(store, workers=2)
+    app = ServeApp(core)
+    server = BackgroundServer(app.handle)
+    server.start()
+    client = ServeClient(server.host, server.port)
+    yield SimpleNamespace(
+        store=store, core=core, app=app, server=server, client=client
+    )
+    client.close()
+    server.stop()
+    core.close()
+    store.close()

@@ -1,0 +1,327 @@
+"""ServingCore behaviours: LRU, coalescing, micro-batching, store tiers.
+
+The core is socket-free, so everything here runs on a plain event loop
+with injected compute functions; the last class uses real engine runs to
+pin the bit-identical guarantee.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.campaign.serialize import report_to_dict
+from repro.campaign.store import ResultStore, cell_key
+from repro.harness.experiment import Experiment
+from repro.serve.core import ServingCore, compute_cell
+from tests.serve.conftest import make_cell, run
+
+
+class Recorder:
+    """Injectable compute that records calls and returns sentinels."""
+
+    def __init__(self):
+        self.calls = []
+
+    def compute(self, cell):
+        self.calls.append(cell)
+        return f"report:{cell.scheme}:{cell.config.seed}"
+
+    def compute_batch(self, config, schemes):
+        self.calls.append((config, tuple(schemes)))
+        return {s: f"report:{s}:{config.seed}" for s in schemes}
+
+
+class TestLru:
+    def test_computed_then_lru(self):
+        rec = Recorder()
+        core = ServingCore(None, compute=rec.compute, compute_batch=rec.compute_batch)
+
+        async def scenario():
+            first = await core.solve_cell(make_cell("RD"))
+            second = await core.solve_cell(make_cell("RD"))
+            return first, second
+
+        first, second = run(scenario())
+        core.close()
+        assert first.source == "computed"
+        assert second.source == "lru"
+        assert second.report is first.report
+        assert first.key == cell_key(make_cell("RD"))
+        assert len(rec.calls) == 1
+
+    def test_eviction_at_capacity(self):
+        rec = Recorder()
+        core = ServingCore(
+            None, cache_size=1, compute=rec.compute, compute_batch=rec.compute_batch
+        )
+
+        async def scenario():
+            a = await core.solve_cell(make_cell("RD"))
+            b = await core.solve_cell(make_cell("F0"))  # evicts RD
+            a2 = await core.solve_cell(make_cell("RD"))
+            return a, b, a2
+
+        a, b, a2 = run(scenario())
+        core.close()
+        assert (a.source, b.source, a2.source) == ("computed",) * 3
+        assert len(core._lru) == 1
+
+    def test_cache_size_zero_disables_the_lru(self):
+        rec = Recorder()
+        core = ServingCore(
+            None, cache_size=0, compute=rec.compute, compute_batch=rec.compute_batch
+        )
+
+        async def scenario():
+            return [
+                (await core.solve_cell(make_cell("RD"))).source for _ in range(2)
+            ]
+
+        assert run(scenario()) == ["computed", "computed"]
+        core.close()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"cache_size": -1}, {"workers": 0}, {"batch_max": 0}],
+    )
+    def test_bad_parameters_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingCore(None, **kwargs)
+
+
+class TestCoalescing:
+    def test_identical_inflight_cells_share_one_computation(self):
+        release = threading.Event()
+        calls = []
+
+        def blocking(cell):
+            calls.append(cell)
+            assert release.wait(timeout=30.0)
+            return "the-report"
+
+        # sim engine: the pooled path, where compute genuinely blocks
+        cell = make_cell("RD", engine="sim")
+        core = ServingCore(None, compute=blocking)
+
+        async def scenario():
+            t1 = asyncio.ensure_future(core.solve_cell(cell))
+            while cell_key(cell) not in core._inflight:
+                await asyncio.sleep(0.001)
+            t2 = asyncio.ensure_future(core.solve_cell(cell))
+            t3 = asyncio.ensure_future(core.solve_cell(cell))
+            await asyncio.sleep(0.01)  # let the followers reach the wait
+            release.set()
+            return await asyncio.gather(t1, t2, t3)
+
+        first, *followers = run(scenario())
+        core.close()
+        assert len(calls) == 1
+        assert first.source == "computed"
+        assert [o.source for o in followers] == ["coalesced", "coalesced"]
+        assert all(o.report == "the-report" for o in followers)
+
+    def test_compute_error_reaches_every_waiter_and_is_not_cached(self):
+        boom = RuntimeError("engine exploded")
+        attempts = []
+
+        def failing(cell):
+            attempts.append(cell)
+            raise boom
+
+        cell = make_cell("RD", engine="sim")
+        core = ServingCore(None, compute=failing)
+
+        async def scenario():
+            with pytest.raises(RuntimeError, match="engine exploded"):
+                await core.solve_cell(cell)
+            with pytest.raises(RuntimeError, match="engine exploded"):
+                await core.solve_cell(cell)  # failure was not cached
+
+        run(scenario())
+        core.close()
+        assert len(attempts) == 2
+        assert not core._inflight
+        snap = core.metrics.snapshot()
+        assert snap["counters"]['serve_errors{stage=solve}'] == 2.0
+
+
+class TestMicroBatching:
+    def test_one_config_burst_becomes_one_batch(self):
+        rec = Recorder()
+        core = ServingCore(
+            None, batch_window_s=0.01, compute_batch=rec.compute_batch
+        )
+        cells = [make_cell(s) for s in ("RD", "F0", "LI")]
+
+        async def scenario():
+            return await asyncio.gather(*(core.solve_cell(c) for c in cells))
+
+        outcomes = run(scenario())
+        core.close()
+        assert len(rec.calls) == 1
+        _, schemes = rec.calls[0]
+        assert sorted(schemes) == ["F0", "LI", "RD"]
+        for cell, outcome in zip(cells, outcomes):
+            assert outcome.source == "computed"
+            assert outcome.report == f"report:{cell.scheme}:0"
+
+    def test_full_batch_drains_without_waiting_for_the_window(self):
+        rec = Recorder()
+        # window far beyond the test timeout: only the batch_max trigger
+        # can drain, so completion proves it fired
+        core = ServingCore(
+            None, batch_window_s=60.0, batch_max=2,
+            compute_batch=rec.compute_batch,
+        )
+
+        async def scenario():
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    core.solve_cell(make_cell("RD")),
+                    core.solve_cell(make_cell("F0")),
+                ),
+                timeout=10.0,
+            )
+
+        outcomes = run(scenario())
+        core.close()
+        assert [o.source for o in outcomes] == ["computed", "computed"]
+        assert len(rec.calls) == 1
+
+    def test_distinct_configs_batch_separately(self):
+        rec = Recorder()
+        core = ServingCore(
+            None, batch_window_s=0.01, compute_batch=rec.compute_batch
+        )
+
+        async def scenario():
+            return await asyncio.gather(
+                core.solve_cell(make_cell("RD", seed=0)),
+                core.solve_cell(make_cell("RD", seed=1)),
+            )
+
+        outcomes = run(scenario())
+        core.close()
+        assert len(rec.calls) == 2
+        assert {o.report for o in outcomes} == {"report:RD:0", "report:RD:1"}
+
+    def test_sim_cells_bypass_the_batcher(self):
+        def no_batch(config, schemes):
+            raise AssertionError("sim cells must not be batched")
+
+        rec = Recorder()
+        core = ServingCore(None, compute=rec.compute, compute_batch=no_batch)
+        outcome = run(core.solve_cell(make_cell("RD", engine="sim")))
+        core.close()
+        assert outcome.source == "computed"
+        assert len(rec.calls) == 1
+
+    def test_batch_failure_reaches_every_member(self):
+        def failing(config, schemes):
+            raise RuntimeError("batch exploded")
+
+        core = ServingCore(None, batch_window_s=0.01, compute_batch=failing)
+
+        async def scenario():
+            results = await asyncio.gather(
+                core.solve_cell(make_cell("RD")),
+                core.solve_cell(make_cell("F0")),
+                return_exceptions=True,
+            )
+            return results
+
+        results = run(scenario())
+        core.close()
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+
+class TestStoreTier:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        with ResultStore(tmp_path / "cache") as s:
+            yield s
+
+    def test_write_through_then_read_through(self, store):
+        cell = make_cell("LI")
+        core = ServingCore(store)
+        outcome = run(core.solve_cell(cell))  # real analytic solve
+        core.close()
+        assert outcome.source == "computed"
+        assert store.get(cell) is not None  # write-through persisted it
+
+        fresh = ServingCore(store)  # cold LRU, warm store
+        hit = run(fresh.solve_cell(cell))
+        again = run(fresh.solve_cell(cell))
+        fresh.close()
+        assert hit.source == "store"
+        assert again.source == "lru"
+        assert report_to_dict(hit.report) == report_to_dict(outcome.report)
+
+    def test_storeless_core_always_computes(self):
+        rec = Recorder()
+        core = ServingCore(
+            None, cache_size=0, compute_batch=rec.compute_batch
+        )
+        run(core.solve_cell(make_cell("RD")))
+        run(core.solve_cell(make_cell("RD")))
+        core.close()
+        assert len(rec.calls) == 2
+
+
+class TestBitIdentical:
+    def test_served_report_equals_a_direct_engine_run(self):
+        cell = make_cell("LI", seed=3)
+        core = ServingCore(None)  # default compute: the real engines
+        outcome = run(core.solve_cell(cell))
+        core.close()
+        direct = Experiment(cell.config).run(cell.scheme)
+        assert report_to_dict(outcome.report) == report_to_dict(direct)
+
+    def test_batched_and_lone_computation_agree(self):
+        cells = [make_cell(s, seed=4) for s in ("RD", "F0", "LI")]
+        core = ServingCore(None, batch_window_s=0.01)
+
+        async def scenario():
+            return await asyncio.gather(*(core.solve_cell(c) for c in cells))
+
+        outcomes = run(scenario())
+        core.close()
+        for cell, outcome in zip(cells, outcomes):
+            assert report_to_dict(outcome.report) == report_to_dict(
+                compute_cell(cell)
+            )
+
+
+class TestIntrospection:
+    def test_cache_stats_counts_sources(self):
+        rec = Recorder()
+        core = ServingCore(None, compute_batch=rec.compute_batch)
+
+        async def scenario():
+            await core.solve_cell(make_cell("RD"))
+            await core.solve_cell(make_cell("RD"))
+
+        run(scenario())
+        stats = core.cache_stats()
+        core.close()
+        assert stats["solved_by_source"] == {"computed": 1, "lru": 1}
+        assert stats["lru_entries"] == 1
+        assert stats["lru_capacity"] == core.cache_size
+        assert stats["inflight"] == 0
+        assert stats["pending_batches"] == 0
+
+    def test_drain_returns_once_idle(self):
+        rec = Recorder()
+        core = ServingCore(None, compute_batch=rec.compute_batch)
+
+        async def scenario():
+            task = asyncio.ensure_future(core.solve_cell(make_cell("RD")))
+            await core.drain()
+            assert not core._inflight and not core._pending
+            await task
+
+        run(scenario())
+        core.close()

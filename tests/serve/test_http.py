@@ -1,0 +1,218 @@
+"""End-to-end API tests: a real server, a real client, real solves.
+
+One BackgroundServer per module (ephemeral port, tmp store); the
+acceptance test at the bottom pins the ISSUE guarantee that a served
+report is bit-identical JSON to a direct engine call.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.campaign.serialize import report_to_dict
+from repro.campaign.store import cell_key
+from repro.harness.experiment import Experiment
+from repro.serve import ServeClient, ServeError
+from tests.serve.conftest import make_cell
+
+SOLVE = {
+    "matrix": "wathen100",
+    "nranks": 8,
+    "n_faults": 2,
+    "scale": 0.25,
+    "engine": "analytic",
+}
+
+
+class TestHealthAndRouting:
+    def test_healthz(self, served):
+        health = served.client.health()
+        assert health["status"] == "ok"
+        assert {"sim", "analytic"} <= set(health["engines"])
+        assert health["store"] is True
+        assert health["uptime_s"] >= 0
+
+    def test_ephemeral_port_was_bound(self, served):
+        assert served.server.port != 0
+
+    def test_unknown_route_is_404(self, served):
+        with pytest.raises(ServeError) as exc:
+            served.client._request("GET", "/nope")
+        assert exc.value.status == 404
+
+    def test_malformed_request_line_is_400(self, served):
+        with socket.create_connection(
+            (served.server.host, served.server.port), timeout=10.0
+        ) as raw:
+            raw.sendall(b"GARBAGE\r\n\r\n")
+            answer = raw.recv(4096)
+        assert answer.startswith(b"HTTP/1.1 400 ")
+
+    def test_http_10_defaults_to_connection_close(self, served):
+        with socket.create_connection(
+            (served.server.host, served.server.port), timeout=10.0
+        ) as raw:
+            raw.sendall(b"GET /healthz HTTP/1.0\r\n\r\n")
+            answer = raw.recv(4096)
+        assert answer.startswith(b"HTTP/1.1 200 ")
+        assert b"Connection: close" in answer
+
+
+class TestSolve:
+    def test_computed_then_lru(self, served):
+        first = served.client.solve(**SOLVE, scheme="RD", seed=10)
+        second = served.client.solve(**SOLVE, scheme="RD", seed=10)
+        assert first["cache"] in ("computed", "store")
+        assert second["cache"] == "lru"
+        assert second["report"] == first["report"]
+        assert second["key"] == first["key"]
+        assert first["elapsed_s"] >= second["elapsed_s"] >= 0
+
+    def test_key_matches_the_store_hash(self, served):
+        answer = served.client.solve(**SOLVE, scheme="F0", seed=11)
+        assert answer["key"] == cell_key(make_cell("F0", seed=11))
+        assert answer["label"] == make_cell("F0", seed=11).label
+
+    def test_engine_defaults_to_analytic(self, served):
+        fields = {k: v for k, v in SOLVE.items() if k != "engine"}
+        answer = served.client.solve(**fields, scheme="RD", seed=12)
+        assert answer["report"]["details"]["engine"] == "analytic"
+
+    def test_model_is_an_alias_for_analytic(self, served):
+        fields = dict(SOLVE, engine="model")
+        answer = served.client.solve(**fields, scheme="RD", seed=13)
+        direct = served.client.solve(**SOLVE, scheme="RD", seed=13)
+        assert answer["key"] == direct["key"]
+        assert answer["report"] == direct["report"]
+
+    @pytest.mark.parametrize(
+        "fields, fragment",
+        [
+            ({"scheme": "BOGUS"}, "unknown scheme"),
+            ({"scheme": "RD", "frobnicate": 1}, "unknown fields"),
+            ({"scheme": "RD", "engine": "quantum"}, "unknown engine"),
+            ({"scheme": "RD", "nranks": "eight"}, ""),
+        ],
+    )
+    def test_invalid_solve_bodies_are_400(self, served, fields, fragment):
+        base = {k: v for k, v in SOLVE.items() if k not in fields}
+        with pytest.raises(ServeError) as exc:
+            served.client.solve(**base, **fields)
+        assert exc.value.status == 400
+        assert fragment in exc.value.message
+
+    def test_non_object_body_is_400(self, served):
+        with pytest.raises(ServeError) as exc:
+            served.client._request("POST", "/v1/solve", payload=[1, 2, 3])
+        assert exc.value.status == 400
+
+    def test_acceptance_served_json_is_bit_identical_to_direct_run(
+        self, served
+    ):
+        """ISSUE acceptance: /v1/solve returns the exact SolveReport JSON
+        a direct engine call serializes to — no float drift, no field
+        loss, through whichever cache tier answers."""
+        cell = make_cell("LI", seed=14)
+        served_report = served.client.solve(**SOLVE, scheme="LI", seed=14)
+        direct = Experiment(cell.config).run(cell.scheme)
+        assert served_report["report"] == report_to_dict(direct)
+        replay = served.client.solve(**SOLVE, scheme="LI", seed=14)
+        assert replay["cache"] == "lru"
+        assert replay["report"] == report_to_dict(direct)
+
+
+class TestMetricsAndStats:
+    def test_metrics_exposition_reflects_the_cache_tiers(self, served):
+        served.client.solve(**SOLVE, scheme="RD", seed=15)
+        served.client.solve(**SOLVE, scheme="RD", seed=15)
+        text = served.client.metrics_text()
+        assert "# TYPE serve_requests_total counter" in text
+        assert 'serve_solve_total{engine="analytic",source="lru"}' in text
+        assert 'serve_requests_total{endpoint="/v1/solve",status="200"}' in text
+        assert "serve_request_latency_s_bucket" in text
+
+    def test_store_stats_counts_bytes_and_lookups(self, served):
+        served.client.solve(**SOLVE, scheme="RD", seed=16)
+        stats = served.client.store_stats()
+        assert stats["store"]["entries"] >= 1
+        assert stats["store"]["payload_bytes"] > 0
+        assert stats["store"]["misses"] >= 1  # every computed cell missed first
+        assert stats["serving"]["lru_capacity"] == served.core.cache_size
+        assert stats["serving"]["solved_by_source"]["computed"] >= 1
+
+
+class TestReports:
+    def test_index_report_and_diff(self, served):
+        a = served.client.solve(**SOLVE, scheme="RD", seed=17)
+        b = served.client.solve(**SOLVE, scheme="LI", seed=17)
+
+        index = served.client.reports()
+        keys = {row["key"] for row in index["entries"]}
+        assert {a["key"], b["key"]} <= keys
+        assert index["count"] == len(index["entries"])
+
+        full = served.client.report(a["key"])
+        assert full["report"] == a["report"]
+        assert full["elapsed_s"] >= 0
+
+        same = served.client.diff(a["key"], a["key"])
+        assert same["identical"] is True
+        assert same["n_changes"] == 0
+
+        diff = served.client.diff(a["key"], b["key"])
+        assert diff["identical"] is False
+        assert diff["n_changes"] > 0
+        assert diff["text"]
+
+    def test_unknown_report_key_is_404(self, served):
+        with pytest.raises(ServeError) as exc:
+            served.client.report("f" * 64)
+        assert exc.value.status == 404
+
+    def test_diff_requires_both_keys(self, served):
+        with pytest.raises(ServeError) as exc:
+            served.client._request("GET", "/v1/reports/diff?a=abc")
+        assert exc.value.status == 400
+
+
+class TestProject:
+    def test_projection_points_round_trip(self, served):
+        answer = served.client.project([64, 8], schemes=["RD"])
+        assert answer["sizes"] == [8, 64]  # sorted
+        points = answer["points"]["RD"]
+        assert [p["n"] for p in points] == [8, 64]
+        for p in points:
+            assert set(p) == {
+                "n", "system_mtbf_s", "t_res_ratio", "e_res_ratio",
+                "power_ratio", "halted",
+            }
+            if not p["halted"]:
+                assert p["t_res_ratio"] is not None
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"sizes": []},
+            {"sizes": [0]},
+            {"sizes": ["eight"]},
+            {"sizes": [8], "schemes": ["BOGUS"]},
+            {"sizes": [8], "frobnicate": 1},
+        ],
+    )
+    def test_invalid_projection_bodies_are_400(self, served, payload):
+        with pytest.raises(ServeError) as exc:
+            served.client._request("POST", "/v1/project", payload)
+        assert exc.value.status == 400
+
+
+class TestClient:
+    def test_client_survives_a_dropped_keepalive(self, served):
+        # a second client whose connection the server has never seen:
+        # the first request on a fresh connection exercises connect;
+        # closing our side forces the retry path on the next call
+        with ServeClient(served.server.host, served.server.port) as client:
+            assert client.health()["status"] == "ok"
+            client._conn.close()
+            assert client.health()["status"] == "ok"

@@ -1,0 +1,84 @@
+"""Load generator: percentile math, report shape, a real tiny run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.loadgen import LoadReport, percentile, run_load
+
+
+class TestPercentile:
+    def test_nearest_rank_on_a_known_ladder(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.90) == 90.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.0) == 100.0
+        assert percentile(values, 0.0) == 1.0
+
+    def test_single_sample_answers_everything(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestLoadReport:
+    def test_dict_shape_and_rates(self):
+        report = LoadReport(
+            n_requests=4,
+            concurrency=2,
+            duration_s=2.0,
+            latencies_s=[0.001, 0.002, 0.003, 0.004],
+            errors=1,
+        )
+        d = report.to_dict()
+        assert d["req_per_s"] == 2.0
+        assert d["p50_ms"] == 2.0
+        assert d["max_ms"] == 4.0
+        assert d["errors"] == 1
+        assert "p50" in report.summary()
+
+    def test_zero_duration_rate_is_zero(self):
+        report = LoadReport(
+            n_requests=1, concurrency=1, duration_s=0.0, latencies_s=[0.1]
+        )
+        assert report.req_per_s == 0.0
+
+
+class TestRunLoad:
+    def test_real_run_against_the_server(self, served):
+        report = run_load(
+            served.server.host,
+            served.server.port,
+            lambda client, i: client.health(),
+            n_requests=20,
+            concurrency=3,
+        )
+        assert report.errors == 0
+        assert len(report.latencies_s) == 20
+        assert report.concurrency == 3
+        assert report.req_per_s > 0
+
+    def test_failures_count_as_errors_not_crashes(self, served):
+        report = run_load(
+            served.server.host,
+            served.server.port,
+            lambda client, i: client.report("no-such-key"),
+            n_requests=5,
+            concurrency=2,
+        )
+        assert report.errors == 5
+        assert len(report.latencies_s) == 5
+
+    def test_rejects_nonsense_parameters(self, served):
+        with pytest.raises(ValueError):
+            run_load(served.server.host, served.server.port, lambda c, i: None,
+                     n_requests=0)
+        with pytest.raises(ValueError):
+            run_load(served.server.host, served.server.port, lambda c, i: None,
+                     concurrency=0)

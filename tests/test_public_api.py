@@ -40,6 +40,7 @@ SUBPACKAGES = [
     "repro.harness",
     "repro.obs",
     "repro.campaign",
+    "repro.serve",
     "repro.cli",
 ]
 
