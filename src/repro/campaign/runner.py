@@ -36,6 +36,9 @@ from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import ResultStore
 from repro.core.report import SolveReport
 from repro.harness.experiment import Experiment
+from repro.obs.logging import get_logger
+
+_log = get_logger("campaign.runner")
 
 
 class CellTimeout(Exception):
@@ -294,6 +297,20 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
     def _emit(self, result: CellResult) -> CellResult:
+        if result.status == "failed":
+            _log.warning(
+                "cell failed",
+                cell=result.cell.label,
+                attempts=result.attempts,
+                error=result.error or "",
+            )
+        else:
+            _log.debug(
+                "cell done",
+                cell=result.cell.label,
+                status=result.status,
+                elapsed_s=round(result.elapsed_s or 0.0, 6),
+            )
         if self.progress is not None:
             self.progress.cell_done(result)
         return result

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands mirror the library's main entry points::
+The subcommands mirror the library's main entry points::
 
     python -m repro.cli run --matrix crystm02 --scheme LI-DVFS --faults 5
     python -m repro.cli suite --schemes RD F0 LI CR-D --matrices Kuu ex15
@@ -12,6 +12,7 @@ Ten subcommands mirror the library's main entry points::
     python -m repro.cli project --sizes 192 1536 12288 98304
     python -m repro.cli mtbf
     python -m repro.cli serve --port 8030 --workers 2
+    python -m repro.cli top --port 8030 --once
 
 ``run``, ``suite`` and ``campaign`` accept ``--engine`` to evaluate
 cells with the numeric simulator (default) or the Section-3 closed-form
@@ -47,12 +48,23 @@ from repro.matrices import suite
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro.obs.logging import LOG_LEVELS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Resilient, energy-aware CG on a simulated cluster "
             "(CLUSTER 2018 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default=None,
+        help="structured-log threshold on stderr (default: warning; "
+        "'serve' defaults to info so every request is narrated)",
+    )
+    parser.add_argument(
+        "--log-file", default=None, metavar="PATH",
+        help="also append structured JSONL logs to this rotating file",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -319,6 +331,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-detectors", action="store_true",
         help="print the registered detectors and exit",
     )
+    doc.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="metrics-history JSON (repro serve --history-out) to run "
+        "the serving SLO burn detectors over",
+    )
 
     proj = sub.add_parser("project", help="Section-6 weak-scaling projection")
     proj.add_argument(
@@ -357,6 +374,43 @@ def _build_parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--no-store", action="store_true",
         help="serve without a persistent store (LRU + compute only)",
+    )
+    srv.add_argument(
+        "--latency-buckets", nargs="+", type=float, default=None,
+        metavar="SECONDS",
+        help="override the serve latency histograms' bucket upper "
+        "bounds (ascending seconds)",
+    )
+    srv.add_argument(
+        "--sample-interval", type=float, default=1.0, metavar="SECONDS",
+        help="metrics-history sampling interval",
+    )
+    srv.add_argument(
+        "--history-capacity", type=int, default=600,
+        help="metrics-history ring-buffer capacity (samples)",
+    )
+    srv.add_argument(
+        "--history-out", default=None, metavar="PATH",
+        help="flush the metrics history to this JSON file on shutdown",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running 'repro serve' "
+        "(req/s, cache hits, latency percentiles, SLO burn)",
+    )
+    top.add_argument("--host", default="127.0.0.1", help="server address")
+    top.add_argument("--port", type=int, default=8030, help="server port")
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh seconds"
+    )
+    top.add_argument(
+        "--window", type=float, default=60.0,
+        help="trailing window (s) for rates and percentiles",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one plain snapshot and exit (CI artifact mode)",
     )
     return parser
 
@@ -796,23 +850,40 @@ def cmd_report(args) -> int:
 
 def cmd_doctor(args) -> int:
     """Anomaly detectors over a trace or store; non-zero on findings."""
+    from pathlib import Path
+
     from repro.obs.analysis import detectors, format_findings, run_detectors
 
     if args.list_detectors:
         for det in detectors():
             print(f"{det.name:<22} [{det.scope}] {det.description}")
         return 0
-    records = _load_records(args)
-    if not records:
+    history = None
+    if args.history:
+        from repro.obs.history import MetricsHistory
+
+        if not Path(args.history).exists():
+            raise SystemExit(f"no metrics history at {args.history}")
+        history = MetricsHistory.load(args.history)
+    # with only --history given (no trace/store around), doctor the
+    # serving evidence alone instead of demanding a result store
+    from repro.campaign.store import DEFAULT_ROOT
+
+    have_trace_source = bool(
+        args.jsonl or args.store or (Path(DEFAULT_ROOT) / "index.db").exists()
+    )
+    records = _load_records(args) if have_trace_source else []
+    if not records and history is None:
         print("no cells match the filters")
         return 1
     try:
-        findings = run_detectors(records, args.detectors)
+        findings = run_detectors(records, args.detectors, history=history)
     except ValueError as exc:
         raise SystemExit(str(exc))
     n_det = len(args.detectors) if args.detectors else len(detectors())
+    extra = f", history {len(history)} sample(s)" if history is not None else ""
     print(
-        f"doctor: {len(records)} cell(s), {n_det} detector(s)"
+        f"doctor: {len(records)} cell(s), {n_det} detector(s){extra}"
     )
     print(format_findings(findings))
     return 1 if findings else 0
@@ -841,25 +912,45 @@ def cmd_project(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Stand up the async serving tier (DESIGN.md §5h)."""
+    """Stand up the async serving tier (DESIGN.md §5h, §5i)."""
     import asyncio
+    import contextlib
+    import signal as signal_mod
 
     from repro.campaign import ResultStore
     from repro.campaign.store import DEFAULT_ROOT
+    from repro.obs.history import MetricsHistory
+    from repro.obs.logging import get_logger
     from repro.serve import ServeApp, ServeServer, ServingCore
 
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
     if args.cache_size < 0:
         raise SystemExit("--cache-size must be >= 0")
+    if args.sample_interval <= 0:
+        raise SystemExit("--sample-interval must be > 0")
+    if args.history_capacity < 1:
+        raise SystemExit("--history-capacity must be >= 1")
+    if args.latency_buckets is not None and (
+        not args.latency_buckets
+        or sorted(args.latency_buckets) != args.latency_buckets
+    ):
+        raise SystemExit("--latency-buckets must be ascending seconds")
+    log = get_logger("cli.serve")
     store = None if args.no_store else ResultStore(args.store or DEFAULT_ROOT)
     core = ServingCore(
         store,
         cache_size=args.cache_size,
         workers=args.workers,
         batch_window_s=args.batch_window_ms / 1e3,
+        latency_buckets=(
+            tuple(args.latency_buckets) if args.latency_buckets else None
+        ),
     )
-    app = ServeApp(core)
+    history = MetricsHistory(
+        capacity=args.history_capacity, interval_s=args.sample_interval
+    )
+    app = ServeApp(core, history=history)
     server = ServeServer(app.handle, host=args.host, port=args.port)
 
     async def _main() -> None:
@@ -871,21 +962,68 @@ def cmd_serve(args) -> int:
             flush=True,
         )
         print(
-            "endpoints: GET /healthz /metrics /v1/store/stats /v1/reports  "
-            "POST /v1/solve /v1/project",
+            "endpoints: GET /healthz /metrics /metrics/history /slo "
+            "/v1/store/stats /v1/reports  POST /v1/solve /v1/project",
             flush=True,
         )
-        await server.serve_forever()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal_mod.SIGINT, signal_mod.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(sig, stop.set)
+        serve_task = asyncio.create_task(server.serve_forever())
+        stop_task = asyncio.create_task(stop.wait())
+        await asyncio.wait(
+            {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        serve_task.cancel()
+        stop_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serve_task
+        await server.stop()
 
+    exit_via_interrupt = False
     try:
         asyncio.run(_main())
-    except KeyboardInterrupt:
-        print("\nshutting down")
+    except KeyboardInterrupt:  # platforms without add_signal_handler
+        exit_via_interrupt = True
     finally:
+        # graceful-shutdown flush: one last sample, one final structured
+        # log line with lifetime counters, and the history artifact
+        history.sample(core.metrics)
+        log.info("shutdown", **app.lifetime_summary())
+        if args.history_out:
+            history.save(args.history_out)
+            print(f"metrics history -> {args.history_out}", flush=True)
         core.close()
         if store is not None:
             store.close()
+    if exit_via_interrupt:
+        print("\nshutting down")
     return 0
+
+
+def cmd_top(args) -> int:
+    """Live dashboard against a running serve instance."""
+    from repro.serve.top import run_top
+
+    if args.interval <= 0:
+        raise SystemExit("--interval must be > 0")
+    if args.window <= 0:
+        raise SystemExit("--window must be > 0")
+    try:
+        return run_top(
+            args.host,
+            args.port,
+            interval_s=args.interval,
+            window_s=args.window,
+            once=args.once,
+        )
+    except ConnectionRefusedError:
+        raise SystemExit(
+            f"no server at {args.host}:{args.port} — start one with "
+            "'repro serve'"
+        )
 
 
 def cmd_mtbf(args) -> int:
@@ -911,6 +1049,13 @@ def cmd_mtbf(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    from repro.obs.logging import configure_logging
+
+    # structured logs go to stderr (and an optional rotating file);
+    # stdout stays reserved for the human-facing tables and JSON
+    level = args.log_level or ("info" if args.command == "serve" else None)
+    if level is not None or args.log_file is not None:
+        configure_logging(level=level, file=args.log_file)
     return {
         "run": cmd_run,
         "suite": cmd_suite,
@@ -922,6 +1067,7 @@ def main(argv: list[str] | None = None) -> int:
         "project": cmd_project,
         "mtbf": cmd_mtbf,
         "serve": cmd_serve,
+        "top": cmd_top,
     }[args.command](args)
 
 

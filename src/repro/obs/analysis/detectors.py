@@ -19,7 +19,11 @@ Registering a detector::
 
 ``scope="run"`` detectors see one record at a time; ``scope="campaign"``
 detectors see the whole record list and can cross-reference cells (the
-model-divergence detector pairs sim/analytic cells this way).
+model-divergence detector pairs sim/analytic cells this way);
+``scope="history"`` detectors see a :class:`~repro.obs.history.
+MetricsHistory` (the serving tier's sampled metrics) and only run when
+one is supplied — they back the live ``/slo`` endpoint and ``repro
+doctor --history`` with the same registration.
 """
 
 from __future__ import annotations
@@ -74,7 +78,7 @@ class Finding:
 @dataclass(frozen=True)
 class Detector:
     name: str
-    scope: str  # "run" | "campaign"
+    scope: str  # "run" | "campaign" | "history"
     description: str
     fn: Callable
 
@@ -84,7 +88,7 @@ _REGISTRY: dict[str, Detector] = {}
 
 def register_detector(name: str, *, scope: str = "run", description: str = ""):
     """Class-of-one decorator: add a detector to the registry."""
-    if scope not in ("run", "campaign"):
+    if scope not in ("run", "campaign", "history"):
         raise ValueError(f"unknown detector scope {scope!r}")
 
     def deco(fn):
@@ -100,9 +104,16 @@ def detectors() -> list[Detector]:
 
 
 def run_detectors(
-    records: Iterable[RunRecord], names: Iterable[str] | None = None
+    records: Iterable[RunRecord],
+    names: Iterable[str] | None = None,
+    history=None,
 ) -> list[Finding]:
-    """Run detectors (all, or the named subset) over the records."""
+    """Run detectors (all, or the named subset) over the records.
+
+    ``history`` is an optional :class:`~repro.obs.history.MetricsHistory`;
+    history-scoped detectors are skipped when it is absent (there is no
+    serving evidence to judge), so trace-only doctoring stays unchanged.
+    """
     records = list(records)
     if names is None:
         selected = detectors()
@@ -119,6 +130,9 @@ def run_detectors(
     for det in selected:
         if det.scope == "campaign":
             findings.extend(det.fn(records))
+        elif det.scope == "history":
+            if history is not None:
+                findings.extend(det.fn(history))
         else:
             for record in records:
                 findings.extend(det.fn(record))
@@ -383,4 +397,30 @@ def model_divergence(records: list[RunRecord]) -> Iterator[Finding]:
                 f"analytic {row.analytic:.4f}",
                 value=row.drift,
                 threshold=DEFAULT_DRIFT_THRESHOLD,
+            )
+
+
+@register_detector(
+    "slo_burn",
+    scope="history",
+    description="serving SLO burn rates (availability 5xx, latency "
+    "threshold) must stay under their fast/slow-window alert thresholds",
+)
+def slo_burn(history) -> Iterator[Finding]:
+    from repro.obs.slo import evaluate_slos
+
+    for status in evaluate_slos(history):
+        for speed, window in (("fast", status.fast), ("slow", status.slow)):
+            if not window.firing:
+                continue
+            yield Finding(
+                "slo_burn",
+                "error",
+                f"slo/{status.slo.name}",
+                f"{speed}-burn alert over {window.window_s:g}s: "
+                f"error rate {window.error_rate:.3%} of "
+                f"{window.requests} requests burns the "
+                f"{status.slo.budget:.3%} budget at {window.burn_rate:.1f}x",
+                value=window.burn_rate,
+                threshold=window.threshold,
             )

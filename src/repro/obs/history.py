@@ -1,0 +1,238 @@
+"""Metrics time series: a bounded ring buffer of registry snapshots.
+
+The serving tier's ``/metrics`` endpoint is a point-in-time snapshot;
+:class:`MetricsHistory` turns it into a time series cheap enough to
+leave on under load: every ``interval_s`` the sampler appends one
+``(wall time, MetricsRegistry.snapshot())`` pair to a ``deque`` bounded
+at ``capacity`` entries, so memory is O(capacity · series) no matter
+how long the server runs — the oldest samples are evicted, newest win.
+
+Consumers derive everything from *deltas between samples*:
+
+* request rate = Δ(counter) / Δt over a window;
+* latency percentiles = the histogram's per-bucket count deltas over a
+  window, resolved to a bucket upper bound;
+* SLO burn rates (:mod:`repro.obs.slo`) = error-count deltas divided by
+  the error budget.
+
+The whole history serializes to one JSON document
+(:meth:`MetricsHistory.to_doc`), which is what ``repro serve
+--history-out`` flushes on shutdown and ``repro doctor --history``
+reads back — the live dashboard and the post-mortem see the same data.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Document schema version for saved histories.
+HISTORY_SCHEMA = 1
+
+#: Default ring capacity: 10 minutes at the default 1 s interval.
+DEFAULT_CAPACITY = 600
+
+#: Default sampling interval, seconds.
+DEFAULT_INTERVAL_S = 1.0
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One timestamped registry snapshot."""
+
+    t: float
+    metrics: dict
+
+    def to_doc(self) -> dict:
+        return {"t": self.t, "metrics": self.metrics}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "Sample":
+        return cls(t=float(doc["t"]), metrics=doc.get("metrics", {}))
+
+
+class MetricsHistory:
+    """Bounded, append-only time series of metrics snapshots."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        interval_s: float = DEFAULT_INTERVAL_S,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        self.capacity = capacity
+        self.interval_s = interval_s
+        self._samples: deque[Sample] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def append(self, t: float, snapshot: dict) -> Sample:
+        """Record one snapshot; evicts the oldest sample at capacity."""
+        sample = Sample(t=float(t), metrics=snapshot)
+        self._samples.append(sample)
+        return sample
+
+    def sample(self, registry, t: float | None = None) -> Sample:
+        """Snapshot a :class:`~repro.obs.metrics.MetricsRegistry` now."""
+        return self.append(time.time() if t is None else t, registry.snapshot())
+
+    def samples(
+        self, window_s: float | None = None, now: float | None = None
+    ) -> list[Sample]:
+        """Samples inside the trailing window (all, if ``window_s`` is
+        None).  ``now`` defaults to the newest sample's timestamp so a
+        saved history analyses identically whenever it is read."""
+        out = list(self._samples)
+        if window_s is None or not out:
+            return out
+        horizon = (out[-1].t if now is None else now) - window_s
+        return [s for s in out if s.t >= horizon]
+
+    def latest(self) -> Sample | None:
+        return self._samples[-1] if self._samples else None
+
+    # -- persistence ---------------------------------------------------
+    def to_doc(self, window_s: float | None = None) -> dict:
+        return {
+            "schema": HISTORY_SCHEMA,
+            "capacity": self.capacity,
+            "interval_s": self.interval_s,
+            "samples": [s.to_doc() for s in self.samples(window_s)],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "MetricsHistory":
+        hist = cls(
+            capacity=int(doc.get("capacity", DEFAULT_CAPACITY)),
+            interval_s=float(doc.get("interval_s", DEFAULT_INTERVAL_S)),
+        )
+        for raw in doc.get("samples", []):
+            sample = Sample.from_doc(raw)
+            hist.append(sample.t, sample.metrics)
+        return hist
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_doc(), sort_keys=True, indent=2) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "MetricsHistory":
+        return cls.from_doc(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# delta/rate helpers over snapshots
+# ----------------------------------------------------------------------
+def sum_counters(snapshot: dict, predicate) -> float:
+    """Sum of counter series whose name passes ``predicate(series)``."""
+    return sum(
+        value
+        for series, value in snapshot.get("counters", {}).items()
+        if predicate(series)
+    )
+
+
+def counter_delta(
+    history: MetricsHistory,
+    predicate,
+    window_s: float | None = None,
+    now: float | None = None,
+) -> tuple[float, float]:
+    """``(delta, dt)`` of a counter sum across the trailing window.
+
+    The delta is newest-sample minus oldest-in-window; with fewer than
+    two samples there is no interval, so ``(0.0, 0.0)``.
+    """
+    samples = history.samples(window_s, now=now)
+    if len(samples) < 2:
+        return 0.0, 0.0
+    first, last = samples[0], samples[-1]
+    delta = sum_counters(last.metrics, predicate) - sum_counters(
+        first.metrics, predicate
+    )
+    return delta, last.t - first.t
+
+
+def histogram_delta(
+    history: MetricsHistory,
+    predicate,
+    window_s: float | None = None,
+    now: float | None = None,
+) -> dict | None:
+    """Merged per-bucket count deltas of matching histogram series.
+
+    Returns ``{"buckets": [...], "counts": [...], "n": int, "total":
+    float}`` covering the trailing window, or ``None`` when there are
+    not two samples (or no matching series with consistent buckets).
+    Series with different bucket layouts are skipped rather than mixed.
+    """
+    samples = history.samples(window_s, now=now)
+    if len(samples) < 2:
+        return None
+    first = samples[0].metrics.get("histograms", {})
+    last = samples[-1].metrics.get("histograms", {})
+    buckets: list[float] | None = None
+    counts: list[int] = []
+    n = 0
+    total = 0.0
+    for series, data in last.items():
+        if not predicate(series):
+            continue
+        if buckets is None:
+            buckets = list(data["buckets"])
+            counts = [0] * (len(buckets) + 1)
+        elif list(data["buckets"]) != buckets:
+            continue
+        old = first.get(series, {"counts": [0] * len(data["counts"]), "n": 0, "total": 0.0})
+        for i, c in enumerate(data["counts"]):
+            counts[i] += c - old["counts"][i]
+        n += data["n"] - old["n"]
+        total += data["total"] - old["total"]
+    if buckets is None:
+        return None
+    return {"buckets": buckets, "counts": counts, "n": n, "total": total}
+
+
+def percentile_from_buckets(
+    buckets: list[float], counts: list[int], q: float
+) -> float | None:
+    """Nearest-bucket percentile: the upper bound of the bucket where
+    the cumulative count crosses ``q``; overflow resolves to the last
+    finite bound.  ``None`` when there are no observations."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be within [0, 1]")
+    n = sum(counts)
+    if n == 0:
+        return None
+    rank = min(n, max(1, math.ceil(q * n)))
+    cumulative = 0
+    for i, count in enumerate(counts):
+        cumulative += count
+        if cumulative >= rank:
+            return buckets[i] if i < len(buckets) else buckets[-1]
+    return buckets[-1]
+
+
+def latency_error_fraction(delta: dict, threshold_s: float) -> tuple[float, int]:
+    """``(fraction of observations above threshold, n)`` from a
+    :func:`histogram_delta` result.  Observations are resolved at
+    bucket granularity: a bucket counts as *good* only when its whole
+    range is at or under the threshold, so part-way thresholds err on
+    the strict side."""
+    buckets, counts = delta["buckets"], delta["counts"]
+    n = sum(counts)
+    if n == 0:
+        return 0.0, 0
+    good = sum(
+        count for bound, count in zip(buckets, counts) if bound <= threshold_s
+    )
+    return (n - good) / n, n

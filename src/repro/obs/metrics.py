@@ -119,10 +119,14 @@ class MetricsRegistry:
             if self.max_label_sets > 0:
                 existing = sum(1 for k in table if k[0] == name)
                 if existing >= self.max_label_sets:
+                    offending = (
+                        "{" + ", ".join(f"{k}={v!r}" for k, v in key[1]) + "}"
+                    )
                     raise MetricsCardinalityError(
                         f"metric {name!r} already has {existing} label sets "
-                        f"(cap {self.max_label_sets}); a label is carrying an "
-                        "unbounded value (rank? iteration?)"
+                        f"(cap {self.max_label_sets}); rejected new label set "
+                        f"{offending} — a label is carrying an unbounded "
+                        "value (rank? iteration?)"
                     )
             inst = table[key] = make()
         return inst

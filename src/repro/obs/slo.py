@@ -1,0 +1,229 @@
+"""SLO definitions and burn-rate evaluation over a metrics history.
+
+The serving tier promises two things a user can feel: answers come back
+(**availability**) and they come back fast (**latency**).  Each promise
+is an :class:`Slo` — an objective like "99.9% of requests succeed" —
+and the classic multi-window burn-rate alert decides when the promise
+is in danger:
+
+* the **error budget** is ``1 - objective`` (99.9% ⇒ 0.1% of requests
+  may fail);
+* the **burn rate** over a window is ``error_rate / budget`` — burn 1
+  means the budget is being consumed exactly as provisioned, burn 14
+  means it will be gone 14× too soon;
+* a **fast window** (default 60 s) with a high threshold catches
+  "everything is on fire right now"; a **slow window** (default 600 s)
+  with a lower threshold catches sustained low-grade erosion.  Both
+  windows must be populated — an alert never fires off zero traffic.
+
+Evaluation consumes the serving tier's
+:class:`~repro.obs.history.MetricsHistory`:
+
+* availability errors are the ``serve_requests`` counters with a 5xx
+  ``status`` label (client errors are the client's budget, not ours);
+* latency errors are request-latency histogram observations above the
+  SLO's threshold, counted at bucket granularity (the threshold should
+  be a bucket bound; anything between bounds errs strict).
+
+The ``slo_burn`` anomaly detector registered in
+:mod:`repro.obs.analysis.detectors` wraps :func:`evaluate_slos`, so
+``repro doctor --history`` and the live server (``/slo``, ``repro
+top``) share one detector registration — the ISSUE's "one alerting
+vocabulary".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.history import (
+    MetricsHistory,
+    counter_delta,
+    histogram_delta,
+    latency_error_fraction,
+)
+
+#: Counter family carrying per-request status labels.
+REQUEST_COUNTER = "serve_requests"
+
+#: Histogram family carrying per-request wall latency.
+LATENCY_HISTOGRAM = "serve_request_latency_s"
+
+
+@dataclass(frozen=True)
+class Slo:
+    """One service-level objective with its burn-alert policy."""
+
+    name: str
+    #: "availability" (5xx rate) or "latency" (slow-request rate).
+    kind: str
+    #: Fraction of requests that must be good, e.g. 0.999.
+    objective: float
+    #: Latency SLOs: requests slower than this are errors.  Should be a
+    #: latency-histogram bucket bound; in-between thresholds err strict.
+    threshold_s: float | None = None
+    fast_window_s: float = 60.0
+    slow_window_s: float = 600.0
+    #: Burn-rate thresholds: the fast window tolerates only a blaze,
+    #: the slow window catches sustained erosion.
+    fast_burn: float = 14.0
+    slow_burn: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be within (0, 1)")
+        if self.kind == "latency" and self.threshold_s is None:
+            raise ValueError("latency SLOs need threshold_s")
+        if self.fast_window_s >= self.slow_window_s:
+            raise ValueError("fast window must be shorter than the slow one")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: tolerated error fraction."""
+        return 1.0 - self.objective
+
+    def describe(self) -> str:
+        what = (
+            "5xx responses"
+            if self.kind == "availability"
+            else f"requests slower than {self.threshold_s:g}s"
+        )
+        return (
+            f"{self.name}: ≤{self.budget:.3%} {what} "
+            f"(burn ≥{self.fast_burn:g}x/{self.fast_window_s:g}s fast, "
+            f"≥{self.slow_burn:g}x/{self.slow_window_s:g}s slow)"
+        )
+
+
+#: The serving tier's standing objectives.  Latency threshold 0.1 s is
+#: a DEFAULT_BUCKETS bound, far above the hot-path p99 (~3 ms) but well
+#: under anything a user would call interactive.
+DEFAULT_SLOS: tuple[Slo, ...] = (
+    Slo(name="availability", kind="availability", objective=0.999),
+    Slo(name="latency", kind="latency", objective=0.99, threshold_s=0.1),
+)
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """Burn-rate evidence over one window."""
+
+    window_s: float
+    requests: int
+    errors: float
+    error_rate: float
+    burn_rate: float
+    threshold: float
+
+    @property
+    def firing(self) -> bool:
+        return self.requests > 0 and self.burn_rate >= self.threshold
+
+    def to_dict(self) -> dict:
+        return {
+            "window_s": self.window_s,
+            "requests": self.requests,
+            "errors": self.errors,
+            "error_rate": self.error_rate,
+            "burn_rate": self.burn_rate,
+            "threshold": self.threshold,
+            "firing": self.firing,
+        }
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """One SLO evaluated at one instant: both burn windows."""
+
+    slo: Slo
+    fast: BurnWindow
+    slow: BurnWindow
+
+    @property
+    def firing(self) -> bool:
+        return self.fast.firing or self.slow.firing
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.slo.name,
+            "kind": self.slo.kind,
+            "objective": self.slo.objective,
+            "budget": self.slo.budget,
+            "threshold_s": self.slo.threshold_s,
+            "firing": self.firing,
+            "fast": self.fast.to_dict(),
+            "slow": self.slow.to_dict(),
+        }
+
+
+def _series_name(series: str) -> str:
+    return series.partition("{")[0]
+
+
+def _is_5xx(series: str) -> bool:
+    if _series_name(series) != REQUEST_COUNTER:
+        return False
+    marker = 'status=5'
+    return marker in series
+
+
+def _availability_window(
+    history: MetricsHistory, window_s: float, now: float | None
+) -> tuple[int, float, float]:
+    total, _ = counter_delta(
+        history, lambda s: _series_name(s) == REQUEST_COUNTER, window_s, now=now
+    )
+    errors, _ = counter_delta(history, _is_5xx, window_s, now=now)
+    rate = errors / total if total > 0 else 0.0
+    return int(total), errors, rate
+
+
+def _latency_window(
+    history: MetricsHistory, threshold_s: float, window_s: float, now: float | None
+) -> tuple[int, float, float]:
+    delta = histogram_delta(
+        history, lambda s: _series_name(s) == LATENCY_HISTOGRAM, window_s, now=now
+    )
+    if delta is None:
+        return 0, 0.0, 0.0
+    rate, n = latency_error_fraction(delta, threshold_s)
+    return n, rate * n, rate
+
+
+def evaluate_slo(
+    history: MetricsHistory, slo: Slo, now: float | None = None
+) -> SloStatus:
+    """Both burn windows of one SLO against a metrics history."""
+    windows = []
+    for window_s, threshold in (
+        (slo.fast_window_s, slo.fast_burn),
+        (slo.slow_window_s, slo.slow_burn),
+    ):
+        if slo.kind == "availability":
+            requests, errors, rate = _availability_window(history, window_s, now)
+        else:
+            requests, errors, rate = _latency_window(
+                history, slo.threshold_s, window_s, now
+            )
+        windows.append(
+            BurnWindow(
+                window_s=window_s,
+                requests=requests,
+                errors=errors,
+                error_rate=rate,
+                burn_rate=rate / slo.budget,
+                threshold=threshold,
+            )
+        )
+    return SloStatus(slo=slo, fast=windows[0], slow=windows[1])
+
+
+def evaluate_slos(
+    history: MetricsHistory,
+    slos: tuple[Slo, ...] = DEFAULT_SLOS,
+    now: float | None = None,
+) -> list[SloStatus]:
+    """Every SLO's status, in definition order."""
+    return [evaluate_slo(history, slo, now=now) for slo in slos]

@@ -21,12 +21,26 @@ Solve responses carry cache provenance (``"cache": "lru" | "store" |
 smoke job — can assert reuse.  Report JSON is the store's own payload
 schema (:func:`repro.campaign.serialize.report_to_dict`), so numbers
 are bit-identical to a direct engine call.
+
+Observability endpoints (tentpole)::
+
+    GET  /metrics/history?window=S   sampled metrics ring buffer (JSON)
+    GET  /slo                        SLO burn-rate status
+
+Every request is stamped with a request id — an inbound
+``X-Repro-Request-Id`` is honored, otherwise one is minted — which
+flows through the handler task (and therefore through coalescing and
+micro-batching) into structured log lines and, for traced solves, the
+stored telemetry's root span; the response echoes it back in the same
+header.
 """
 
 from __future__ import annotations
 
+import asyncio
 import math
 import time
+from dataclasses import replace as _dc_replace
 
 from repro.campaign.serialize import report_to_dict
 from repro.campaign.spec import BASELINE_SCHEME, CampaignCell
@@ -34,8 +48,19 @@ from repro.core.recovery import scheme_names
 from repro.engines import engine_names
 from repro.harness.experiment import ExperimentConfig
 from repro.obs.analysis.render import prometheus_text
+from repro.obs.history import MetricsHistory
+from repro.obs.logging import (
+    REQUEST_ID_HEADER,
+    bound_request_id,
+    get_logger,
+    new_request_id,
+    valid_request_id,
+)
+from repro.obs.slo import DEFAULT_SLOS, Slo, evaluate_slos
 from repro.serve.core import ServingCore
 from repro.serve.http import HttpRequest, HttpResponse
+
+_log = get_logger("serve.app")
 
 #: Engine the solve endpoint uses when the request names none: the
 #: closed-form model — the 145x-cheaper path an interactive tier wants.
@@ -60,6 +85,7 @@ _CONFIG_FIELDS: dict[str, tuple[type, ...]] = {
     "max_iters": (int,),
     "engine": (str,),
     "fault_scope": (str,),
+    "trace": (bool,),
 }
 
 
@@ -86,7 +112,13 @@ def parse_solve_request(payload: dict) -> CampaignCell:
         )
     for name, value in payload.items():
         accepted = _CONFIG_FIELDS[name]
-        if isinstance(value, bool) or not isinstance(value, accepted):
+        # bools are ints in python; reject them except where bool is the
+        # accepted type, so {"nranks": true} still fails loudly
+        if bool in accepted:
+            ok = isinstance(value, bool)
+        else:
+            ok = not isinstance(value, bool) and isinstance(value, accepted)
+        if not ok:
             raise RequestError(
                 f"field {name!r} must be "
                 f"{' or '.join(t.__name__ for t in accepted)}, "
@@ -114,37 +146,93 @@ def _finite(x: float) -> float | None:
 class ServeApp:
     """Route table over one :class:`ServingCore` (+ optional store)."""
 
-    def __init__(self, core: ServingCore) -> None:
+    def __init__(
+        self,
+        core: ServingCore,
+        *,
+        history: MetricsHistory | None = None,
+        slos: tuple[Slo, ...] = DEFAULT_SLOS,
+    ) -> None:
         self.core = core
         self.started_at = time.time()
+        #: Sampled metrics ring buffer behind /metrics/history; the
+        #: sampler task starts lazily on the first served request so the
+        #: app binds to whichever event loop actually runs it.
+        self.history = history if history is not None else MetricsHistory()
+        self.slos = slos
+        self._sampler_task: asyncio.Task | None = None
+
+    # -- metrics sampling ----------------------------------------------
+    def _ensure_sampler(self) -> None:
+        if self._sampler_task is not None and not self._sampler_task.done():
+            return
+        self.history.sample(self.core.metrics)
+        self._sampler_task = asyncio.get_running_loop().create_task(
+            self._sampler_loop(), name="repro-serve-sampler"
+        )
+
+    async def _sampler_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.history.interval_s)
+            self.history.sample(self.core.metrics)
 
     # -- dispatch ------------------------------------------------------
     async def handle(self, request: HttpRequest) -> HttpResponse:
         """The ``ServeServer`` app callback."""
         t0 = time.perf_counter()
+        self._ensure_sampler()
+        request_id = (
+            valid_request_id(request.headers.get(REQUEST_ID_HEADER.lower()))
+            or new_request_id()
+        )
         endpoint, handler = self._route(request)
-        try:
-            if handler is None:
+        with bound_request_id(request_id):
+            try:
+                if handler is None:
+                    response = HttpResponse.error(
+                        404, f"no route for {request.method} {request.path}"
+                    )
+                else:
+                    response = await handler(request)
+            except RequestError as exc:
+                response = HttpResponse.error(400, str(exc))
+            except ValueError as exc:
+                # bad JSON bodies and engine/scheme validation both land here
+                response = HttpResponse.error(400, str(exc))
+            except Exception as exc:  # answer 500 in-app so the failure
+                # still lands in serve_requests{status=5xx} and the logs
                 response = HttpResponse.error(
-                    404, f"no route for {request.method} {request.path}"
+                    500, f"{type(exc).__name__}: {exc}"
                 )
-            else:
-                response = await handler(request)
-        except RequestError as exc:
-            response = HttpResponse.error(400, str(exc))
-        except ValueError as exc:
-            # bad JSON bodies and engine/scheme validation both land here
-            response = HttpResponse.error(400, str(exc))
+            elapsed = time.perf_counter() - t0
+            level = "info" if response.status < 500 else "error"
+            _log.log(
+                level,
+                "request",
+                method=request.method,
+                path=request.path,
+                endpoint=endpoint,
+                status=response.status,
+                elapsed_ms=round(elapsed * 1e3, 3),
+            )
         metrics = self.core.metrics
         metrics.counter(
             "serve_requests",
             endpoint=endpoint,
             status=str(response.status),
         ).inc()
+        hist_kwargs = (
+            {"buckets": self.core.latency_buckets}
+            if self.core.latency_buckets
+            else {}
+        )
         metrics.histogram(
-            "serve_request_latency_s", endpoint=endpoint
-        ).observe(time.perf_counter() - t0)
-        return response
+            "serve_request_latency_s", endpoint=endpoint, **hist_kwargs
+        ).observe(elapsed)
+        return _dc_replace(
+            response,
+            headers={**response.headers, REQUEST_ID_HEADER: request_id},
+        )
 
     __call__ = handle
 
@@ -155,6 +243,8 @@ class ServeApp:
         table = {
             ("GET", "/healthz"): ("/healthz", self.healthz),
             ("GET", "/metrics"): ("/metrics", self.metrics),
+            ("GET", "/metrics/history"): ("/metrics/history", self.metrics_history),
+            ("GET", "/slo"): ("/slo", self.slo_status),
             ("GET", "/v1/store/stats"): ("/v1/store/stats", self.store_stats),
             ("POST", "/v1/solve"): ("/v1/solve", self.solve),
             ("POST", "/v1/project"): ("/v1/project", self.project),
@@ -180,6 +270,27 @@ class ServeApp:
 
     async def metrics(self, request: HttpRequest) -> HttpResponse:
         return HttpResponse.text(prometheus_text(self.core.metrics))
+
+    async def metrics_history(self, request: HttpRequest) -> HttpResponse:
+        window_s = None
+        raw = request.query.get("window")
+        if raw is not None:
+            try:
+                window_s = float(raw)
+            except ValueError:
+                raise RequestError(f"bad window {raw!r}") from None
+            if window_s <= 0:
+                raise RequestError("window must be > 0 seconds")
+        return HttpResponse.json(self.history.to_doc(window_s))
+
+    async def slo_status(self, request: HttpRequest) -> HttpResponse:
+        statuses = evaluate_slos(self.history, self.slos)
+        return HttpResponse.json(
+            {
+                "firing": any(s.firing for s in statuses),
+                "slos": [s.to_dict() for s in statuses],
+            }
+        )
 
     async def store_stats(self, request: HttpRequest) -> HttpResponse:
         store = self.core.store
@@ -318,3 +429,29 @@ class ServeApp:
                 "text": format_run_diff(diff),
             }
         )
+
+    # -- lifecycle -----------------------------------------------------
+    def lifetime_summary(self) -> dict:
+        """Lifetime counters for the final shutdown log line."""
+        from repro.obs.metrics import MetricsRegistry
+
+        snap = self.core.metrics.snapshot()
+        requests_total = 0.0
+        errors_5xx = 0.0
+        solves: dict[str, int] = {}
+        for series, value in snap.get("counters", {}).items():
+            name, labels = MetricsRegistry._parse_series(series)
+            if name == "serve_requests":
+                requests_total += value
+                if labels.get("status", "").startswith("5"):
+                    errors_5xx += value
+            elif name == "serve_solve":
+                source = labels.get("source", "")
+                solves[source] = solves.get(source, 0) + int(value)
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "requests": int(requests_total),
+            "errors_5xx": int(errors_5xx),
+            "solves_by_source": dict(sorted(solves.items())),
+            "history_samples": len(self.history),
+        }

@@ -12,6 +12,8 @@ from __future__ import annotations
 import json
 from http.client import HTTPConnection
 
+from repro.obs.logging import REQUEST_ID_HEADER
+
 
 class ServeError(RuntimeError):
     """A non-2xx answer from the server."""
@@ -31,21 +33,33 @@ class ServeClient:
         self.host = host
         self.port = port
         self._conn = HTTPConnection(host, port, timeout=timeout)
+        #: Request id the server stamped on the most recent response
+        #: (X-Repro-Request-Id) — the handle for log/trace correlation.
+        self.last_request_id: str | None = None
 
     # -- plumbing ------------------------------------------------------
-    def _request(self, method: str, path: str, payload: dict | None = None):
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict[str, str] | None = None,
+    ):
         body = None if payload is None else json.dumps(payload)
-        headers = {} if body is None else {"Content-Type": "application/json"}
+        send_headers = dict(headers or {})
+        if body is not None:
+            send_headers.setdefault("Content-Type", "application/json")
         try:
-            self._conn.request(method, path, body=body, headers=headers)
+            self._conn.request(method, path, body=body, headers=send_headers)
             response = self._conn.getresponse()
             raw = response.read()
         except (ConnectionError, BrokenPipeError):
             # server dropped the keep-alive connection: retry once fresh
             self._conn.close()
-            self._conn.request(method, path, body=body, headers=headers)
+            self._conn.request(method, path, body=body, headers=send_headers)
             response = self._conn.getresponse()
             raw = response.read()
+        self.last_request_id = response.getheader(REQUEST_ID_HEADER)
         content_type = response.getheader("Content-Type", "")
         if content_type.startswith("application/json"):
             data = json.loads(raw.decode("utf-8")) if raw else {}
@@ -76,14 +90,28 @@ class ServeClient:
     def metrics_text(self) -> str:
         return self._request("GET", "/metrics")
 
+    def metrics_history(self, window_s: float | None = None) -> dict:
+        path = "/metrics/history"
+        if window_s is not None:
+            path += f"?window={window_s:g}"
+        return self._request("GET", path)
+
+    def slo(self) -> dict:
+        return self._request("GET", "/slo")
+
     def store_stats(self) -> dict:
         return self._request("GET", "/v1/store/stats")
 
-    def solve(self, **fields) -> dict:
+    def solve(self, *, request_id: str | None = None, **fields) -> dict:
         """POST /v1/solve; ``fields`` are ExperimentConfig fields plus
         ``scheme`` (e.g. ``solve(matrix="wathen100", scheme="RD",
-        nranks=8, n_faults=2, scale=0.25)``)."""
-        return self._request("POST", "/v1/solve", fields)
+        nranks=8, n_faults=2, scale=0.25)``).  A caller-supplied
+        ``request_id`` rides the X-Repro-Request-Id header and is
+        honored by the server."""
+        headers = None
+        if request_id is not None:
+            headers = {REQUEST_ID_HEADER: request_id}
+        return self._request("POST", "/v1/solve", fields, headers=headers)
 
     def project(self, sizes: list[int], schemes: list[str] | None = None) -> dict:
         payload: dict = {"sizes": sizes}

@@ -44,13 +44,16 @@ import asyncio
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.campaign.spec import CampaignCell
 from repro.campaign.store import ResultStore, cell_key
 from repro.core.report import SolveReport
 from repro.harness.experiment import Experiment, ExperimentConfig
+from repro.obs.logging import current_request_id, get_logger
 from repro.obs.metrics import MetricsRegistry
+
+_log = get_logger("serve.core")
 
 #: Default bound on the in-memory hot-cache (reports, not bytes).
 DEFAULT_CACHE_SIZE = 256
@@ -108,6 +111,28 @@ class SolveOutcome:
     elapsed_s: float
 
 
+def annotate_request_ids(report: SolveReport, request_ids: list[str]) -> None:
+    """Stamp request ids onto a traced report's root ``solve`` span.
+
+    The comma-joined id list rides as a span attr, so it persists with
+    the stored telemetry and round-trips through the JSONL trace export
+    — ``GET /v1/reports/<key>`` resolves a request id straight to the
+    span tree that served it.  Untraced reports are left byte-identical
+    to a direct engine run (the serving tier's bit-identity contract).
+    """
+    details = getattr(report, "details", None)
+    tel = details.get("telemetry") if isinstance(details, dict) else None
+    if tel is None or not request_ids:
+        return
+    spans = tel.spans.spans
+    for i, s in enumerate(spans):
+        if s.name == "solve" and s.depth == 0:
+            attrs = dict(s.attrs)
+            attrs["request_ids"] = ",".join(request_ids)
+            spans[i] = replace(s, attrs=tuple(sorted(attrs.items())))
+            return
+
+
 class ServingCore:
     """Caching/coalescing/batching layer over the execution engines.
 
@@ -127,6 +152,7 @@ class ServingCore:
         batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
         batch_max: int = DEFAULT_BATCH_MAX,
         metrics: MetricsRegistry | None = None,
+        latency_buckets: tuple[float, ...] | None = None,
         compute=compute_cell,
         compute_batch=compute_group,
     ) -> None:
@@ -141,6 +167,13 @@ class ServingCore:
         self.batch_window_s = batch_window_s
         self.batch_max = batch_max
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Override for the serve latency histograms' bucket bounds
+        #: (``repro serve --latency-buckets``); None keeps the default.
+        self.latency_buckets = (
+            tuple(sorted(float(b) for b in latency_buckets))
+            if latency_buckets
+            else None
+        )
         self._compute = compute
         self._compute_batch = compute_batch
         self._executor = ThreadPoolExecutor(
@@ -148,6 +181,10 @@ class ServingCore:
         )
         self._lru: OrderedDict[str, SolveReport] = OrderedDict()
         self._inflight: dict[str, asyncio.Future] = {}
+        # request ids riding each in-flight key: leader first, then every
+        # coalesced waiter — the computed trace is annotated with all of
+        # them, so shared compute still resolves from every id.
+        self._inflight_ids: dict[str, list[str]] = {}
         # pending micro-batches: config -> list of (scheme, future)
         self._pending: dict[ExperimentConfig, list[tuple[str, asyncio.Future]]] = {}
 
@@ -222,15 +259,27 @@ class ServingCore:
         t0 = time.perf_counter()
         key = cell_key(cell)
         engine = cell.config.engine
+        request_id = current_request_id()
 
         def _done(report: SolveReport, source: str) -> SolveOutcome:
             elapsed = time.perf_counter() - t0
             self.metrics.counter(
                 "serve_solve", source=source, engine=engine
             ).inc()
+            hist_kwargs = (
+                {"buckets": self.latency_buckets} if self.latency_buckets else {}
+            )
             self.metrics.histogram(
-                "serve_solve_latency_s", source=source
+                "serve_solve_latency_s", source=source, **hist_kwargs
             ).observe(elapsed)
+            _log.debug(
+                "solve answered",
+                key=key,
+                scheme=cell.scheme,
+                engine=engine,
+                source=source,
+                elapsed_ms=round(elapsed * 1e3, 3),
+            )
             return SolveOutcome(
                 report=report, key=key, source=source, elapsed_s=elapsed
             )
@@ -241,11 +290,14 @@ class ServingCore:
 
         inflight = self._inflight.get(key)
         if inflight is not None:
+            if request_id is not None:
+                self._inflight_ids.setdefault(key, []).append(request_id)
             return _done(await asyncio.shield(inflight), "coalesced")
 
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._inflight[key] = future
+        self._inflight_ids[key] = [request_id] if request_id else []
         self.metrics.gauge("serve_inflight").set(len(self._inflight))
         try:
             source = "store"
@@ -258,6 +310,9 @@ class ServingCore:
                 source = "computed"
                 compute_t0 = time.perf_counter()
                 report = await self._compute_async(cell)
+                # stamp every rider (leader + coalesced waiters so far)
+                # onto the trace before it is persisted or cached
+                annotate_request_ids(report, self._inflight_ids.get(key, []))
                 if self.store is not None:
                     await loop.run_in_executor(
                         self._executor,
@@ -271,11 +326,19 @@ class ServingCore:
             future.set_result(report)
         except Exception as exc:
             self.metrics.counter("serve_errors", stage="solve").inc()
+            _log.warning(
+                "solve failed",
+                key=key,
+                scheme=cell.scheme,
+                engine=engine,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             future.set_exception(exc)
             future.exception()  # mark retrieved: waiters rethrow their own
             raise
         finally:
             self._inflight.pop(key, None)
+            self._inflight_ids.pop(key, None)
             self.metrics.gauge("serve_inflight").set(len(self._inflight))
         return _done(report, source)
 

@@ -17,6 +17,10 @@ from dataclasses import dataclass, field
 from http import HTTPStatus
 from urllib.parse import parse_qsl, unquote, urlsplit
 
+from repro.obs.logging import get_logger
+
+_log = get_logger("serve.http")
+
 #: Request-line / header-line size cap, bytes.
 MAX_LINE = 8192
 #: Header count cap per request.
@@ -174,6 +178,7 @@ class ServeServer:
             self._handle_connection, self.host, self.port, limit=MAX_LINE
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        _log.info("listening", host=self.host, port=self.port)
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -186,6 +191,7 @@ class ServeServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+            _log.info("stopped", host=self.host, port=self.port)
         # nudge idle keep-alive connections: closing the transport EOFs
         # their parked read, so handlers unwind on their normal path
         # instead of needing to be cancelled
@@ -201,6 +207,7 @@ class ServeServer:
                 try:
                     request = await _read_request(reader)
                 except BadRequest as exc:
+                    _log.warning("bad request", error=str(exc))
                     writer.write(
                         _render(
                             HttpResponse.error(400, str(exc)), keep_alive=False

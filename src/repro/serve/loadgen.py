@@ -10,6 +10,7 @@ because its job is a trajectory, not a capacity plan.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -18,13 +19,19 @@ from repro.serve.client import ServeClient
 
 
 def percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile of pre-sorted data (q in [0, 1])."""
+    """Nearest-rank percentile of pre-sorted data (q in [0, 1]).
+
+    Textbook nearest rank: ``ceil(q * n)``, 1-indexed, so q=0 resolves
+    to the minimum and q=1 to the maximum.  ``ceil`` (not ``round``)
+    matters for tiny n — banker's rounding made p90 of 4 samples
+    resolve below p50's neighbour.
+    """
     if not sorted_values:
         raise ValueError("no samples")
     if not 0.0 <= q <= 1.0:
         raise ValueError("q must be within [0, 1]")
-    rank = min(len(sorted_values) - 1, max(0, round(q * len(sorted_values)) - 1))
-    return sorted_values[rank]
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
 
 
 @dataclass
@@ -36,6 +43,9 @@ class LoadReport:
     duration_s: float
     latencies_s: list[float] = field(repr=False, default_factory=list)
     errors: int = 0
+    #: Request id of the slowest request (as echoed by the server), the
+    #: handle to pull its logs and span tree; None without a server id.
+    worst_request_id: str | None = None
 
     @property
     def req_per_s(self) -> float:
@@ -55,16 +65,18 @@ class LoadReport:
             "p99_ms": self.latency_s(0.99) * 1e3,
             "max_ms": max(self.latencies_s) * 1e3,
             "errors": self.errors,
+            "worst_request_id": self.worst_request_id,
         }
 
     def summary(self) -> str:
         d = self.to_dict()
+        worst = f" (worst: {d['worst_request_id']})" if d["worst_request_id"] else ""
         return (
             f"{d['n_requests']} requests, {d['concurrency']} workers, "
             f"{d['duration_s']:.2f}s: {d['req_per_s']:.0f} req/s, "
             f"p50 {d['p50_ms']:.2f}ms, p90 {d['p90_ms']:.2f}ms, "
             f"p99 {d['p99_ms']:.2f}ms, max {d['max_ms']:.2f}ms, "
-            f"{d['errors']} errors"
+            f"{d['errors']} errors{worst}"
         )
 
 
@@ -89,6 +101,7 @@ def run_load(
         raise ValueError("concurrency must be >= 1")
     latencies: list[float] = []
     errors = [0]
+    worst: list = [0.0, None]  # [latency, request id]
     lock = threading.Lock()
     counter = iter(range(n_requests))
 
@@ -110,6 +123,9 @@ def run_load(
                     latencies.append(elapsed)
                     if failed:
                         errors[0] += 1
+                    if elapsed >= worst[0]:
+                        worst[0] = elapsed
+                        worst[1] = client.last_request_id
 
     threads = [
         threading.Thread(target=worker, name=f"loadgen-{w}")
@@ -127,4 +143,5 @@ def run_load(
         duration_s=duration,
         latencies_s=latencies,
         errors=errors[0],
+        worst_request_id=worst[1],
     )

@@ -1,0 +1,180 @@
+"""Metrics history: ring-buffer bounds, windows, persistence, deltas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.history import (
+    MetricsHistory,
+    counter_delta,
+    histogram_delta,
+    latency_error_fraction,
+    percentile_from_buckets,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def snap(counters=None, histograms=None, gauges=None) -> dict:
+    return {
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "histograms": histograms or {},
+    }
+
+
+class TestRingBuffer:
+    def test_eviction_at_capacity_keeps_the_newest(self):
+        hist = MetricsHistory(capacity=5)
+        for i in range(8):
+            hist.append(float(i), snap())
+        assert len(hist) == 5
+        assert [s.t for s in hist.samples()] == [3.0, 4.0, 5.0, 6.0, 7.0]
+        assert hist.latest().t == 7.0
+
+    def test_window_filters_by_trailing_seconds(self):
+        hist = MetricsHistory(capacity=100)
+        for t in (0.0, 10.0, 20.0, 30.0):
+            hist.append(t, snap())
+        assert [s.t for s in hist.samples(15.0)] == [20.0, 30.0]
+        assert [s.t for s in hist.samples(100.0)] == [0.0, 10.0, 20.0, 30.0]
+        # an explicit now (live wall clock ahead of the last sample)
+        # shifts the horizon forward
+        assert [s.t for s in hist.samples(20.0, now=45.0)] == [30.0]
+
+    def test_sample_snapshots_a_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(3)
+        hist = MetricsHistory()
+        sample = hist.sample(reg, t=42.0)
+        assert sample.t == 42.0
+        assert sample.metrics["counters"]["hits"] == 3.0
+
+    def test_rejects_nonsense_parameters(self):
+        with pytest.raises(ValueError):
+            MetricsHistory(capacity=0)
+        with pytest.raises(ValueError):
+            MetricsHistory(interval_s=0)
+
+
+class TestPersistence:
+    def test_doc_round_trip(self, tmp_path):
+        hist = MetricsHistory(capacity=7, interval_s=0.5)
+        hist.append(1.0, snap(counters={"reqs": 10.0}))
+        hist.append(2.0, snap(counters={"reqs": 25.0}))
+        path = tmp_path / "history.json"
+        hist.save(path)
+        back = MetricsHistory.load(path)
+        assert back.capacity == 7
+        assert back.interval_s == 0.5
+        assert back.to_doc() == hist.to_doc()
+
+    def test_doc_schema_and_window(self):
+        hist = MetricsHistory()
+        hist.append(0.0, snap())
+        hist.append(100.0, snap())
+        doc = hist.to_doc(window_s=50.0)
+        assert doc["schema"] == 1
+        assert [s["t"] for s in doc["samples"]] == [100.0]
+
+
+class TestDeltas:
+    def make_history(self):
+        hist = MetricsHistory()
+        hist.append(
+            0.0,
+            snap(counters={"reqs{status=200}": 100.0, "reqs{status=500}": 1.0}),
+        )
+        hist.append(
+            10.0,
+            snap(counters={"reqs{status=200}": 160.0, "reqs{status=500}": 5.0}),
+        )
+        return hist
+
+    def test_counter_delta_over_window(self):
+        hist = self.make_history()
+        delta, dt = counter_delta(hist, lambda s: s.startswith("reqs"))
+        assert delta == 64.0
+        assert dt == 10.0
+        delta, _ = counter_delta(hist, lambda s: "status=5" in s)
+        assert delta == 4.0
+
+    def test_counter_delta_needs_two_samples(self):
+        hist = MetricsHistory()
+        assert counter_delta(hist, lambda s: True) == (0.0, 0.0)
+        hist.append(0.0, snap(counters={"reqs": 5.0}))
+        assert counter_delta(hist, lambda s: True) == (0.0, 0.0)
+
+    def test_histogram_delta_merges_series(self):
+        buckets = [0.1, 1.0]
+        hist = MetricsHistory()
+        hist.append(
+            0.0,
+            snap(histograms={
+                "lat{e=a}": {"buckets": buckets, "counts": [1, 0, 0], "n": 1, "total": 0.05},
+            }),
+        )
+        hist.append(
+            5.0,
+            snap(histograms={
+                "lat{e=a}": {"buckets": buckets, "counts": [3, 1, 0], "n": 4, "total": 0.9},
+                "lat{e=b}": {"buckets": buckets, "counts": [0, 2, 1], "n": 3, "total": 12.0},
+            }),
+        )
+        delta = histogram_delta(hist, lambda s: s.startswith("lat"))
+        assert delta["buckets"] == [0.1, 1.0]
+        assert delta["counts"] == [2, 3, 1]
+        assert delta["n"] == 6
+
+    def test_histogram_delta_skips_mismatched_buckets(self):
+        hist = MetricsHistory()
+        hist.append(0.0, snap())
+        hist.append(
+            5.0,
+            snap(histograms={
+                "lat{e=a}": {"buckets": [0.1], "counts": [2, 0], "n": 2, "total": 0.1},
+                "lat{e=b}": {"buckets": [0.5], "counts": [9, 9], "n": 18, "total": 9.0},
+            }),
+        )
+        delta = histogram_delta(hist, lambda s: s.startswith("lat"))
+        assert delta["n"] == 2  # the incompatible layout is not mixed in
+
+    def test_histogram_delta_none_without_evidence(self):
+        hist = MetricsHistory()
+        assert histogram_delta(hist, lambda s: True) is None
+        hist.append(0.0, snap())
+        hist.append(1.0, snap())
+        assert histogram_delta(hist, lambda s: True) is None
+
+
+class TestBucketMath:
+    def test_percentile_resolves_to_bucket_upper_bounds(self):
+        buckets = [0.001, 0.01, 0.1]
+        counts = [50, 40, 9, 1]  # 100 observations, 1 overflow
+        assert percentile_from_buckets(buckets, counts, 0.50) == 0.001
+        assert percentile_from_buckets(buckets, counts, 0.90) == 0.01
+        assert percentile_from_buckets(buckets, counts, 0.99) == 0.1
+        # overflow resolves to the largest finite bound
+        assert percentile_from_buckets(buckets, counts, 1.0) == 0.1
+
+    def test_percentile_tiny_n_and_empty(self):
+        assert percentile_from_buckets([1.0, 2.0], [0, 0, 0], 0.5) is None
+        assert percentile_from_buckets([1.0, 2.0], [1, 0, 0], 0.99) == 1.0
+        with pytest.raises(ValueError):
+            percentile_from_buckets([1.0], [1, 0], 1.5)
+
+    def test_latency_error_fraction_is_strict_between_bounds(self):
+        delta = {"buckets": [0.1, 1.0], "counts": [60, 30, 10], "n": 100,
+                 "total": 0.0}
+        frac, n = latency_error_fraction(delta, 0.1)
+        assert n == 100
+        assert frac == pytest.approx(0.40)
+        # a threshold between bounds counts the whole straddling bucket
+        # as errors (strict side)
+        frac, _ = latency_error_fraction(delta, 0.5)
+        assert frac == pytest.approx(0.40)
+        frac, _ = latency_error_fraction(delta, 1.0)
+        assert frac == pytest.approx(0.10)
+
+    def test_latency_error_fraction_empty(self):
+        delta = {"buckets": [0.1], "counts": [0, 0], "n": 0, "total": 0.0}
+        assert latency_error_fraction(delta, 0.1) == (0.0, 0)

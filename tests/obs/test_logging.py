@@ -1,0 +1,240 @@
+"""Structured logging: schema round-trip, sinks, levels, request ids."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs.logging import (
+    LOG_LEVELS,
+    LogRecord,
+    LogSchemaError,
+    MemorySink,
+    RotatingFileSink,
+    StructuredLogger,
+    bound_request_id,
+    configure_logging,
+    current_request_id,
+    get_logger,
+    new_request_id,
+    record_from_line,
+    record_to_line,
+    reset_logging,
+    valid_request_id,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "log_records.jsonl"
+
+#: Records whose canonical serialization is pinned in the golden file,
+#: in file order.  Changing the wire schema must change the golden file
+#: consciously, never by accident.
+GOLDEN_RECORDS = [
+    LogRecord(
+        ts=0.0,
+        level="info",
+        component="serve.http",
+        msg="listening",
+        fields=(("host", "127.0.0.1"), ("port", 8030)),
+    ),
+    LogRecord(
+        ts=17.25,
+        level="info",
+        component="serve.app",
+        msg="request",
+        request_id="9f2c4ab0d1e88c3a",
+        fields=(
+            ("elapsed_ms", 1.25),
+            ("endpoint", "/v1/solve"),
+            ("method", "POST"),
+            ("path", "/v1/solve"),
+            ("status", 200),
+        ),
+    ),
+    LogRecord(
+        ts=3.5,
+        level="debug",
+        component="campaign.runner",
+        msg="cell done",
+        timebase="sim",
+        fields=(
+            ("cell", "wathen100/r8/f2/x0.25/LI"),
+            ("elapsed_s", 0.5),
+            ("status", "ran"),
+        ),
+    ),
+    LogRecord(
+        ts=100.0,
+        level="error",
+        component="serve.core",
+        msg="solve failed",
+        fields=(
+            ("converged", False),
+            ("error", "ValueError: boom"),
+            ("key", "abc123"),
+        ),
+    ),
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_root_manager():
+    yield
+    reset_logging()
+
+
+class TestWireFormat:
+    def test_round_trip_is_exact(self):
+        for record in GOLDEN_RECORDS:
+            line = record_to_line(record)
+            back = record_from_line(line)
+            assert back == record
+            assert record_to_line(back) == line
+
+    def test_golden_file_parses_and_reserializes_byte_identically(self):
+        lines = GOLDEN.read_text().splitlines()
+        assert len(lines) == len(GOLDEN_RECORDS)
+        for line, record in zip(lines, GOLDEN_RECORDS):
+            assert record_to_line(record) == line
+            assert record_from_line(line) == record
+
+    def test_request_id_omitted_when_absent(self):
+        line = record_to_line(GOLDEN_RECORDS[0])
+        assert "request_id" not in line
+        assert record_from_line(line).request_id is None
+
+    def test_field_order_does_not_change_the_line(self):
+        a = LogRecord(
+            ts=1.0, level="info", component="c", msg="m",
+            fields=(("a", 1), ("b", 2)),
+        )
+        b = LogRecord(
+            ts=1.0, level="info", component="c", msg="m",
+            fields=(("b", 2), ("a", 1)),
+        )
+        assert record_to_line(a) == record_to_line(b)
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json at all",
+            "[1, 2, 3]",
+            '{"level":"info"}',  # missing keys
+            '{"component":"c","fields":{},"level":"loud","msg":"m",'
+            '"timebase":"wall","ts":1.0}',  # unknown level
+            '{"component":"c","fields":{},"level":"info","msg":"m",'
+            '"timebase":"wall","ts":true}',  # bool ts
+            '{"component":"c","fields":[],"level":"info","msg":"m",'
+            '"timebase":"wall","ts":1.0}',  # fields not an object
+            '{"component":"c","extra":1,"fields":{},"level":"info",'
+            '"msg":"m","timebase":"wall","ts":1.0}',  # unknown key
+            '{"component":"c","fields":{},"level":"info","msg":"m",'
+            '"request_id":7,"timebase":"wall","ts":1.0}',  # non-str id
+        ],
+    )
+    def test_malformed_lines_raise_schema_errors(self, line):
+        with pytest.raises(LogSchemaError):
+            record_from_line(line)
+
+
+class TestRequestIds:
+    def test_new_ids_are_16_hex_and_valid(self):
+        rid = new_request_id()
+        assert len(rid) == 16
+        assert valid_request_id(rid) == rid
+
+    @pytest.mark.parametrize("raw", ["abc-123.X_y", "a", "A" * 64])
+    def test_safe_inbound_ids_pass(self, raw):
+        assert valid_request_id(raw) == raw
+
+    @pytest.mark.parametrize(
+        "raw", [None, "", "has space", "a" * 65, 'quote"', "new\nline"]
+    )
+    def test_hostile_inbound_ids_rejected(self, raw):
+        assert valid_request_id(raw) is None
+
+    def test_bound_id_is_stamped_and_restored(self):
+        sink = MemorySink()
+        configure_logging(level="debug", stderr=False, memory=sink)
+        log = get_logger("test")
+        assert current_request_id() is None
+        with bound_request_id("rid-one"):
+            assert current_request_id() == "rid-one"
+            log.info("inside")
+        log.info("outside")
+        records = sink.records()
+        assert records[0].request_id == "rid-one"
+        assert records[1].request_id is None
+
+
+class TestLevelsAndSinks:
+    def test_suppressed_levels_emit_nothing(self):
+        sink = MemorySink()
+        configure_logging(level="warning", stderr=False, memory=sink)
+        log = get_logger("test")
+        assert log.debug("quiet") is None
+        assert log.info("quiet") is None
+        assert log.warning("loud") is not None
+        assert log.error("loud") is not None
+        assert [r.level for r in sink.records()] == ["warning", "error"]
+
+    def test_level_order_matches_severity(self):
+        assert LOG_LEVELS == ("debug", "info", "warning", "error")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            get_logger("test").log("loud", "msg")
+        with pytest.raises(ValueError):
+            configure_logging(level="loud")
+
+    def test_sim_clock_and_timebase(self):
+        sink = MemorySink()
+        ticks = iter([1.5, 2.5])
+        configure_logging(
+            level="debug", stderr=False, memory=sink,
+            clock=lambda: next(ticks), timebase="sim",
+        )
+        log = get_logger("solver")
+        log.info("a")
+        log.info("b")
+        records = sink.records()
+        assert [r.ts for r in records] == [1.5, 2.5]
+        assert all(r.timebase == "sim" for r in records)
+
+    def test_memory_sink_is_bounded(self):
+        sink = MemorySink(capacity=3)
+        configure_logging(level="debug", stderr=False, memory=sink)
+        log = get_logger("test")
+        for i in range(10):
+            log.info("m", i=i)
+        assert len(sink) == 3
+        assert [dict(r.fields)["i"] for r in sink.records()] == [7, 8, 9]
+
+    def test_private_manager_does_not_touch_the_root(self):
+        from repro.obs.logging import LogManager
+
+        sink = MemorySink()
+        private = LogManager(level="debug", sinks=[sink])
+        log = StructuredLogger("private", manager=private)
+        log.debug("only here")
+        assert len(sink) == 1
+
+    def test_rotating_file_sink_rotates_and_every_line_parses(self, tmp_path):
+        path = tmp_path / "app.log"
+        sink = RotatingFileSink(path, max_bytes=400, backups=2)
+        manager = configure_logging(level="debug", stderr=False)
+        manager.sinks = [sink]
+        log = get_logger("test")
+        for i in range(40):
+            log.info("fill", i=i, pad="x" * 40)
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert "app.log" in files
+        assert "app.log.1" in files
+        assert "app.log.2" in files
+        assert "app.log.3" not in files  # backups cap honored
+        total = 0
+        for p in tmp_path.iterdir():
+            for line in p.read_text().splitlines():
+                record_from_line(line)  # every surviving line conformant
+                total += 1
+        assert 0 < total < 40  # oldest lines were dropped by rotation

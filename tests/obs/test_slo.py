@@ -1,0 +1,163 @@
+"""SLO burn-rate evaluation and the shared slo_burn detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.analysis.detectors import run_detectors
+from repro.obs.history import MetricsHistory
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    LATENCY_HISTOGRAM,
+    REQUEST_COUNTER,
+    Slo,
+    evaluate_slo,
+    evaluate_slos,
+)
+
+OK = f"{REQUEST_COUNTER}{{endpoint=/v1/solve,status=200}}"
+FAIL = f"{REQUEST_COUNTER}{{endpoint=/v1/solve,status=500}}"
+LAT = f"{LATENCY_HISTOGRAM}{{endpoint=/v1/solve}}"
+
+AVAILABILITY = DEFAULT_SLOS[0]
+LATENCY = DEFAULT_SLOS[1]
+
+
+def snap(counters=None, histograms=None) -> dict:
+    return {
+        "counters": counters or {},
+        "gauges": {},
+        "histograms": histograms or {},
+    }
+
+
+def healthy_history() -> MetricsHistory:
+    hist = MetricsHistory()
+    hist.append(0.0, snap(counters={OK: 100.0}))
+    hist.append(30.0, snap(counters={OK: 160.0}))
+    return hist
+
+
+def error_burst_history() -> MetricsHistory:
+    """A synthetic 5xx burst: 50 of 60 requests in 30 s fail."""
+    hist = MetricsHistory()
+    hist.append(0.0, snap(counters={OK: 100.0}))
+    hist.append(30.0, snap(counters={OK: 110.0, FAIL: 50.0}))
+    return hist
+
+
+def slow_latency_history() -> MetricsHistory:
+    """Every request in the window lands above the 0.1 s threshold."""
+    buckets = [0.005, 0.1, 1.0]
+    hist = MetricsHistory()
+    hist.append(
+        0.0,
+        snap(histograms={
+            LAT: {"buckets": buckets, "counts": [100, 0, 0, 0], "n": 100,
+                  "total": 0.2},
+        }),
+    )
+    hist.append(
+        30.0,
+        snap(histograms={
+            LAT: {"buckets": buckets, "counts": [100, 0, 50, 0], "n": 150,
+                  "total": 25.2},
+        }),
+    )
+    return hist
+
+
+class TestSloDefinition:
+    def test_budget_is_one_minus_objective(self):
+        assert AVAILABILITY.budget == pytest.approx(0.001)
+        assert LATENCY.budget == pytest.approx(0.01)
+
+    def test_describe_mentions_the_policy(self):
+        text = AVAILABILITY.describe()
+        assert "5xx" in text
+        assert "14" in text
+        assert "slower than 0.1s" in LATENCY.describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Slo(name="x", kind="throughput", objective=0.9)
+        with pytest.raises(ValueError):
+            Slo(name="x", kind="availability", objective=1.0)
+        with pytest.raises(ValueError):
+            Slo(name="x", kind="latency", objective=0.9)  # no threshold
+        with pytest.raises(ValueError):
+            Slo(
+                name="x", kind="availability", objective=0.9,
+                fast_window_s=600.0, slow_window_s=60.0,
+            )
+
+
+class TestBurnEvaluation:
+    def test_error_burst_trips_the_fast_burn(self):
+        status = evaluate_slo(error_burst_history(), AVAILABILITY)
+        assert status.fast.requests == 60
+        assert status.fast.errors == 50.0
+        assert status.fast.error_rate == pytest.approx(50 / 60)
+        # 83% errors against a 0.1% budget burns ~833x, far over 14.
+        assert status.fast.burn_rate == pytest.approx((50 / 60) / 0.001)
+        assert status.fast.firing
+        assert status.firing
+
+    def test_healthy_history_is_quiet(self):
+        for status in evaluate_slos(healthy_history()):
+            assert not status.firing
+            assert status.fast.burn_rate == 0.0
+
+    def test_no_traffic_never_fires(self):
+        status = evaluate_slo(MetricsHistory(), AVAILABILITY)
+        assert status.fast.requests == 0
+        assert not status.firing
+
+    def test_latency_slo_fires_on_slow_requests(self):
+        status = evaluate_slo(slow_latency_history(), LATENCY)
+        assert status.fast.requests == 50
+        assert status.fast.error_rate == pytest.approx(1.0)
+        assert status.fast.burn_rate == pytest.approx(100.0)
+        assert status.firing
+
+    def test_latency_slo_quiet_when_fast(self):
+        status = evaluate_slo(healthy_history(), LATENCY)
+        assert not status.firing
+
+    def test_client_errors_do_not_burn_availability(self):
+        hist = MetricsHistory()
+        bad_request = f"{REQUEST_COUNTER}{{endpoint=/v1/solve,status=400}}"
+        hist.append(0.0, snap(counters={OK: 10.0}))
+        hist.append(30.0, snap(counters={OK: 15.0, bad_request: 20.0}))
+        status = evaluate_slo(hist, AVAILABILITY)
+        assert status.fast.errors == 0.0
+        assert not status.firing
+
+    def test_status_to_dict_shape(self):
+        doc = evaluate_slo(error_burst_history(), AVAILABILITY).to_dict()
+        assert doc["name"] == "availability"
+        assert doc["firing"] is True
+        assert doc["fast"]["firing"] is True
+        assert set(doc["fast"]) == {
+            "window_s", "requests", "errors", "error_rate",
+            "burn_rate", "threshold", "firing",
+        }
+
+
+class TestSharedDetector:
+    def test_detector_fires_on_the_same_burst(self):
+        findings = run_detectors([], history=error_burst_history())
+        assert findings, "slo_burn should fire on the synthetic burst"
+        assert all(f.detector == "slo_burn" for f in findings)
+        assert any(f.cell == "slo/availability" for f in findings)
+        assert all(f.severity == "error" for f in findings)
+        fast = next(f for f in findings if "fast-burn" in f.message)
+        assert fast.value == pytest.approx((50 / 60) / 0.001)
+        assert fast.threshold == 14.0
+
+    def test_detector_skipped_without_history(self):
+        assert run_detectors([]) == []
+        assert run_detectors([], names=["slo_burn"]) == []
+
+    def test_detector_quiet_on_healthy_history(self):
+        assert run_detectors([], history=healthy_history()) == []

@@ -26,6 +26,18 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([1.0], 1.5)
 
+    def test_tiny_samples_use_nearest_rank_not_rounding(self):
+        # n=4: p50 is the 2nd order statistic (ceil(0.5*4)=2), p90 the
+        # 4th (ceil(0.9*4)=4) — banker's rounding gave p90=3rd here
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.50) == 2.0
+        assert percentile(values, 0.90) == 4.0
+        assert percentile(values, 0.25) == 1.0
+        # n=2: any q <= 0.5 is the 1st sample, above it the 2nd
+        assert percentile([10.0, 20.0], 0.5) == 10.0
+        assert percentile([10.0, 20.0], 0.51) == 20.0
+        assert percentile([10.0, 20.0], 0.99) == 20.0
+
 
 class TestLoadReport:
     def test_dict_shape_and_rates(self):
@@ -63,6 +75,10 @@ class TestRunLoad:
         assert len(report.latencies_s) == 20
         assert report.concurrency == 3
         assert report.req_per_s > 0
+        # the slowest request's server-stamped id is the debug handle
+        assert report.worst_request_id is not None
+        assert report.to_dict()["worst_request_id"] == report.worst_request_id
+        assert f"worst: {report.worst_request_id}" in report.summary()
 
     def test_failures_count_as_errors_not_crashes(self, served):
         report = run_load(
