@@ -8,10 +8,12 @@ protocol and ``python -m benchmarks.perf --help`` for the CLI.
 
 from benchmarks.perf.runner import (  # noqa: F401
     BenchSpec,
+    backend_speedup,
     calibrate,
     compare,
     format_comparison,
     format_results,
+    model_speedup,
     run_suite,
     suite_names,
 )

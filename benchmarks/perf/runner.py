@@ -98,7 +98,9 @@ def _solve_inputs(matrix: str, scale: float, nranks: int):
     return a, b, nranks
 
 
-def _run_solver(state, *, scheme=None, n_faults=0, fast=True, trace=False):
+def _run_solver(state, *, scheme=None, n_faults=0, fast=True, trace=False,
+                backend=None):
+    from repro.core.backends import DEFAULT_BACKEND
     from repro.core.recovery import make_scheme
     from repro.core.solver import ResilientSolver, SolverConfig
     from repro.faults.schedule import EvenlySpacedSchedule
@@ -109,7 +111,10 @@ def _run_solver(state, *, scheme=None, n_faults=0, fast=True, trace=False):
         b,
         scheme=make_scheme(scheme, interval_iters=40) if scheme else None,
         schedule=EvenlySpacedSchedule(n_faults=n_faults) if n_faults else None,
-        config=SolverConfig(nranks=nranks, tol=1e-8, fast=fast, trace=trace),
+        config=SolverConfig(
+            nranks=nranks, tol=1e-8, fast=fast, trace=trace,
+            backend=backend or DEFAULT_BACKEND,
+        ),
     )
     report = solver.solve()
     assert report.converged, "benchmark problem must converge"
@@ -185,6 +190,21 @@ BENCHMARKS: list[BenchSpec] = [
         op=lambda s: _run_analytic(s, "LI"),
         batch=25,
     ),
+    # the two sides of backend_speedup(): the same fault-free solve on
+    # the vectorized default backend and the rank-by-rank reference.
+    # 32 ranks (vs the other benches' 16) because the loop backend's
+    # per-rank overhead is what the readout measures — at 16 ranks the
+    # ratio sits too close to the CI gate's 5x floor to be a stable gate
+    BenchSpec(
+        "solve_batched_ff.stencil", "pyloop",
+        setup=lambda: _solve_inputs("stencil5", 0.36, 32),
+        op=lambda s: _run_solver(s, backend="batched"),
+    ),
+    BenchSpec(
+        "solve_loop_ff.stencil", "pyloop",
+        setup=lambda: _solve_inputs("stencil5", 0.36, 32),
+        op=lambda s: _run_solver(s, backend="loop"),
+    ),
     # full-suite extras: the other matrix classes + the legacy engine
     BenchSpec(
         "solve_ff.banded", "pyloop",
@@ -202,6 +222,12 @@ BENCHMARKS: list[BenchSpec] = [
         "solve_ff_legacy.stencil", "pyloop",
         setup=lambda: _solve_inputs("stencil5", 0.36, 16),
         op=lambda s: _run_solver(s, fast=False),
+        suites=("full",),
+    ),
+    BenchSpec(
+        "solve_loop_faulty_li.stencil", "pyloop",
+        setup=lambda: _solve_inputs("stencil5", 0.36, 16),
+        op=lambda s: _run_solver(s, scheme="LI", n_faults=3, backend="loop"),
         suites=("full",),
     ),
 ]
@@ -266,6 +292,20 @@ def model_speedup(doc: dict) -> float | None:
     return sim_s / model_s if model_s > 0 else float("inf")
 
 
+def backend_speedup(doc: dict) -> float | None:
+    """Wall-clock ratio of the ``loop`` backend to the ``batched``
+    backend on the same fault-free solve — what vectorizing across
+    ranks buys (the CI gate asserts >= 5x).  ``None`` when the suite
+    did not run both backends."""
+    bench = doc["benchmarks"]
+    try:
+        loop_s = bench["solve_loop_ff.stencil"]["median_s"]
+        batched_s = bench["solve_batched_ff.stencil"]["median_s"]
+    except KeyError:
+        return None
+    return loop_s / batched_s if batched_s > 0 else float("inf")
+
+
 # ----------------------------------------------------------------------
 # comparison gate
 # ----------------------------------------------------------------------
@@ -323,6 +363,12 @@ def format_results(doc: dict) -> str:
         lines.append(
             f"analytic model speedup: {speedup:.0f}x vs the simulated "
             "faulty LI solve of the same cell"
+        )
+    b_speedup = backend_speedup(doc)
+    if b_speedup is not None:
+        lines.append(
+            f"backend speedup: {b_speedup:.1f}x batched over the "
+            "rank-by-rank loop on the fault-free solve"
         )
     return "\n".join(lines)
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.core.backends import DEFAULT_BACKEND, backend_names
 from repro.core.recovery import scheme_names
 from repro.engines import engine_names
 from repro.harness.experiment import (
@@ -50,6 +51,8 @@ class CampaignCell:
             bits.append(c.engine)
         if c.fault_scope != "process":
             bits.append(c.fault_scope)
+        if c.backend != DEFAULT_BACKEND:
+            bits.append(c.backend)
         return f"{'/'.join(bits)}/{self.scheme}"
 
 
@@ -74,6 +77,10 @@ class CampaignSpec:
     #: grid point under both, which is what model-vs-sim drift
     #: (:mod:`repro.engines.validate`) pairs up.
     engines: tuple[str, ...] = ("sim",)
+    #: Execution backends to sweep; ``("loop", "batched")`` runs every
+    #: grid point under both, which is what the differential equivalence
+    #: harness compares cell by cell.
+    backends: tuple[str, ...] = (DEFAULT_BACKEND,)
     scale: float = 1.0
     tol: float = 1e-8
     cr_interval: str | int = "paper"
@@ -88,15 +95,21 @@ class CampaignSpec:
         object.__setattr__(self, "fault_loads", tuple(self.fault_loads))
         object.__setattr__(self, "seeds", tuple(self.seeds))
         object.__setattr__(self, "engines", tuple(self.engines))
+        object.__setattr__(self, "backends", tuple(self.backends))
         if not self.matrices:
             raise ValueError("campaign needs at least one matrix")
         if not self.schemes:
             raise ValueError("campaign needs at least one scheme")
         if not self.engines:
             raise ValueError("campaign needs at least one engine")
+        if not self.backends:
+            raise ValueError("campaign needs at least one backend")
         unknown = [e for e in self.engines if e not in engine_names()]
         if unknown:
             raise ValueError(f"unknown engines: {', '.join(unknown)}")
+        unknown = [b for b in self.backends if b not in backend_names()]
+        if unknown:
+            raise ValueError(f"unknown backends: {', '.join(unknown)}")
         known_matrices = set(matrix_suite.names())
         unknown = [m for m in self.matrices if m not in known_matrices]
         if unknown:
@@ -120,12 +133,14 @@ class CampaignSpec:
                 cr_interval=self.cr_interval,
                 trace=self.trace,
                 engine=engine,
+                backend=backend,
             )
             for matrix in self.matrices
             for nranks in self.nranks
             for n_faults in self.fault_loads
             for seed in self.seeds
             for engine in self.engines
+            for backend in self.backends
         ]
 
     def cells(self) -> list[CampaignCell]:
@@ -147,6 +162,7 @@ class CampaignSpec:
             * len(self.fault_loads)
             * len(self.seeds)
             * len(self.engines)
+            * len(self.backends)
         )
         n_schemes = len([s for s in self.schemes if s != BASELINE_SCHEME])
         return n_groups * (1 + n_schemes)
@@ -157,10 +173,15 @@ class CampaignSpec:
             if self.engines != ("sim",)
             else ""
         )
+        backends = (
+            f" x {len(self.backends)} backends [{', '.join(self.backends)}]"
+            if self.backends != (DEFAULT_BACKEND,)
+            else ""
+        )
         return (
             f"campaign {self.name!r}: {len(self.matrices)} matrices x "
             f"{len(self.nranks)} rank counts x {len(self.fault_loads)} fault "
-            f"loads x {len(self.seeds)} seeds{engines}, schemes "
+            f"loads x {len(self.seeds)} seeds{engines}{backends}, schemes "
             f"[{', '.join(self.schemes)}] (+FF) = {len(self)} cells"
         )
 

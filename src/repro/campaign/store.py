@@ -43,12 +43,18 @@ from repro.core.report import SolveReport
 #: Bump when the payload schema or hashed key material changes shape.
 #: 2: telemetry payload field + ExperimentConfig.trace in the key.
 #: 3: ExperimentConfig.engine + fault_scope in the key.
-STORE_FORMAT = 3
+#: 4: ExperimentConfig.backend in the key.
+STORE_FORMAT = 4
 
 #: Config fields format 2 did not know about.  A v2 store can only hold
 #: cells at these fields' defaults, which is what makes the read-side
 #: migration in :meth:`ResultStore.get_entry` safe.
 _V3_CONFIG_FIELDS = {"engine": "sim", "fault_scope": "process"}
+#: Config fields format 3 did not know about (same migration contract:
+#: a v3 store only ever held cells at the default backend, and the
+#: backends are bit-identical, so serving a v3 result for a default
+#: cell is exact).
+_V4_CONFIG_FIELDS = {"backend": "batched"}
 
 DEFAULT_ROOT = Path(".repro-cache")
 
@@ -75,20 +81,46 @@ CREATE INDEX IF NOT EXISTS idx_results_cell ON results (matrix, scheme, nranks);
 """
 
 
-def cell_key(cell: CampaignCell) -> str:
-    """Content hash identifying one cell's result."""
+def _hash_material(store_format: int, config: dict, scheme: str) -> str:
     material = {
-        "store_format": STORE_FORMAT,
+        "store_format": store_format,
         "versions": {
             "repro": repro.__version__,
             "numpy": np.__version__,
             "scipy": scipy.__version__,
         },
-        "config": asdict(cell.config),
-        "scheme": cell.scheme,
+        "config": config,
+        "scheme": scheme,
     }
     blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def cell_key(cell: CampaignCell) -> str:
+    """Content hash identifying one cell's result."""
+    return _hash_material(STORE_FORMAT, asdict(cell.config), cell.scheme)
+
+
+def legacy_cell_keys(cell: CampaignCell) -> list[str]:
+    """The cell's identities in older store formats, newest first.
+
+    Each step of the chain is only reachable while every config field
+    the older format did not know about sits at its default: a cell on
+    the ``loop`` backend never existed in a v3 store, an analytic cell
+    never existed in a v2 store.  :meth:`ResultStore.get_entry` probes
+    these after a miss on the current key.
+    """
+    keys: list[str] = []
+    config = asdict(cell.config)
+    for name, default in _V4_CONFIG_FIELDS.items():
+        if config.pop(name) != default:
+            return keys
+    keys.append(_hash_material(3, config, cell.scheme))
+    for name, default in _V3_CONFIG_FIELDS.items():
+        if config.pop(name) != default:
+            return keys
+    keys.append(_hash_material(2, config, cell.scheme))
+    return keys
 
 
 def legacy_cell_key(cell: CampaignCell) -> str | None:
@@ -96,24 +128,15 @@ def legacy_cell_key(cell: CampaignCell) -> str | None:
 
     Only cells expressible under format 2 — every post-v2 config field
     at its default — have a legacy identity; anything else (an analytic
-    cell, a node-scope fault load) never existed in a v2 store.
+    cell, a node-scope fault load, a loop-backend cell) never existed
+    in a v2 store.
     """
     config = asdict(cell.config)
-    for name, default in _V3_CONFIG_FIELDS.items():
-        if config.pop(name) != default:
-            return None
-    material = {
-        "store_format": 2,
-        "versions": {
-            "repro": repro.__version__,
-            "numpy": np.__version__,
-            "scipy": scipy.__version__,
-        },
-        "config": config,
-        "scheme": cell.scheme,
-    }
-    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode()).hexdigest()
+    for fields in (_V4_CONFIG_FIELDS, _V3_CONFIG_FIELDS):
+        for name, default in fields.items():
+            if config.pop(name) != default:
+                return None
+    return _hash_material(2, config, cell.scheme)
 
 
 @dataclass(frozen=True)
@@ -167,9 +190,10 @@ class ResultStore:
     def get_entry(self, cell: CampaignCell) -> StoreEntry | None:
         """Full entry for a cell, or ``None`` on a miss.
 
-        A miss under the current key falls back to the cell's format-2
-        identity (when it has one), so stores written before the engine /
-        fault-scope axes keep serving their banked results.
+        A miss under the current key walks the cell's legacy identity
+        chain (format 3, then format 2, where the cell has them), so
+        stores written before the backend / engine / fault-scope axes
+        keep serving their banked results.
         """
         key = cell_key(cell)
         with self._lock:
@@ -177,13 +201,14 @@ class ResultStore:
                 "SELECT elapsed_s, created_at FROM results WHERE key = ?", (key,)
             ).fetchone()
             if row is None:
-                legacy = legacy_cell_key(cell)
-                if legacy is not None:
+                for legacy in legacy_cell_keys(cell):
                     row = self._db.execute(
                         "SELECT elapsed_s, created_at FROM results WHERE key = ?",
                         (legacy,),
                     ).fetchone()
-                    key = legacy
+                    if row is not None:
+                        key = legacy
+                        break
         if row is None:
             with self._lock:
                 self.misses += 1

@@ -38,6 +38,7 @@ import sys
 from repro.campaign import spec as campaign_presets
 from repro.core.models.projection import FIGURE9_SCHEMES
 from repro.core.recovery import scheme_names
+from repro.core.backends import DEFAULT_BACKEND, backend_names
 from repro.engines import engine_names
 from repro.faults.events import FaultClass
 from repro.faults.mtbf import EXASCALE, PETASCALE, MtbfEstimator
@@ -104,6 +105,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="span-batched solve engine (default; bit-identical to the "
         "per-iteration --no-fast path, just faster)",
     )
+    run.add_argument(
+        "--backend", choices=backend_names(), default=DEFAULT_BACKEND,
+        help="CG kernel backend: vectorized across ranks (batched, the "
+        "default) or the rank-by-rank reference (loop); bit-identical",
+    )
 
     sweep = sub.add_parser("suite", help="Figure-5-style sweep over matrices")
     sweep.add_argument("--matrices", nargs="+", default=None, choices=suite.names())
@@ -129,6 +135,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fast", action=argparse.BooleanOptionalAction, default=True,
         help="span-batched solve engine (default; bit-identical to the "
         "per-iteration --no-fast path, just faster)",
+    )
+    sweep.add_argument(
+        "--backend", choices=backend_names(), default=DEFAULT_BACKEND,
+        help="CG kernel backend: vectorized across ranks (batched, the "
+        "default) or the rank-by-rank reference (loop); bit-identical",
     )
 
     camp = sub.add_parser(
@@ -157,6 +168,12 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="engines", metavar="ENGINE",
         help="execution engine(s) to sweep; pass both to build a "
         "model-vs-sim comparison grid",
+    )
+    camp.add_argument(
+        "--backend", nargs="+", choices=backend_names(), default=None,
+        dest="backends", metavar="BACKEND",
+        help="CG kernel backend(s) to sweep; pass both to compare the "
+        "batched and loop executions cell by cell (bit-identical)",
     )
     camp.add_argument("--scale", type=float, default=None)
     camp.add_argument("--tol", type=float, default=None)
@@ -207,7 +224,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="restrict the validation grid's matrix set",
     )
     val.add_argument(
-        "--schemes", nargs="+", default=None, choices=scheme_names(),
+        # "FF" is accepted (the grid then has nothing to pair and the
+        # command fails with the no-pairs verdict) so the degenerate
+        # restriction errors loudly instead of being unrepresentable
+        "--schemes", nargs="+", default=None,
+        choices=[*scheme_names(), "FF"],
         help="restrict the validation grid's scheme set",
     )
     val.add_argument(
@@ -376,6 +397,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve without a persistent store (LRU + compute only)",
     )
     srv.add_argument(
+        "--backend", choices=backend_names(), default=DEFAULT_BACKEND,
+        help="default CG kernel backend for solve requests that do not "
+        "specify one",
+    )
+    srv.add_argument(
         "--latency-buckets", nargs="+", type=float, default=None,
         metavar="SECONDS",
         help="override the serve latency histograms' bucket upper "
@@ -462,6 +488,7 @@ def cmd_run(args) -> int:
         trace=args.trace,
         engine=args.engine,
         fault_scope=args.fault_scope,
+        backend=args.backend,
     )
     exp = Experiment(cfg, fast=args.fast, preconditioner=args.precond)
     if args.fault_scope != "process":
@@ -499,6 +526,7 @@ def cmd_suite(args) -> int:
                 scale=args.scale,
                 cr_interval=_parse_cr_interval(args.cr_interval),
                 engine=args.engine,
+                backend=args.backend,
             ),
             fast=args.fast,
         )
@@ -533,6 +561,8 @@ def _campaign_spec(args):
         overrides["seeds"] = tuple(args.seeds)
     if args.engines:
         overrides["engines"] = tuple(args.engines)
+    if args.backends:
+        overrides["backends"] = tuple(args.backends)
     if args.scale is not None:
         overrides["scale"] = args.scale
     if args.tol is not None:
@@ -950,7 +980,7 @@ def cmd_serve(args) -> int:
     history = MetricsHistory(
         capacity=args.history_capacity, interval_s=args.sample_interval
     )
-    app = ServeApp(core, history=history)
+    app = ServeApp(core, history=history, default_backend=args.backend)
     server = ServeServer(app.handle, host=args.host, port=args.port)
 
     async def _main() -> None:

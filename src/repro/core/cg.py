@@ -17,20 +17,13 @@ reconstruction of other variables", Section 5.2).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from functools import cached_property
 
 import numpy as np
 
-try:  # scipy's raw CSR mat-vec kernel; bypasses the spmatrix dispatch
-    from scipy.sparse import _sparsetools as _spt
-
-    _csr_matvec = _spt.csr_matvec
-except (ImportError, AttributeError):  # pragma: no cover - older scipy
-    _csr_matvec = None
-
 from repro.cluster.comm import SimComm
+from repro.core.backends import DEFAULT_BACKEND, make_backend
 from repro.matrices.distributed import BYTES_PER_ENTRY, DistributedMatrix
 
 #: CG performs two global reductions per iteration (p.q and r.r).
@@ -153,6 +146,12 @@ class DistributedCG:
         paper's future-work direction of studying more applications.
         All recovery schemes work unchanged: they rewrite x and the
         solver restarts the (preconditioned) recurrence.
+    backend:
+        How the kernels execute (:mod:`repro.core.backends`):
+        ``"batched"`` (default) runs all ranks as one vectorized kernel
+        sequence per iteration; ``"loop"`` is the rank-by-rank reference
+        execution.  Bit-identical by contract — the backend changes
+        wall-clock cost only, never a single bit of the numerics.
     """
 
     def __init__(
@@ -164,6 +163,7 @@ class DistributedCG:
         tol: float = 1e-8,
         max_iters: int = 200_000,
         preconditioner: str | None = None,
+        backend: str = DEFAULT_BACKEND,
     ) -> None:
         b = np.asarray(b, dtype=np.float64)
         if b.shape != (dmat.n,):
@@ -193,13 +193,15 @@ class DistributedCG:
             self._minv = None
         bnorm = float(np.linalg.norm(b))
         self._bnorm = bnorm if bnorm > 0 else 1.0
+        self.backend = backend
+        self._backend = make_backend(backend, self)  # validates the name
         self.residual_history: list[float] = []
         self.state = self._fresh_state(self.x0)
         self.restarts = 0
 
     # ------------------------------------------------------------------
     def _fresh_state(self, x: np.ndarray) -> CGState:
-        r = self.b - self.dmat.matvec(x)
+        r = self.b - self._backend.matvec(x)
         z = r * self._minv if self._minv is not None else r
         return CGState(x=np.array(x, copy=True), r=r, p=z.copy(), rz=float(r @ z))
 
@@ -230,14 +232,14 @@ class DistributedCG:
     def step(self) -> float:
         """One CG iteration; returns the new relative residual."""
         st = self.state
-        q = self.dmat.matvec(st.p)
+        q = self._backend.matvec(st.p)
         pq = float(st.p @ q)
         if pq <= 0 or not np.isfinite(pq):
             # Breakdown: the state is numerically dead (e.g. NaN-poisoned
             # by an unrecovered fault).  Re-anchor on the true residual.
             self.restart()
             st = self.state
-            q = self.dmat.matvec(st.p)
+            q = self._backend.matvec(st.p)
             pq = float(st.p @ q)
             if pq <= 0 or not np.isfinite(pq):
                 raise FloatingPointError(
@@ -271,82 +273,14 @@ class DistributedCG:
         Residuals are written into a preallocated scratch array and
         spliced onto ``residual_history`` at span end.  Returns
         ``(iterations_taken, breakdown)``.
+
+        Execution is delegated to the configured backend
+        (:mod:`repro.core.backends`): ``batched`` fuses all ranks into
+        one vectorized kernel sequence per iteration, ``loop`` steps
+        the ranks one at a time — both honour this contract bit for
+        bit.
         """
-        if max_steps <= 0:
-            return 0, False
-        st = self.state
-        minv = self._minv
-        bnorm = self._bnorm
-        tol = self.tol
-        a = self.dmat.a
-        x, r, p, rz = st.x, st.r, st.p, st.rz
-        n = a.shape[0]
-        # Bypass the spmatrix dispatch: a @ p on a float64 CSR matrix is
-        # exactly zeros(n) + csr_matvec (see scipy's _matmul_vector), so
-        # calling the kernel directly is bit-identical and much cheaper.
-        use_kernel = (
-            _csr_matvec is not None
-            and getattr(a, "format", None) == "csr"
-            and a.dtype == np.float64
-        )
-        if use_kernel:
-            indptr, indices, data = a.indptr, a.indices, a.data
-        matvec = self.dmat.matvec
-        hist = np.empty(max_steps, dtype=np.float64)
-        isfinite = math.isfinite
-        sqrt = math.sqrt
-        norm = np.linalg.norm
-        dot = np.dot
-        multiply = np.multiply
-        add = np.add
-        subtract = np.subtract
-        # Scratch buffers reused across iterations.  Every elementwise
-        # update below matches the out-of-place expression in
-        # :meth:`step` value for value: ``multiply(p, alpha, out=tmp)``
-        # computes exactly ``alpha * p``, and the subsequent in-place
-        # add/subtract applies it in the same order, so no bits change —
-        # only the per-iteration allocations disappear.  ``p`` is
-        # (re)assigned to a fresh array on entry so the in-place update
-        # never mutates a caller-visible vector mid-span.
-        q = np.empty(n)
-        tmp = np.empty(n)
-        p = p.copy()
-        taken = 0
-        breakdown = False
-        for _ in range(max_steps):
-            if use_kernel:
-                q.fill(0.0)
-                _csr_matvec(n, n, indptr, indices, data, p, q)
-            else:
-                q = matvec(p)
-            pq = float(dot(p, q))
-            if pq <= 0 or not isfinite(pq):
-                breakdown = True
-                break
-            alpha = rz / pq
-            multiply(p, alpha, out=tmp)
-            add(x, tmp, out=x)
-            multiply(q, alpha, out=tmp)
-            subtract(r, tmp, out=r)
-            z = r * minv if minv is not None else r
-            rz_new = float(dot(r, z))
-            beta = rz_new / rz if rz > 0 else 0.0
-            multiply(p, beta, out=tmp)
-            add(z, tmp, out=p)
-            rz = rz_new
-            if minv is None:
-                rel = sqrt(max(rz, 0.0)) / bnorm
-            else:
-                rel = float(norm(r)) / bnorm
-            hist[taken] = rel
-            taken += 1
-            if rel <= tol:
-                break
-        st.p = p
-        st.rz = rz
-        st.iteration += taken
-        self.residual_history.extend(hist[:taken].tolist())
-        return taken, breakdown
+        return self._backend.step_span(max_steps)
 
     def solve_fault_free(self) -> int:
         """Run to convergence with no faults; returns iterations used."""

@@ -21,6 +21,7 @@ import scipy.sparse as sp
 from repro.cluster.comm import SimComm
 from repro.cluster.machine import MachineSpec, paper_machine
 from repro.cluster.network import NetworkModel
+from repro.core.backends import DEFAULT_BACKEND, backend_names
 from repro.core.cg import DistributedCG, IterationCosts
 from repro.core.errors import ConvergenceError
 from repro.core.recovery.base import RecoveryScheme
@@ -69,6 +70,13 @@ class SolverConfig:
     #: per-iteration loop (tests/core/test_fast_equivalence.py); the
     #: legacy path stays selectable for those regression tests.
     fast: bool = True
+    #: Execution backend for the CG kernels (repro.core.backends):
+    #: "batched" (default) vectorizes all ranks into one kernel sequence
+    #: per iteration; "loop" is the rank-by-rank reference execution.
+    #: Bit-identical by contract (tests/core/test_backend_equivalence.py);
+    #: orthogonal to ``fast`` (which batches *iterations into spans*,
+    #: while ``backend`` batches *ranks within an iteration*).
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         if self.nranks < 1:
@@ -79,6 +87,11 @@ class SolverConfig:
             raise ValueError("max_iters must be positive")
         if self.power_cap_w is not None and self.power_cap_w <= 0:
             raise ValueError("power cap must be positive")
+        if self.backend not in backend_names():
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"known: {', '.join(backend_names())}"
+            )
 
 
 class ResilientSolver:
@@ -119,6 +132,7 @@ class ResilientSolver:
             tol=cfg.tol,
             max_iters=cfg.max_iters,
             preconditioner=cfg.preconditioner,
+            backend=cfg.backend,
         )
         if cfg.power_cap_w is not None:
             op = frequency_under_cap(cfg.power, cfg.nranks, cfg.power_cap_w)
@@ -627,6 +641,7 @@ class ResilientSolver:
             tol=self.config.tol,
             max_iters=self.config.max_iters,
             preconditioner=self.config.preconditioner,
+            backend=self.config.backend,
         )
         iters = probe.solve_fault_free()
         if not probe.converged:

@@ -27,6 +27,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.backends import DEFAULT_BACKEND, backend_names
 from repro.core.errors import ConvergenceError
 from repro.core.report import SolveReport
 from repro.core.solver import SolverConfig
@@ -70,6 +71,12 @@ class ExperimentConfig:
     #: Blast radius of each injected fault: "process" (the paper's
     #: protocol), "node" (every rank on the victim's node) or "system".
     fault_scope: str = "process"
+    #: Execution backend for the CG kernels (repro.core.backends):
+    #: "batched" (default, vectorized across ranks) or "loop" (the
+    #: rank-by-rank reference).  Bit-identical by contract, but part of
+    #: the cell's cache key so a backend regression can never silently
+    #: serve results produced by the other backend.
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         if self.n_faults < 0:
@@ -89,6 +96,11 @@ class ExperimentConfig:
         if self.fault_scope not in FAULT_SCOPES:
             raise ValueError(
                 f"fault_scope must be one of {', '.join(FAULT_SCOPES)}"
+            )
+        if self.backend not in backend_names():
+            raise ValueError(
+                f"unknown backend {self.backend!r}; known: "
+                f"{', '.join(backend_names())}"
             )
 
 
@@ -129,6 +141,16 @@ class Experiment:
             a = matrix_suite.build(config.matrix, config.scale)
         self.a = sp.csr_matrix(a)
         n = self.a.shape[0]
+        if n < config.nranks:
+            # Surface the tiny-n edge at construction with experiment
+            # context; BlockRowPartition would reject it anyway, but
+            # only deep inside the first solve.
+            raise ValueError(
+                f"matrix {config.matrix!r} at scale {config.scale} has "
+                f"only {n} rows — cannot distribute over "
+                f"nranks={config.nranks} without empty partitions; "
+                f"lower nranks or raise scale"
+            )
         rng = np.random.default_rng(config.seed)
         self.x_true = rng.standard_normal(n)
         self.b = self.a @ self.x_true
@@ -153,6 +175,7 @@ class Experiment:
             trace=c.trace,
             baseline_iters=baseline,
             fast=self.fast,
+            backend=c.backend,
         )
 
     @property

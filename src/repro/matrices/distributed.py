@@ -32,6 +32,24 @@ class RankBlocks:
     halo_recv_counts: dict[int, int]  # owner rank -> #entries of x needed
 
 
+@dataclass(frozen=True)
+class PackedBlock:
+    """A rank's row block with its columns compressed for local SpMV.
+
+    ``mat`` is ``A_{p_i,:}`` restricted to the columns it actually
+    touches; ``cols`` maps the packed column index back to the global
+    one.  ``x[cols]`` is exactly the rank's halo gather (owned entries
+    plus remote halo entries, in global order), so ``mat @ x[cols]``
+    is the rank's local SpMV — and because packing preserves each
+    row's nonzero storage order, it is *bit-identical* to the global
+    SpMV restricted to the rank's rows (the ``loop`` backend's
+    equivalence argument, DESIGN.md §5j).
+    """
+
+    mat: sp.csr_matrix   # A_{p_i, cols}
+    cols: np.ndarray     # global column indices, sorted
+
+
 class DistributedMatrix:
     """A global CSR matrix plus its block-row distribution."""
 
@@ -48,6 +66,7 @@ class DistributedMatrix:
         self.a = a
         self.partition = partition
         self._blocks: dict[int, RankBlocks] = {}
+        self._packed: dict[int, PackedBlock] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -95,6 +114,28 @@ class DistributedMatrix:
         _ = self.local_nnz, self.spmv_flops
         _ = self.halo_pair_bytes, self.halo_bytes_total
         return self
+
+    def packed_block(self, rank: int) -> PackedBlock:
+        """Column-compressed ``A_{p_i,:}`` for the ``loop`` backend.
+
+        Computed lazily and cached per rank.  Deliberately *not* part of
+        :meth:`warm`: only the ``loop`` backend reads it, so the default
+        setup path pays nothing for it.
+        """
+        if rank not in self._packed:
+            rows = self.blocks(rank).rows
+            cols = np.unique(rows.indices)
+            # searchsorted over the sorted unique columns is monotone,
+            # so per-row nonzero order survives the renumbering.
+            local = np.searchsorted(cols, rows.indices).astype(
+                rows.indices.dtype
+            )
+            mat = sp.csr_matrix(
+                (rows.data, local, rows.indptr),
+                shape=(rows.shape[0], int(cols.size)),
+            )
+            self._packed[rank] = PackedBlock(mat=mat, cols=cols)
+        return self._packed[rank]
 
     def row_block(self, rank: int) -> sp.csr_matrix:
         """A_{p_i,:} — all columns of the rows owned by ``rank``."""

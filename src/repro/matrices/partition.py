@@ -29,7 +29,15 @@ class BlockRowPartition:
         if self.nranks < 1:
             raise ValueError("need at least one rank")
         if self.nranks > self.n:
-            raise ValueError(f"cannot split {self.n} rows over {self.nranks} ranks")
+            # An empty partition is never valid: a rank owning zero rows
+            # has no diagonal block to recover and a zero-flop SpMV the
+            # cost model cannot price, so fail loudly at construction
+            # instead of letting downstream code skip the empty blocks.
+            raise ValueError(
+                f"cannot split {self.n} rows over {self.nranks} ranks: "
+                f"{self.nranks - self.n} ranks would own empty partitions; "
+                f"use nranks <= {self.n} or a larger matrix"
+            )
 
     # ------------------------------------------------------------------
     def start_of(self, rank: int) -> int:

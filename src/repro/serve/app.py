@@ -44,6 +44,7 @@ from dataclasses import replace as _dc_replace
 
 from repro.campaign.serialize import report_to_dict
 from repro.campaign.spec import BASELINE_SCHEME, CampaignCell
+from repro.core.backends import DEFAULT_BACKEND
 from repro.core.recovery import scheme_names
 from repro.engines import engine_names
 from repro.harness.experiment import ExperimentConfig
@@ -86,6 +87,7 @@ _CONFIG_FIELDS: dict[str, tuple[type, ...]] = {
     "engine": (str,),
     "fault_scope": (str,),
     "trace": (bool,),
+    "backend": (str,),
 }
 
 
@@ -93,11 +95,14 @@ class RequestError(ValueError):
     """A well-formed HTTP request asking for something invalid (400)."""
 
 
-def parse_solve_request(payload: dict) -> CampaignCell:
+def parse_solve_request(
+    payload: dict, *, default_backend: str = DEFAULT_BACKEND
+) -> CampaignCell:
     """Validate a /v1/solve body into a campaign cell."""
     if not isinstance(payload, dict):
         raise RequestError("body must be a JSON object")
     payload = dict(payload)
+    payload.setdefault("backend", default_backend)
     scheme = payload.pop("scheme", BASELINE_SCHEME)
     known = set(scheme_names()) | {BASELINE_SCHEME}
     if scheme not in known:
@@ -152,8 +157,10 @@ class ServeApp:
         *,
         history: MetricsHistory | None = None,
         slos: tuple[Slo, ...] = DEFAULT_SLOS,
+        default_backend: str = DEFAULT_BACKEND,
     ) -> None:
         self.core = core
+        self.default_backend = default_backend
         self.started_at = time.time()
         #: Sampled metrics ring buffer behind /metrics/history; the
         #: sampler task starts lazily on the first served request so the
@@ -299,7 +306,9 @@ class ServeApp:
         return HttpResponse.json(stats)
 
     async def solve(self, request: HttpRequest) -> HttpResponse:
-        cell = parse_solve_request(request.json())
+        cell = parse_solve_request(
+            request.json(), default_backend=self.default_backend
+        )
         outcome = await self.core.solve_cell(cell)
         return HttpResponse.json(
             {

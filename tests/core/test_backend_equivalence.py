@@ -1,0 +1,219 @@
+"""Differential equivalence: ``loop`` vs ``batched`` backend.
+
+The ``batched`` backend executes each CG iteration with global
+vectorized kernels; the ``loop`` backend walks rank by rank through
+packed per-rank CSR blocks.  Both share the global reduction operators,
+so the contract (DESIGN.md §5j) is **bitwise identity** of every
+seed-visible observable — reports, residual histories, energy charges,
+telemetry — across every scheme, matrix class, engine, and the
+``fast``-path cross, under evenly spaced, Poisson, and fuzzed
+adversarial fault schedules.
+
+Tolerances are pinned by ``tests/core/golden/backend_tolerance.json``
+(all bitwise today); on failure a JSON divergence artifact is written
+to ``backend-equivalence-diff/`` for the CI job to upload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.backends import (
+    DEFAULT_BACKEND,
+    backend_names,
+    make_backend,
+)
+from repro.core.cg import DistributedCG
+from repro.matrices.distributed import DistributedMatrix
+from repro.matrices.partition import BlockRowPartition
+from repro.core.recovery import scheme_names
+from repro.core.solver import SolverConfig
+from repro.faults.schedule import PoissonSchedule
+from repro.harness.experiment import Experiment, ExperimentConfig
+from tests.differential import (
+    MATRICES,
+    FaultScheduleFuzzer,
+    assert_reports_identical,
+    assert_telemetry_identical,
+    build,
+    dump_divergence,
+    load_tolerance_policy,
+    run_solver,
+    ulp_distance,
+)
+
+POLICY = load_tolerance_policy()
+
+
+def check_pair(matrix, scheme, *, context="", **kw):
+    """Run both backends and compare under the golden policy.
+
+    On divergence, dump a field-level JSON diff for the CI artifact
+    before re-raising, so a red run ships the exact disagreement.
+    """
+    batched = run_solver(matrix, scheme, backend="batched", **kw)
+    loop = run_solver(matrix, scheme, backend="loop", **kw)
+    label = f"{matrix}-{scheme or 'FF'}" + (f"-{context}" if context else "")
+    try:
+        assert_reports_identical(
+            loop, batched, context=context or label, policy=POLICY
+        )
+    except AssertionError:
+        dump_divergence(loop, batched, label=label.replace("/", "_"))
+        raise
+    return batched, loop
+
+
+# ----------------------------------------------------------------------
+# registry surface
+# ----------------------------------------------------------------------
+
+def test_registry():
+    assert backend_names() == ["batched", "loop"]
+    assert DEFAULT_BACKEND == "batched"
+
+
+def test_unknown_backend_rejected_everywhere():
+    with pytest.raises(ValueError, match="unknown backend"):
+        SolverConfig(backend="simd")
+    with pytest.raises(ValueError, match="unknown backend"):
+        ExperimentConfig(backend="simd")
+    a = build("stencil")
+    dmat = DistributedMatrix(a, BlockRowPartition(a.shape[0], 4))
+    cg = DistributedCG(dmat, np.ones(a.shape[0]))
+    with pytest.raises(ValueError, match="unknown backend"):
+        make_backend("simd", cg)
+
+
+def test_tolerance_policy_is_all_bitwise_today():
+    # Loosening a field is a deliberate golden-file edit; this pins the
+    # current policy so an accidental relaxation fails loudly.
+    for name, rule in POLICY.items():
+        assert rule["mode"] in ("bitwise", "ulp"), name
+    assert all(rule["mode"] == "bitwise" for rule in POLICY.values())
+
+
+def test_ulp_distance():
+    assert ulp_distance(1.0, 1.0) == 0
+    assert ulp_distance(1.0, np.nextafter(1.0, 2.0)) == 1
+    assert ulp_distance(np.nextafter(1.0, 2.0), 1.0) == 1
+    assert ulp_distance(-0.0, 0.0) == 0
+    # crosses zero monotonically
+    assert ulp_distance(np.nextafter(0.0, -1.0), np.nextafter(0.0, 1.0)) == 2
+
+
+# ----------------------------------------------------------------------
+# the full differential sweep
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("matrix", sorted(MATRICES))
+@pytest.mark.parametrize("scheme", scheme_names())
+def test_backends_identical_all_schemes(scheme, matrix):
+    check_pair(matrix, scheme)
+
+
+@pytest.mark.parametrize("matrix", sorted(MATRICES))
+def test_backends_identical_fault_free(matrix):
+    check_pair(matrix, None)
+
+
+@pytest.mark.parametrize("scheme", ["RD", "LI", "CR-D"])
+def test_backends_identical_traced(scheme):
+    batched = run_solver("banded", scheme, backend="batched", trace=True)
+    loop = run_solver("banded", scheme, backend="loop", trace=True)
+    assert_reports_identical(loop, batched, policy=POLICY)
+    assert_telemetry_identical(loop, batched)
+
+
+def test_fault_free_traced():
+    batched = run_solver("stencil", None, backend="batched", trace=True)
+    loop = run_solver("stencil", None, backend="loop", trace=True)
+    assert_reports_identical(loop, batched, policy=POLICY)
+    assert_telemetry_identical(loop, batched)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_backends_identical_poisson(seed):
+    check_pair(
+        "irregular", "FI",
+        schedule=PoissonSchedule(mtbf_iters=60, seed=seed),
+        context=f"poisson-{seed}",
+    )
+
+
+def test_backends_identical_preconditioned():
+    check_pair("banded", "LSI", preconditioner="jacobi")
+    check_pair("irregular", "LI", preconditioner="jacobi")
+
+
+def test_backends_identical_capped():
+    check_pair("banded", "RD", max_iters=97, baseline_iters=150)
+
+
+def test_fast_backend_cross():
+    """The 2x2 (fast x backend) cross is one equivalence class."""
+    reports = {
+        (fast, backend): run_solver(
+            "stencil", "LI", fast=fast, backend=backend
+        )
+        for fast in (False, True)
+        for backend in ("batched", "loop")
+    }
+    ref = reports[(True, "batched")]
+    for key, rep in reports.items():
+        assert_reports_identical(
+            rep, ref, context=f"fast={key[0]} backend={key[1]}",
+            policy=POLICY,
+        )
+
+
+# ----------------------------------------------------------------------
+# fuzzed adversarial schedules
+# ----------------------------------------------------------------------
+
+_horizons: dict[str, int] = {}
+
+
+def _horizon(matrix: str) -> int:
+    if matrix not in _horizons:
+        _horizons[matrix] = run_solver(
+            matrix, None, backend="batched"
+        ).iterations
+    return _horizons[matrix]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_backends_identical_fuzzed(seed):
+    matrix = sorted(MATRICES)[seed % len(MATRICES)]
+    fuzzer = FaultScheduleFuzzer(
+        nranks=8, horizon_iters=_horizon(matrix), hook_interval=40
+    )
+    schedule = fuzzer.generate(seed)
+    scheme = scheme_names()[seed % len(scheme_names())]
+    check_pair(
+        matrix, scheme, schedule=schedule, context=fuzzer.repro_hint(seed)
+    )
+
+
+# ----------------------------------------------------------------------
+# engine invariance
+# ----------------------------------------------------------------------
+
+def test_analytic_engine_backend_invariant():
+    """The analytic engine replays closed-form models off the fault-free
+    baseline; since the backends are bit-identical, the analytic reports
+    must be too."""
+    reports = {}
+    for backend in ("batched", "loop"):
+        cfg = ExperimentConfig(
+            matrix="wathen100", nranks=8, n_faults=2, seed=0,
+            scale=0.25, engine="analytic", backend=backend,
+        )
+        exp = Experiment(cfg)
+        reports[backend] = exp.run("RD")
+    a, b = reports["loop"], reports["batched"]
+    assert a.converged == b.converged
+    assert a.iterations == b.iterations
+    assert a.time_s == b.time_s
+    assert a.energy_j == b.energy_j

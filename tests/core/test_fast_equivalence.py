@@ -10,78 +10,23 @@ allclose): the fast path *replays* the legacy bookkeeping rather than
 summarising it (DESIGN.md §5e).
 
 The legacy path stays selectable (``fast=False``) precisely so this
-regression matrix keeps meaning something.
+regression matrix keeps meaning something.  The fixtures and comparison
+live in :mod:`tests.differential`, shared with the backend-equivalence
+harness (DESIGN.md §5j).
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core.recovery.factory import make_scheme, scheme_names
-from repro.core.solver import ResilientSolver, SolverConfig
-from repro.faults.schedule import EvenlySpacedSchedule, PoissonSchedule
-from repro.matrices.generators import banded_spd, irregular_spd, stencil_5pt
-
-MATRICES = {
-    "banded": lambda: banded_spd(300, 7, dominance=0.01, seed=11),
-    "irregular": lambda: irregular_spd(260, 9, dominance=0.02, seed=7),
-    "stencil": lambda: stencil_5pt(17),
-}
-
-_built: dict[str, object] = {}
-
-
-def build(name):
-    if name not in _built:
-        _built[name] = MATRICES[name]()
-    return _built[name]
-
-
-def run_solver(matrix_name: str, scheme_name: str | None, *, fast: bool,
-               trace: bool = False, schedule=None, **cfg_kw):
-    a = build(matrix_name)
-    rng = np.random.default_rng(42)
-    b = a @ rng.standard_normal(a.shape[0])
-    cfg = SolverConfig(
-        nranks=8, tol=1e-8, seed=5, trace=trace, fast=fast, **cfg_kw
-    )
-    scheme = (
-        make_scheme(scheme_name, interval_iters=40) if scheme_name else None
-    )
-    if schedule is None and scheme is not None:
-        schedule = EvenlySpacedSchedule(n_faults=3)
-    solver = ResilientSolver(a, b, scheme=scheme, schedule=schedule, config=cfg)
-    return solver.solve()
-
-
-def assert_reports_identical(fast, legacy):
-    """Exact equality on every seed-visible field of a SolveReport."""
-    assert fast.scheme == legacy.scheme
-    assert fast.converged == legacy.converged
-    assert fast.iterations == legacy.iterations
-    assert fast.baseline_iters == legacy.baseline_iters
-    # sim time and residuals: exact, not approximate
-    assert fast.time_s == legacy.time_s
-    assert fast.final_relative_residual == legacy.final_relative_residual
-    assert fast.residual_history.dtype == legacy.residual_history.dtype
-    assert np.array_equal(fast.residual_history, legacy.residual_history)
-    # phase-tagged energy account, charge by charge
-    assert set(fast.account.charges) == set(legacy.account.charges)
-    for tag, c_legacy in legacy.account.charges.items():
-        c_fast = fast.account.charges[tag]
-        assert c_fast.time_s == c_legacy.time_s, tag
-        assert c_fast.energy_j == c_legacy.energy_j, tag
-    # RAPL log: same phases, same boundaries, same powers (Phase is a
-    # frozen dataclass — equality is exact field equality)
-    assert fast.rapl.log.phases == legacy.rapl.log.phases
-    assert fast.traffic == legacy.traffic
-    assert fast.faults == legacy.faults
-    d_fast = {k: v for k, v in fast.details.items()
-              if k not in ("trace", "telemetry")}
-    d_legacy = {k: v for k, v in legacy.details.items()
-                if k not in ("trace", "telemetry")}
-    assert d_fast == d_legacy
+from repro.core.recovery.factory import scheme_names
+from repro.faults.schedule import PoissonSchedule
+from tests.differential import (
+    MATRICES,
+    assert_reports_identical,
+    assert_telemetry_identical,
+    run_solver,
+)
 
 
 @pytest.mark.parametrize("matrix_name", sorted(MATRICES))
@@ -95,18 +40,13 @@ def test_all_schemes_bit_identical(matrix_name, scheme_name):
 
 @pytest.mark.parametrize("scheme_name", scheme_names())
 def test_traced_runs_identical_telemetry(scheme_name):
-    from repro.obs.export import trace_jsonl_lines
-
     fast = run_solver("banded", scheme_name, fast=True, trace=True)
     legacy = run_solver("banded", scheme_name, fast=False, trace=True)
     assert_reports_identical(fast, legacy)
-    t_fast = fast.details["telemetry"]
-    t_legacy = legacy.details["telemetry"]
-    # metric snapshots are byte-identical for equal recorded values
-    assert t_fast.metrics.snapshot() == t_legacy.metrics.snapshot()
-    # the full exported trace (events + spans + metrics) matches line by
-    # line: phase transitions, recovery spans, checkpoint events, ...
-    assert trace_jsonl_lines({"c": t_fast}) == trace_jsonl_lines({"c": t_legacy})
+    # metric snapshots and the full exported trace (events + spans +
+    # metrics) are byte-identical: phase transitions, recovery spans,
+    # checkpoint events, ...
+    assert_telemetry_identical(fast, legacy)
 
 
 def test_fault_free_identical():
@@ -120,8 +60,7 @@ def test_fault_free_traced_identical():
     fast = run_solver("banded", None, fast=True, trace=True)
     legacy = run_solver("banded", None, fast=False, trace=True)
     assert_reports_identical(fast, legacy)
-    assert (fast.details["telemetry"].metrics.snapshot()
-            == legacy.details["telemetry"].metrics.snapshot())
+    assert_telemetry_identical(fast, legacy)
 
 
 def test_poisson_schedule_identical():

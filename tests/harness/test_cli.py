@@ -39,6 +39,31 @@ class TestCli:
         assert "fault-free:" in out
         assert "normalized:" in out
 
+    def test_run_backend_loop_prints_the_same_numbers(self, capsys):
+        args = [
+            "run", "--matrix", "wathen100", "--scheme", "F0",
+            "--faults", "2", "--ranks", "8", "--scale", "0.25",
+        ]
+        assert main(args + ["--backend", "loop"]) == 0
+        loop_out = capsys.readouterr().out
+        assert main(args + ["--backend", "batched"]) == 0
+        batched_out = capsys.readouterr().out
+        # the backends are bit-identical, so every printed figure agrees
+        assert loop_out == batched_out
+
+    def test_campaign_backend_axis_doubles_the_grid(self, capsys, tmp_path):
+        assert main(
+            [
+                "campaign", "--matrices", "wathen100", "--schemes", "RD",
+                "--ranks", "8", "--faults", "2", "--scale", "0.25",
+                "--store", str(tmp_path / "cache"), "--quiet",
+                "--backend", "loop", "batched",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 backends [loop, batched]" in out
+        assert "4 cells" in out  # (FF + RD) x 2 backends
+
     def test_run_preconditioned(self, capsys):
         code = main(
             [
@@ -315,6 +340,19 @@ class TestEngineCli:
         assert "term" in out
         assert "T_" in out or "E_" in out  # at least one Section-3 term row
 
+    def test_validate_terms_with_no_pairs_fails(self, capsys):
+        # a grid of FF-only cells yields nothing to pair: --terms must
+        # still exit 1 with the no-pairs verdict, not crash or pass
+        code = main(
+            [
+                "validate", "--matrices", "wathen100", "--schemes", "FF",
+                "--no-store", "--quiet", "--terms",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL: no comparable sim/analytic cell pairs" in out
+
 
 @pytest.fixture(scope="module")
 def traced_store(tmp_path_factory):
@@ -364,8 +402,19 @@ class TestReportCli:
         assert "diff: A=wathen100/r8/f2/x0.25/RD" in out
 
     def test_report_diff_unknown_label_lists_known(self, traced_store):
-        with pytest.raises(SystemExit, match="no cell labelled"):
+        with pytest.raises(SystemExit, match="no cell labelled") as exc:
             main(["report", "--store", traced_store, "--diff", "x", "y"])
+        # the error is actionable: it names the labels that do exist
+        assert "wathen100/r8/f2/x0.25/RD" in str(exc.value)
+
+    def test_report_diff_one_bad_label_names_the_bad_one(self, traced_store):
+        with pytest.raises(SystemExit, match="no cell labelled 'nope'"):
+            main(
+                [
+                    "report", "--store", traced_store, "--diff",
+                    "wathen100/r8/f2/x0.25/RD", "nope",
+                ]
+            )
 
     def test_report_writes_html_and_prometheus(self, capsys, tmp_path, traced_store):
         html = tmp_path / "report.html"

@@ -238,6 +238,32 @@ class TestConfigValidation:
         with pytest.raises(ValueError, match="fault_scope"):
             ExperimentConfig(fault_scope="rack")
 
+    def test_bad_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ExperimentConfig(backend="gpu")
+
+    def test_fewer_rows_than_ranks_rejected_with_context(self):
+        # the tiny-n edge surfaces at Experiment construction with the
+        # matrix/scale/nranks named, not deep inside the first solve
+        a = banded_spd(12, 3, dominance=0.01, seed=0)
+        with pytest.raises(ValueError, match="only 12 rows"):
+            Experiment(
+                ExperimentConfig(matrix="custom", nranks=16, n_faults=1), a=a
+            )
+        with pytest.raises(ValueError, match="lower nranks or raise scale"):
+            Experiment(
+                ExperimentConfig(matrix="custom", nranks=16, n_faults=1), a=a
+            )
+
+    def test_scaled_suite_matrix_below_rank_count_rejected(self):
+        # a suite matrix shrunk below the rank count trips the same
+        # guard, naming the scale that caused it
+        cfg = ExperimentConfig(
+            matrix="wathen100", nranks=64, n_faults=1, scale=0.001
+        )
+        with pytest.raises(ValueError, match="wathen100.*scale 0.001"):
+            Experiment(cfg)
+
 
 class TestSchemeSets:
     def test_iteration_study_matches_figure5(self):

@@ -32,6 +32,19 @@ class TestBasicLayout:
         p = BlockRowPartition(5, 5)
         assert all(p.size_of(r) == 1 for r in range(5))
 
+    def test_more_ranks_than_rows_rejected(self):
+        # empty partitions are never valid (no diagonal block to
+        # recover, zero-flop SpMV the cost model cannot price), so the
+        # tiny-n edge fails loudly at construction
+        with pytest.raises(ValueError, match="empty partitions"):
+            BlockRowPartition(5, 6)
+
+    def test_more_ranks_than_rows_message_counts_the_gap(self):
+        with pytest.raises(ValueError, match=r"3 ranks would own empty"):
+            BlockRowPartition(13, 16)
+        with pytest.raises(ValueError, match=r"use nranks <= 13"):
+            BlockRowPartition(13, 16)
+
 
 class TestOwnership:
     def test_owner_of_is_inverse_of_ranges(self):

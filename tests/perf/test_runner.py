@@ -37,3 +37,35 @@ class TestModelSpeedup:
         })
         assert "analytic model speedup: 200x" in runner.format_results(d)
         assert "speedup" not in runner.format_results(doc())
+
+
+class TestBackendSpeedup:
+    def test_ratio_of_loop_to_batched_medians(self):
+        d = doc(**{
+            "solve_loop_ff.stencil": bench(0.7),
+            "solve_batched_ff.stencil": bench(0.1),
+        })
+        assert runner.backend_speedup(d) == 0.7 / 0.1
+
+    def test_none_when_either_side_missing(self):
+        assert runner.backend_speedup(doc()) is None
+        assert runner.backend_speedup(
+            doc(**{"solve_loop_ff.stencil": bench(1.0)})
+        ) is None
+        assert runner.backend_speedup(
+            doc(**{"solve_batched_ff.stencil": bench(1.0)})
+        ) is None
+
+    def test_speedup_line_rendered_only_when_both_sides_ran(self):
+        d = doc(**{
+            "solve_loop_ff.stencil": bench(0.65),
+            "solve_batched_ff.stencil": bench(0.1),
+        })
+        assert "backend speedup: 6.5x batched" in runner.format_results(d)
+
+    def test_both_backend_benches_are_in_the_smoke_suite(self):
+        smoke = {
+            s.name for s in runner.BENCHMARKS if "smoke" in s.suites
+        }
+        assert "solve_loop_ff.stencil" in smoke
+        assert "solve_batched_ff.stencil" in smoke

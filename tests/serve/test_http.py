@@ -15,7 +15,20 @@ from repro.campaign.serialize import report_to_dict
 from repro.campaign.store import cell_key
 from repro.harness.experiment import Experiment
 from repro.serve import ServeClient, ServeError
+from repro.serve.http import MAX_BODY
 from tests.serve.conftest import make_cell
+
+
+def _recv_response(raw: socket.socket) -> bytes:
+    """Read until the server closes the connection (it sends
+    ``Connection: close`` on errors)."""
+    chunks = []
+    while True:
+        chunk = raw.recv(65536)
+        if not chunk:
+            return b"".join(chunks)
+        chunks.append(chunk)
+
 
 SOLVE = {
     "matrix": "wathen100",
@@ -59,6 +72,43 @@ class TestHealthAndRouting:
         assert answer.startswith(b"HTTP/1.1 200 ")
         assert b"Connection: close" in answer
 
+    def test_oversized_body_is_rejected_before_it_is_read(self, served):
+        # the cap is enforced from Content-Length alone: the server
+        # answers 400 and hangs up without draining the body
+        with socket.create_connection(
+            (served.server.host, served.server.port), timeout=10.0
+        ) as raw:
+            raw.sendall(
+                b"POST /v1/solve HTTP/1.1\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {MAX_BODY + 1}\r\n\r\n".encode()
+            )
+            answer = raw.recv(4096)
+        assert answer.startswith(b"HTTP/1.1 400 ")
+        assert b"body too large" in answer
+        assert b"Connection: close" in answer
+
+    def test_body_at_the_cap_is_still_read(self, served):
+        # exactly MAX_BODY bytes must not trip the cap; the padded JSON
+        # then fails validation (unknown field), proving the body was
+        # parsed rather than refused
+        body = b'{"pad": "' + b"x" * (MAX_BODY - 11) + b'"}'
+        assert len(body) == MAX_BODY
+        with socket.create_connection(
+            (served.server.host, served.server.port), timeout=10.0
+        ) as raw:
+            raw.sendall(
+                b"POST /v1/solve HTTP/1.1\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Connection: close\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            answer = _recv_response(raw)
+        assert answer.startswith(b"HTTP/1.1 400 ")
+        assert b"body too large" not in answer
+        assert b"unknown fields" in answer
+
 
 class TestSolve:
     def test_computed_then_lru(self, served):
@@ -79,6 +129,22 @@ class TestSolve:
         fields = {k: v for k, v in SOLVE.items() if k != "engine"}
         answer = served.client.solve(**fields, scheme="RD", seed=12)
         assert answer["report"]["details"]["engine"] == "analytic"
+
+    def test_backend_is_part_of_the_key(self, served):
+        batched = served.client.solve(**SOLVE, scheme="RD", seed=14)
+        loop = served.client.solve(
+            **SOLVE, scheme="RD", seed=14, backend="loop"
+        )
+        assert loop["key"] != batched["key"]
+        assert loop["key"] == cell_key(
+            make_cell("RD", seed=14, backend="loop")
+        )
+
+    def test_unknown_backend_is_400(self, served):
+        with pytest.raises(ServeError) as exc:
+            served.client.solve(**SOLVE, scheme="RD", backend="gpu")
+        assert exc.value.status == 400
+        assert "unknown backend" in exc.value.message
 
     def test_model_is_an_alias_for_analytic(self, served):
         fields = dict(SOLVE, engine="model")

@@ -35,6 +35,7 @@ SUBPACKAGES = [
     "repro.checkpoint",
     "repro.matrices",
     "repro.core",
+    "repro.core.backends",
     "repro.core.recovery",
     "repro.core.models",
     "repro.harness",
