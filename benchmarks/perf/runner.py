@@ -99,7 +99,7 @@ def _solve_inputs(matrix: str, scale: float, nranks: int):
 
 
 def _run_solver(state, *, scheme=None, n_faults=0, fast=True, trace=False,
-                backend=None):
+                backend=None, victims_per_fault=1):
     from repro.core.backends import DEFAULT_BACKEND
     from repro.core.recovery import make_scheme
     from repro.core.solver import ResilientSolver, SolverConfig
@@ -110,7 +110,9 @@ def _run_solver(state, *, scheme=None, n_faults=0, fast=True, trace=False,
         a,
         b,
         scheme=make_scheme(scheme, interval_iters=40) if scheme else None,
-        schedule=EvenlySpacedSchedule(n_faults=n_faults) if n_faults else None,
+        schedule=EvenlySpacedSchedule(
+            n_faults=n_faults, victims_per_fault=victims_per_fault
+        ) if n_faults else None,
         config=SolverConfig(
             nranks=nranks, tol=1e-8, fast=fast, trace=trace,
             backend=backend or DEFAULT_BACKEND,
@@ -183,6 +185,16 @@ BENCHMARKS: list[BenchSpec] = [
         "solve_traced_li.stencil", "pyloop",
         setup=lambda: _solve_inputs("stencil5", 0.36, 16),
         op=lambda s: _run_solver(s, scheme="LI", n_faults=3, trace=True),
+    ),
+    # the victim-set fault path: three two-rank simultaneous losses
+    # recovered by exact state reconstruction (no restart, so the cost
+    # is pure per-victim rebuild work — the multi-fault hot path)
+    BenchSpec(
+        "solve_esr_multifault.stencil", "pyloop",
+        setup=lambda: _solve_inputs("stencil5", 0.36, 16),
+        op=lambda s: _run_solver(
+            s, scheme="ESR", n_faults=3, victims_per_fault=2
+        ),
     ),
     BenchSpec(
         "model_faulty_li.stencil", "pyloop",

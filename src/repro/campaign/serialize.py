@@ -99,6 +99,14 @@ def report_to_dict(report: SolveReport) -> dict:
                 "victim_rank": ev.victim_rank,
                 "fault_class": ev.fault_class.name,
                 "scope": ev.scope.value,
+                # Single-victim events keep the pre-victim-set wire
+                # shape byte-for-byte; the key only appears for
+                # concurrent multi-rank events.
+                **(
+                    {"victims": list(ev.victims)}
+                    if len(ev.victims) > 1
+                    else {}
+                ),
             }
             for ev in report.faults
         ],
@@ -129,6 +137,9 @@ def report_from_dict(data: dict) -> SolveReport:
             victim_rank=ev["victim_rank"],
             fault_class=FaultClass[ev["fault_class"]],
             scope=FaultScope(ev["scope"]),
+            # Older payloads have no "victims" key: the event
+            # normalizes the empty tuple to (victim_rank,).
+            victims=tuple(ev.get("victims", ())),
         )
         for ev in data["faults"]
     ]

@@ -53,6 +53,8 @@ class CampaignCell:
             bits.append(c.fault_scope)
         if c.backend != DEFAULT_BACKEND:
             bits.append(c.backend)
+        if c.victims_per_fault != 1:
+            bits.append(f"v{c.victims_per_fault}")
         return f"{'/'.join(bits)}/{self.scheme}"
 
 
@@ -81,6 +83,10 @@ class CampaignSpec:
     #: grid point under both, which is what the differential equivalence
     #: harness compares cell by cell.
     backends: tuple[str, ...] = (DEFAULT_BACKEND,)
+    #: Victim-set sizes to sweep: ranks lost simultaneously per fault
+    #: event.  ``(1,)`` is the paper's single-failure protocol; larger
+    #: entries exercise multi-loss recovery (ESR, union interpolation).
+    victims_per_fault: tuple[int, ...] = (1,)
     scale: float = 1.0
     tol: float = 1e-8
     cr_interval: str | int = "paper"
@@ -96,6 +102,9 @@ class CampaignSpec:
         object.__setattr__(self, "seeds", tuple(self.seeds))
         object.__setattr__(self, "engines", tuple(self.engines))
         object.__setattr__(self, "backends", tuple(self.backends))
+        object.__setattr__(
+            self, "victims_per_fault", tuple(self.victims_per_fault)
+        )
         if not self.matrices:
             raise ValueError("campaign needs at least one matrix")
         if not self.schemes:
@@ -104,6 +113,10 @@ class CampaignSpec:
             raise ValueError("campaign needs at least one engine")
         if not self.backends:
             raise ValueError("campaign needs at least one backend")
+        if not self.victims_per_fault:
+            raise ValueError("campaign needs at least one victim-set size")
+        if any(k < 1 for k in self.victims_per_fault):
+            raise ValueError("victims_per_fault entries must be >= 1")
         unknown = [e for e in self.engines if e not in engine_names()]
         if unknown:
             raise ValueError(f"unknown engines: {', '.join(unknown)}")
@@ -134,6 +147,7 @@ class CampaignSpec:
                 trace=self.trace,
                 engine=engine,
                 backend=backend,
+                victims_per_fault=victims,
             )
             for matrix in self.matrices
             for nranks in self.nranks
@@ -141,6 +155,7 @@ class CampaignSpec:
             for seed in self.seeds
             for engine in self.engines
             for backend in self.backends
+            for victims in self.victims_per_fault
         ]
 
     def cells(self) -> list[CampaignCell]:
@@ -163,6 +178,7 @@ class CampaignSpec:
             * len(self.seeds)
             * len(self.engines)
             * len(self.backends)
+            * len(self.victims_per_fault)
         )
         n_schemes = len([s for s in self.schemes if s != BASELINE_SCHEME])
         return n_groups * (1 + n_schemes)
@@ -178,11 +194,17 @@ class CampaignSpec:
             if self.backends != (DEFAULT_BACKEND,)
             else ""
         )
+        victims = (
+            f" x {len(self.victims_per_fault)} victim-set sizes "
+            f"[{', '.join(map(str, self.victims_per_fault))}]"
+            if self.victims_per_fault != (1,)
+            else ""
+        )
         return (
             f"campaign {self.name!r}: {len(self.matrices)} matrices x "
             f"{len(self.nranks)} rank counts x {len(self.fault_loads)} fault "
-            f"loads x {len(self.seeds)} seeds{engines}{backends}, schemes "
-            f"[{', '.join(self.schemes)}] (+FF) = {len(self)} cells"
+            f"loads x {len(self.seeds)} seeds{engines}{backends}{victims}, "
+            f"schemes [{', '.join(self.schemes)}] (+FF) = {len(self)} cells"
         )
 
 
@@ -228,6 +250,21 @@ _PRESETS: dict[str, CampaignSpec] = {
         schemes=("RD", "F0"),
         nranks=(8,),
         fault_loads=(2,),
+        scale=0.25,
+    ),
+    # Concurrent rank failures (arXiv:1907.13077's multi-loss protocol):
+    # two ranks die in each fault event.  ESR reconstructs both exactly;
+    # union interpolation and rollback schemes give the comparison
+    # points.  Both engines, so ``repro validate`` gates the multi-fault
+    # models too.
+    "multi-fault": CampaignSpec(
+        name="multi-fault",
+        matrices=("wathen100", "Andrews"),
+        schemes=("ESR", "ABCR", "LI", "LSI", "CR-M", "RD"),
+        nranks=(8,),
+        fault_loads=(2,),
+        victims_per_fault=(2,),
+        engines=("sim", "analytic"),
         scale=0.25,
     ),
     # Table 6 as a standing gate: the same small grid under both

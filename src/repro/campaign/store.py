@@ -44,7 +44,8 @@ from repro.core.report import SolveReport
 #: 2: telemetry payload field + ExperimentConfig.trace in the key.
 #: 3: ExperimentConfig.engine + fault_scope in the key.
 #: 4: ExperimentConfig.backend in the key.
-STORE_FORMAT = 4
+#: 5: ExperimentConfig.victims_per_fault in the key.
+STORE_FORMAT = 5
 
 #: Config fields format 2 did not know about.  A v2 store can only hold
 #: cells at these fields' defaults, which is what makes the read-side
@@ -55,6 +56,11 @@ _V3_CONFIG_FIELDS = {"engine": "sim", "fault_scope": "process"}
 #: backends are bit-identical, so serving a v3 result for a default
 #: cell is exact).
 _V4_CONFIG_FIELDS = {"backend": "batched"}
+#: Config fields format 4 did not know about: a v4 store only ever held
+#: single-victim cells, and the single-victim fault path is bitwise
+#: unchanged, so serving a v4 result for a ``victims_per_fault=1`` cell
+#: is exact.
+_V5_CONFIG_FIELDS = {"victims_per_fault": 1}
 
 DEFAULT_ROOT = Path(".repro-cache")
 
@@ -112,6 +118,10 @@ def legacy_cell_keys(cell: CampaignCell) -> list[str]:
     """
     keys: list[str] = []
     config = asdict(cell.config)
+    for name, default in _V5_CONFIG_FIELDS.items():
+        if config.pop(name) != default:
+            return keys
+    keys.append(_hash_material(4, config, cell.scheme))
     for name, default in _V4_CONFIG_FIELDS.items():
         if config.pop(name) != default:
             return keys
@@ -132,7 +142,7 @@ def legacy_cell_key(cell: CampaignCell) -> str | None:
     in a v2 store.
     """
     config = asdict(cell.config)
-    for fields in (_V4_CONFIG_FIELDS, _V3_CONFIG_FIELDS):
+    for fields in (_V5_CONFIG_FIELDS, _V4_CONFIG_FIELDS, _V3_CONFIG_FIELDS):
         for name, default in fields.items():
             if config.pop(name) != default:
                 return None
@@ -191,9 +201,9 @@ class ResultStore:
         """Full entry for a cell, or ``None`` on a miss.
 
         A miss under the current key walks the cell's legacy identity
-        chain (format 3, then format 2, where the cell has them), so
-        stores written before the backend / engine / fault-scope axes
-        keep serving their banked results.
+        chain (formats 4, 3, then 2, where the cell has them), so stores
+        written before the victim-set / backend / engine / fault-scope
+        axes keep serving their banked results.
         """
         key = cell_key(cell)
         with self._lock:

@@ -88,6 +88,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "protocol), every rank on the victim's node, or all ranks",
     )
     run.add_argument(
+        "--victims-per-fault", type=int, default=1, metavar="K",
+        help="ranks lost simultaneously per fault event (default 1, the "
+        "paper's protocol; >1 exercises multi-loss recovery)",
+    )
+    run.add_argument(
         "--precond", choices=["jacobi"], default=None, help="optional preconditioner"
     )
     run.add_argument(
@@ -132,6 +137,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="CR cadence: 'paper' (100 iters), 'young', or an integer",
     )
     sweep.add_argument(
+        "--victims-per-fault", type=int, default=1, metavar="K",
+        help="ranks lost simultaneously per fault event (default 1)",
+    )
+    sweep.add_argument(
         "--fast", action=argparse.BooleanOptionalAction, default=True,
         help="span-batched solve engine (default; bit-identical to the "
         "per-iteration --no-fast path, just faster)",
@@ -174,6 +183,12 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="backends", metavar="BACKEND",
         help="CG kernel backend(s) to sweep; pass both to compare the "
         "batched and loop executions cell by cell (bit-identical)",
+    )
+    camp.add_argument(
+        "--victims-per-fault", nargs="+", type=int, default=None,
+        dest="victims_per_fault", metavar="K",
+        help="victim-set size(s) to sweep: ranks lost simultaneously "
+        "per fault event (default 1)",
     )
     camp.add_argument("--scale", type=float, default=None)
     camp.add_argument("--tol", type=float, default=None)
@@ -450,6 +465,27 @@ def _parse_cr_interval(raw: str):
         raise SystemExit(f"--cr-interval must be 'paper', 'young' or an int, got {raw!r}")
 
 
+def _check_analytic_schemes(schemes) -> None:
+    """Fail fast (at argument-parse time) on schemes the analytic engine
+    cannot model.
+
+    Argparse ``choices`` accepts every registered scheme, but the
+    closed-form engine only models a subset — without this gate a
+    ``campaign --engine analytic --schemes CR-ML`` would burn through
+    the grid before dying mid-run on ``UnsupportedSchemeError``.
+    """
+    from repro.engines.analytic import analytic_scheme_names
+
+    supported = analytic_scheme_names()
+    bad = [s for s in schemes if s != "FF" and s not in supported]
+    if bad:
+        raise SystemExit(
+            f"scheme(s) {', '.join(sorted(bad))} have no closed-form "
+            "analytic model (sim engine only); analytic-capable schemes: "
+            f"{', '.join(supported)}"
+        )
+
+
 def _print_trace_summary(report) -> None:
     """The ``--trace`` wrap-up: fault→recovery latencies plus top spans."""
     tel = report.details.get("telemetry")
@@ -477,6 +513,8 @@ def _print_trace_summary(report) -> None:
 
 
 def cmd_run(args) -> int:
+    if args.engine == "analytic":
+        _check_analytic_schemes([args.scheme])
     cfg = ExperimentConfig(
         matrix=args.matrix,
         nranks=args.ranks,
@@ -489,6 +527,7 @@ def cmd_run(args) -> int:
         engine=args.engine,
         fault_scope=args.fault_scope,
         backend=args.backend,
+        victims_per_fault=args.victims_per_fault,
     )
     exp = Experiment(cfg, fast=args.fast, preconditioner=args.precond)
     if args.fault_scope != "process":
@@ -514,6 +553,8 @@ def cmd_run(args) -> int:
 
 
 def cmd_suite(args) -> int:
+    if args.engine == "analytic":
+        _check_analytic_schemes(args.schemes)
     matrices = args.matrices or suite.names()
     rows = []
     for name in matrices:
@@ -527,6 +568,7 @@ def cmd_suite(args) -> int:
                 cr_interval=_parse_cr_interval(args.cr_interval),
                 engine=args.engine,
                 backend=args.backend,
+                victims_per_fault=args.victims_per_fault,
             ),
             fast=args.fast,
         )
@@ -563,6 +605,8 @@ def _campaign_spec(args):
         overrides["engines"] = tuple(args.engines)
     if args.backends:
         overrides["backends"] = tuple(args.backends)
+    if args.victims_per_fault:
+        overrides["victims_per_fault"] = tuple(args.victims_per_fault)
     if args.scale is not None:
         overrides["scale"] = args.scale
     if args.tol is not None:
@@ -571,9 +615,14 @@ def _campaign_spec(args):
         overrides["cr_interval"] = _parse_cr_interval(args.cr_interval)
     if args.trace:
         overrides["trace"] = True
-    if args.preset:
-        return campaign_presets.preset(args.preset, **overrides)
-    return campaign_presets.CampaignSpec(**overrides)
+    spec = (
+        campaign_presets.preset(args.preset, **overrides)
+        if args.preset
+        else campaign_presets.CampaignSpec(**overrides)
+    )
+    if "analytic" in spec.engines:
+        _check_analytic_schemes(spec.schemes)
+    return spec
 
 
 def cmd_campaign(args) -> int:
@@ -640,6 +689,9 @@ def cmd_validate(args) -> int:
         overrides["matrices"] = tuple(args.matrices)
     if args.schemes:
         overrides["schemes"] = tuple(args.schemes)
+        # The grid runs under both engines: reject schemes the analytic
+        # engine cannot model before any cell executes.
+        _check_analytic_schemes(args.schemes)
     spec = campaign_presets.preset("model-validation", **overrides)
     threshold = (
         args.threshold if args.threshold is not None else DEFAULT_DRIFT_THRESHOLD

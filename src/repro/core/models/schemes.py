@@ -218,3 +218,111 @@ class ForwardRecoveryModel:
         total = self._total()
         e = self.model.energy_fault_free_j() + self.e_res_j()
         return e / total
+
+
+@dataclass(frozen=True)
+class ExactReconstructionModel:
+    """ESR (Pachajoa et al., arXiv:1907.13077).
+
+    Redundant copies of the search direction and residual stream to
+    neighbour ranks alongside every iteration; after a fault — including
+    several simultaneous rank losses — the survivors rebuild the lost
+    blocks *exactly* from the redundant recurrence data, so CG continues
+    on its fault-free trajectory with no restart and no convergence
+    delay:
+
+        T_res = F * (t_xfer + t_rebuild)
+        E_res = P_ret * (T_ff + T_res)
+                + F * (t_xfer * N P_1 + t_rebuild * P_rebuild)
+
+    ``retention_power_w`` is the concurrent draw of the replica
+    streaming (overlapped like RD's replicas, but a small fraction of a
+    full copy); ``t_xfer_s`` / ``t_rebuild_s`` are the per-fault
+    transfer and recurrence-rebuild times summed over that fault's
+    victim set.
+    """
+
+    model: GeneralModel
+    retention_power_w: float
+    t_xfer_s: float
+    t_rebuild_s: float
+    n_faults: int
+    rebuild_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.retention_power_w < 0:
+            raise ValueError("retention power must be non-negative")
+        if self.t_xfer_s < 0 or self.t_rebuild_s < 0:
+            raise ValueError("per-fault times must be non-negative")
+        if self.n_faults < 0:
+            raise ValueError("fault count must be non-negative")
+        if self.rebuild_power_w < 0:
+            raise ValueError("rebuild power must be non-negative")
+
+    def t_res_s(self) -> float:
+        """Transfer plus rebuild; no rollback, no extra iterations."""
+        return self.n_faults * (self.t_xfer_s + self.t_rebuild_s)
+
+    def e_retention_j(self) -> float:
+        """The overlapped streaming of redundant p/r copies."""
+        return self.retention_power_w * (
+            self.model.time_fault_free_s() + self.t_res_s()
+        )
+
+    def e_res_j(self) -> float:
+        return self.e_retention_j() + self.n_faults * (
+            self.t_xfer_s * self.model.power_execution_w()
+            + self.t_rebuild_s * self.rebuild_power_w
+        )
+
+    def average_power_w(self) -> float:
+        total = self.model.time_fault_free_s() + self.t_res_s()
+        e = self.model.energy_fault_free_j() + self.e_res_j()
+        return e / total
+
+
+@dataclass(frozen=True)
+class ABCRModel:
+    """ABCR (Pachajoa & Levonyak, arXiv:2007.04066).
+
+    Algorithm-based checkpoint-recovery: the Krylov recurrence vectors
+    are retained in neighbour-rank memory every interval; on a fault the
+    iterate rolls back to the last retained copy and the recurrence
+    vectors are *reconstructed* in place of any disk read.  Timing is
+    checkpoint-family (Eqs. 9-11) with the write/read cost being the
+    neighbour transfer, plus a per-fault recurrence rebuild:
+
+        T_res = T_chkpt + T_lost + F * t_rebuild
+        E_res = E_chkpt/lost + F * t_rebuild * P_rebuild
+    """
+
+    checkpoint: CheckpointModel
+    t_rebuild_s: float
+    n_faults: int
+    rebuild_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.t_rebuild_s < 0:
+            raise ValueError("rebuild time must be non-negative")
+        if self.n_faults < 0:
+            raise ValueError("fault count must be non-negative")
+        if self.rebuild_power_w < 0:
+            raise ValueError("rebuild power must be non-negative")
+
+    def t_rebuild_total_s(self) -> float:
+        return self.n_faults * self.t_rebuild_s
+
+    def t_res_s(self) -> float:
+        return self.checkpoint.t_res_s() + self.t_rebuild_total_s()
+
+    def e_res_j(self) -> float:
+        return (
+            self.checkpoint.e_res_j()
+            + self.t_rebuild_total_s() * self.rebuild_power_w
+        )
+
+    def average_power_w(self) -> float:
+        t_ff = self.checkpoint.model.time_fault_free_s()
+        total = t_ff + self.t_res_s()
+        e = self.checkpoint.model.energy_fault_free_j() + self.e_res_j()
+        return e / total

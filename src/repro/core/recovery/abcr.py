@@ -1,0 +1,142 @@
+"""Algorithm-based checkpoint-recovery (ABCR) — Pachajoa & Levonyak,
+arXiv:2007.04066.
+
+ABCR keeps the classical checkpoint/rollback *timing* structure but
+replaces the storage tier with the algorithm itself: every
+``interval_iters`` iterations each rank retains its block of the iterate
+and the Krylov recurrence vectors in a neighbour rank's memory (one
+inter-node stream, no disk).  On a fault the iterate rolls back to the
+last retained copy, and instead of re-reading dynamic vectors from any
+store, the recurrence vectors are *reconstructed* from the retained data
+(one true-residual-style recurrence replay).  The lost iterations since
+the retention point are re-executed, exactly as CR re-executes them —
+what changes is the cost of the write and of the read path.
+
+Phases charged:
+
+* retention writes — CHECKPOINT, at the neighbour-transfer time of the
+  retained blocks, at checkpoint power (memory streaming, CPUs not
+  busy);
+* rollback — RESTORE, the reverse transfer, at checkpoint power;
+* recurrence reconstruction — RECONSTRUCT, one recurrence replay
+  (restart-equivalent work) at compute power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cg import CGState
+from repro.core.recovery.base import (
+    RecoveryOutcome,
+    RecoveryScheme,
+    RecoveryServices,
+    obs_span,
+)
+from repro.faults.events import FaultEvent
+from repro.matrices.distributed import BYTES_PER_ENTRY
+from repro.power.energy import PhaseTag
+
+#: Vectors retained per interval: x plus the recurrence pair (r, p).
+RETAINED_VECTORS = 3
+
+
+@dataclass
+class _Retention:
+    """Write counter with the manager interface the report probes."""
+
+    interval_iters: int
+    writes: int = 0
+
+
+def retention_transfer_s(services: RecoveryServices) -> float:
+    """Critical-path seconds of one retention round: every rank streams
+    its retained blocks concurrently, so the slowest (largest) block
+    bounds the round.  Shared with the analytic engine."""
+    part = services.partition
+    worst = 0.0
+    for rank in range(services.nranks):
+        sl = part.slice_of(rank)
+        nbytes = RETAINED_VECTORS * (sl.stop - sl.start) * BYTES_PER_ENTRY
+        worst = max(worst, services.interconnect_p2p_s(nbytes))
+    return worst
+
+
+class AlgorithmBasedCheckpointRecovery(RecoveryScheme):
+    """ABCR: periodic in-memory retention, reconstruction over reads."""
+
+    name = "ABCR"
+    recovers_globally = True
+
+    def __init__(self, *, interval_iters: int) -> None:
+        if interval_iters < 1:
+            raise ValueError("interval must be at least one iteration")
+        self._interval = interval_iters
+        self.manager: _Retention | None = None
+        self._snapshot_x: np.ndarray | None = None
+        self._snapshot_iteration = 0
+        self._transfer_s = 0.0
+        self.rollback_reexecute_iters = 0
+        self.recoveries = 0
+
+    def setup(self, services: RecoveryServices) -> None:
+        self.manager = _Retention(self._interval)
+        self._snapshot_x = None
+        self._snapshot_iteration = 0
+        self._transfer_s = retention_transfer_s(services)
+        self.rollback_reexecute_iters = 0
+        self.recoveries = 0
+
+    @property
+    def interval_iters(self) -> int:
+        return self._interval
+
+    def next_hook_iteration(self, iteration: int) -> float:
+        # The hook only acts on interval multiples, like CR.
+        interval = self._interval
+        return iteration + (interval - iteration % interval)
+
+    def on_iteration_end(self, services: RecoveryServices, state: CGState) -> None:
+        assert self.manager is not None, "setup() must run first"
+        if state.iteration == 0 or state.iteration % self._interval != 0:
+            return
+        self._snapshot_x = state.x.copy()
+        self._snapshot_iteration = state.iteration
+        self.manager.writes += 1
+        services.charge_phase(
+            PhaseTag.CHECKPOINT, self._transfer_s, services.power_checkpoint_w()
+        )
+
+    def recover(
+        self, services: RecoveryServices, state: CGState, event: FaultEvent
+    ) -> RecoveryOutcome:
+        assert self.manager is not None, "setup() must run first"
+        with obs_span(
+            services, "recovery.construct", scheme=self.name,
+            rank=event.victim_rank,
+        ):
+            if self._snapshot_x is None:
+                state.x[:] = services.x0
+                lost = state.iteration
+            else:
+                state.x[:] = self._snapshot_x
+                lost = state.iteration - self._snapshot_iteration
+            self.rollback_reexecute_iters += lost
+            # The retained blocks stream back from the neighbour ranks.
+            services.charge_phase(
+                PhaseTag.RESTORE, self._transfer_s,
+                services.power_checkpoint_w(),
+            )
+            # Recurrence reconstruction replaces any store read of the
+            # dynamic vectors: one recurrence replay, restart-equivalent.
+            services.charge_phase(
+                PhaseTag.RECONSTRUCT,
+                services.restart_cost_s(),
+                services.power_compute_w(),
+            )
+        self.recoveries += 1
+        return RecoveryOutcome(
+            needs_restart=True, detail={"rolled_back_iters": lost}
+        )

@@ -20,7 +20,7 @@ from __future__ import annotations
 import abc
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Protocol, Sequence
 
 import numpy as np
 
@@ -91,8 +91,11 @@ class RecoveryServices(Protocol):
         recomputation: SpMV + halo + reduction)."""
         ...
 
-    def apply_dvfs_reconstruct(self, victim_rank: int) -> None:
-        """Section-4.2 schedule: victim core at f_max, all others f_min."""
+    def apply_dvfs_reconstruct(self, victims: "int | Sequence[int]") -> None:
+        """Section-4.2 schedule: victim cores at f_max, all others f_min.
+
+        Accepts a single rank or the full victim set of a concurrent
+        failure event."""
         ...
 
     def release_dvfs(self) -> None:
@@ -140,10 +143,21 @@ class RecoveryScheme(abc.ABC):
     name: str = "base"
     #: DMR runs a full replica: every phase costs double energy.
     energy_multiplier: float = 1.0
+    #: Flat per-iteration overlapped energy (joules) the scheme spends
+    #: alongside every CG iteration — e.g. ESR streaming its redundant
+    #: p/r copies to neighbour ranks.  Charged as REDUNDANT with zero
+    #: wall-clock, span-batched float-faithfully like energy_multiplier.
+    overlap_energy_per_iteration_j: float = 0.0
     #: True for schemes whose single recover() repairs the whole state
     #: (checkpoint rollback); False for block-local recoveries, which
     #: the solver invokes once per damaged block on wide-scope faults.
     recovers_globally: bool = False
+    #: True for schemes that repair a concurrent failure event in one
+    #: recover() call over the full victim set (``event.victims``) —
+    #: e.g. interpolation around a contiguous lost-block union, or ESR's
+    #: multi-loss reconstruction.  False keeps the per-damaged-block
+    #: invocation.  Ignored when recovers_globally is set.
+    recovers_jointly: bool = False
 
     def setup(self, services: RecoveryServices) -> None:
         """Called once before the first iteration."""

@@ -9,8 +9,10 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.checkpoint.store import DiskStore, MemoryStore
+from repro.core.recovery.abcr import AlgorithmBasedCheckpointRecovery
 from repro.core.recovery.base import RecoveryScheme
 from repro.core.recovery.checkpoint import CheckpointRestart
+from repro.core.recovery.esr import ExactStateReconstruction
 from repro.core.recovery.fill import InitialGuessFill, ZeroFill
 from repro.core.recovery.multilevel import MultiLevelCheckpointRestart
 from repro.core.recovery.interpolation import (
@@ -58,6 +60,10 @@ _BUILDERS: dict[str, Callable[..., RecoveryScheme]] = {
     "LSI-QR": lambda **_: LeastSquaresInterpolation(method="qr"),
     "LSI-DVFS": lambda *, construct_tol=1e-6, **_: LeastSquaresInterpolation(
         method="cg", construct_tol=construct_tol, dvfs=True
+    ),
+    "ESR": lambda **_: ExactStateReconstruction(),
+    "ABCR": lambda *, interval_iters=None, **_: AlgorithmBasedCheckpointRecovery(
+        interval_iters=interval_iters or DEFAULT_CR_INTERVAL_ITERS
     ),
 }
 

@@ -21,11 +21,20 @@ LSI (Eq. 18/20/21) solves the least-squares problem over the victim's
 ``dvfs=True`` (CG method only) enables the Section-4.2 power schedule:
 during construction the victim's core stays at f_max while every other
 core drops to f_min, cutting node power ~0.75x -> ~0.45x of compute.
+
+Concurrent failures (``event.victims`` with several ranks) are repaired
+jointly: victims are grouped into maximal runs of contiguous ranks and
+each group's *union* block is reconstructed as one interpolation system
+— the union of the lost diagonal blocks for LI, the union of the lost
+column blocks for LSI.  A fault that loses every rank leaves no
+surviving data to interpolate from, so that degenerate case falls back
+to block-by-block reconstruction against the zeroed remainder.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.cg import CGState
 from repro.core.recovery.base import (
@@ -47,8 +56,22 @@ from repro.power.energy import PhaseTag
 MAX_LOCAL_ITER_FACTOR = 10
 
 
+def contiguous_groups(victims) -> list[list[int]]:
+    """Sorted victims split into maximal runs of consecutive ranks."""
+    vs = sorted(victims)
+    groups = [[vs[0]]]
+    for v in vs[1:]:
+        if v == groups[-1][-1] + 1:
+            groups[-1].append(v)
+        else:
+            groups.append([v])
+    return groups
+
+
 class _InterpolationBase(RecoveryScheme):
     """Shared mechanics of LI and LSI."""
+
+    recovers_jointly = True
 
     def __init__(
         self,
@@ -76,15 +99,21 @@ class _InterpolationBase(RecoveryScheme):
 
     # -- helpers --------------------------------------------------------
     def _charge_rhs_comm(
-        self, services: RecoveryServices, event: FaultEvent, nbytes_in: float
+        self,
+        services: RecoveryServices,
+        dst: int,
+        exclude: "set[int] | frozenset[int]",
+        nbytes_in: float,
     ) -> float:
-        """Victim gathers the remote data its right-hand side needs."""
+        """``dst`` gathers the remote data its right-hand side needs
+        from every surviving rank (those outside ``exclude``)."""
         total = 0.0
+        survivors = max(1, services.nranks - len(exclude))
         for src in range(services.nranks):
-            if src == event.victim_rank:
+            if src in exclude:
                 continue
-            share = nbytes_in / max(1, services.nranks - 1)
-            total += services.p2p_s(src, event.victim_rank, share)
+            share = nbytes_in / survivors
+            total += services.p2p_s(src, dst, share)
         power = services.power_compute_w()
         services.charge_phase(PhaseTag.RECONSTRUCT, total, power)
         return total
@@ -92,24 +121,45 @@ class _InterpolationBase(RecoveryScheme):
     def _charge_construction(
         self,
         services: RecoveryServices,
-        event: FaultEvent,
+        group: "list[int]",
         seconds: float,
         *,
         parallel: bool,
     ) -> None:
         with obs_span(
             services, "recovery.construct", scheme=self.name,
-            rank=event.victim_rank, method=self.method,
+            rank=group[0], method=self.method,
         ):
             if parallel:
                 power = services.power_compute_w()
             else:
                 if self.dvfs:
-                    services.apply_dvfs_reconstruct(event.victim_rank)
+                    # Bare int for the single-victim degenerate case so
+                    # pre-victim-set services/fakes keep working.
+                    services.apply_dvfs_reconstruct(
+                        group[0] if len(group) == 1 else tuple(group)
+                    )
                 power = services.power_reconstruct_w(dvfs=self.dvfs)
             services.charge_phase(PhaseTag.RECONSTRUCT, seconds, power)
             if not parallel and self.dvfs:
                 services.release_dvfs()
+
+    def _victim_groups(
+        self, services: RecoveryServices, event: FaultEvent
+    ) -> list[list[int]]:
+        """How to partition the event's victim set into repair units."""
+        victims = list(event.victims)
+        if len(victims) >= services.nranks:
+            # Every rank lost: no survivors to interpolate around, so
+            # reconstruct block by block against the zeroed remainder
+            # (the historical wide-scope behaviour).
+            return [[v] for v in victims]
+        return contiguous_groups(victims)
+
+    def _union_slice(self, services: RecoveryServices, group: "list[int]"):
+        start = services.partition.slice_of(group[0]).start
+        stop = services.partition.slice_of(group[-1]).stop
+        return slice(start, stop)
 
     def _finish(
         self, services: RecoveryServices, detail: dict
@@ -145,20 +195,57 @@ class LinearInterpolation(_InterpolationBase):
     def recover(
         self, services: RecoveryServices, state: CGState, event: FaultEvent
     ) -> RecoveryOutcome:
-        sl = services.partition.slice_of(event.victim_rank)
-        rows = services.dmat.row_block(event.victim_rank)
-        diag = services.dmat.diag_block(event.victim_rank)
+        groups = self._victim_groups(services, event)
+        total_s = 0.0
+        group_details = []
+        for group in groups:
+            construct_s, stats_detail = self._recover_group(
+                services, state, group
+            )
+            total_s += construct_s
+            group_details.append(stats_detail)
+        detail = {
+            "scheme": self.name,
+            "method": self.method,
+            "construct_s": total_s,
+        }
+        if len(groups) == 1:
+            detail.update(group_details[0])
+        else:
+            detail["groups"] = [
+                {"victims": g, **d} for g, d in zip(groups, group_details)
+            ]
+        return self._finish(services, detail)
+
+    def _recover_group(
+        self, services: RecoveryServices, state: CGState, group: "list[int]"
+    ) -> "tuple[float, dict]":
+        sl = self._union_slice(services, group)
+        if len(group) == 1:
+            rows = services.dmat.row_block(group[0])
+            diag = services.dmat.diag_block(group[0])
+        else:
+            rows = sp.vstack(
+                [services.dmat.row_block(v) for v in group], format="csr"
+            )
+            diag = rows[:, sl].tocsr()
         n_loc = sl.stop - sl.start
 
         # Zero the damaged entries so the off-diagonal product excludes
-        # the victim's own (lost) contribution: y = b_i - sum_{j!=i} A_ij x_j.
+        # the group's own (lost) contribution: y = b_U - sum_{j not in U} A_Uj x_j.
         state.x[sl] = 0.0
         y = services.b[sl] - rows @ state.x
 
-        # The victim pulls the halo x entries the product above consumed.
-        halo = services.dmat.blocks(event.victim_rank).halo_recv_counts
-        nbytes_in = sum(halo.values()) * BYTES_PER_ENTRY
-        self._charge_rhs_comm(services, event, nbytes_in)
+        # The group pulls the halo x entries the product above consumed;
+        # halo traffic between group members is lost data, not a transfer.
+        group_set = set(group)
+        nbytes_in = 0.0
+        for v in group:
+            halo = services.dmat.blocks(v).halo_recv_counts
+            nbytes_in += sum(
+                cnt for src, cnt in halo.items() if src not in group_set
+            ) * BYTES_PER_ENTRY
+        self._charge_rhs_comm(services, group[0], group_set, nbytes_in)
 
         if self.method == "lu":
             x_i, lu = lu_solve_with_stats(diag, y)
@@ -185,17 +272,9 @@ class LinearInterpolation(_InterpolationBase):
                 "construct_relres": stats.relative_residual,
             }
 
-        self._charge_construction(services, event, construct_s, parallel=False)
+        self._charge_construction(services, group, construct_s, parallel=False)
         state.x[sl] = x_i
-        return self._finish(
-            services,
-            {
-                "scheme": self.name,
-                "method": self.method,
-                "construct_s": construct_s,
-                **stats_detail,
-            },
-        )
+        return construct_s, stats_detail
 
 
 class LeastSquaresInterpolation(_InterpolationBase):
@@ -219,43 +298,81 @@ class LeastSquaresInterpolation(_InterpolationBase):
     def recover(
         self, services: RecoveryServices, state: CGState, event: FaultEvent
     ) -> RecoveryOutcome:
-        sl = services.partition.slice_of(event.victim_rank)
-        rows = services.dmat.row_block(event.victim_rank)
+        groups = self._victim_groups(services, event)
+        total_s = 0.0
+        group_details = []
+        for group in groups:
+            construct_s, stats_detail = self._recover_group(
+                services, state, group
+            )
+            total_s += construct_s
+            group_details.append(stats_detail)
+        detail = {
+            "scheme": self.name,
+            "method": self.method,
+            "construct_s": total_s,
+        }
+        if len(groups) == 1:
+            detail.update(group_details[0])
+        else:
+            detail["groups"] = [
+                {"victims": g, **d} for g, d in zip(groups, group_details)
+            ]
+        return self._finish(services, detail)
+
+    def _recover_group(
+        self, services: RecoveryServices, state: CGState, group: "list[int]"
+    ) -> "tuple[float, dict]":
+        sl = self._union_slice(services, group)
+        if len(group) == 1:
+            rows = services.dmat.row_block(group[0])
+        else:
+            rows = sp.vstack(
+                [services.dmat.row_block(v) for v in group], format="csr"
+            )
         n = services.dmat.n
         n_loc = sl.stop - sl.start
 
-        # beta = b - sum_{j != i} A_{:,p_j} x_j: every rank computes its
-        # block of A x with the victim's entries zeroed.
+        # beta = b - sum_{j not in U} A_{:,p_j} x_j: every rank computes
+        # its block of A x with the group's entries zeroed.
         state.x[sl] = 0.0
         beta = services.b - services.dmat.matvec(state.x)
 
-        # One distributed SpMV to form beta, then gather it to the victim.
+        # One distributed SpMV to form beta, then gather it to the group.
         services.charge_phase(
             PhaseTag.RECONSTRUCT,
             services.restart_cost_s(),
             services.power_compute_w(),
         )
-        self._charge_rhs_comm(services, event, n * BYTES_PER_ENTRY)
+        group_set = set(group)
+        self._charge_rhs_comm(
+            services, group[0], group_set, n * BYTES_PER_ENTRY
+        )
 
         if self.method == "qr":
             # Exact parallel least squares (prior work's QR [2]): all
             # ranks participate; each LSQR round is two distributed
             # matvecs plus reductions.
-            col = services.dmat.col_block(event.victim_rank)
+            if len(group) == 1:
+                col = services.dmat.col_block(group[0])
+            else:
+                col = sp.hstack(
+                    [services.dmat.col_block(v) for v in group], format="csr"
+                )
             x_i, stats = exact_least_squares(col, beta)
             per_round_flops = 4.0 * col.nnz / services.nranks
             per_round_s = services.local_compute_s(per_round_flops) + (
                 2.0 * services.collective_allreduce_s(n_loc * BYTES_PER_ENTRY)
             )
             construct_s = stats.iterations * per_round_s
-            self._charge_construction(services, event, construct_s, parallel=True)
+            self._charge_construction(services, group, construct_s, parallel=True)
             detail = {"lsqr_iters": stats.iterations}
         else:
-            # Local normal equations (Eq. 21): operator v -> A_i (A_i^T v)
-            # built solely from the victim's own (recovered static) rows.
+            # Local normal equations (Eq. 21): operator v -> A_U (A_U^T v)
+            # built solely from the group's own (recovered static) rows.
             rows_t = rows.T.tocsr()
             rhs = rows @ beta
-            # Jacobi diagonal of A_i A_i^T = squared row norms: tames the
+            # Jacobi diagonal of A_U A_U^T = squared row norms: tames the
             # squared, badly-scaled conditioning of the normal equations.
             row_norms_sq = np.asarray(rows.multiply(rows).sum(axis=1)).ravel()
             row_norms_sq = np.maximum(row_norms_sq, 1e-300)
@@ -268,19 +385,11 @@ class LeastSquaresInterpolation(_InterpolationBase):
                 jacobi_diag=row_norms_sq,
             )
             construct_s = services.local_compute_s(stats.flops)
-            self._charge_construction(services, event, construct_s, parallel=False)
+            self._charge_construction(services, group, construct_s, parallel=False)
             detail = {
                 "local_iters": stats.iterations,
                 "construct_relres": stats.relative_residual,
             }
 
         state.x[sl] = x_i
-        return self._finish(
-            services,
-            {
-                "scheme": self.name,
-                "method": self.method,
-                "construct_s": construct_s,
-                **detail,
-            },
-        )
+        return construct_s, detail

@@ -244,13 +244,16 @@ class ResilientSolver:
     def restart_cost_s(self) -> float:
         return self.costs.wall_s
 
-    def apply_dvfs_reconstruct(self, victim_rank: int) -> None:
+    def apply_dvfs_reconstruct(self, victims) -> None:
         now = self.comm.now
         self.dvfs.set_governor(Governor.USERSPACE, time_s=now)
         ladder = self.config.power.ladder
         self.dvfs.set_all(ladder.fmin_ghz, time_s=now)
-        # the reconstructing core runs at the cap-respecting frequency
-        self.dvfs.set_frequency(victim_rank, self.f_op_ghz, time_s=now)
+        if not isinstance(victims, (list, tuple)):
+            victims = (int(victims),)
+        # the reconstructing cores run at the cap-respecting frequency
+        for victim_rank in victims:
+            self.dvfs.set_frequency(victim_rank, self.f_op_ghz, time_s=now)
 
     def release_dvfs(self) -> None:
         now = self.comm.now
@@ -397,6 +400,12 @@ class ResilientSolver:
                 )
         if mult > 1.0:
             self.account.charge_energy(PhaseTag.REDUNDANT, (mult - 1.0) * energy)
+        # Flat overlapped retention cost (ESR's redundant-copy streaming).
+        # Schemes set at most one of energy_multiplier / overlap energy,
+        # so the span replay's per-tag accumulation order stays exact.
+        ov = self.scheme.overlap_energy_per_iteration_j if self.scheme else 0.0
+        if ov > 0.0:
+            self.account.charge_energy(PhaseTag.REDUNDANT, ov)
         t0 = self.comm.now
         self.comm.clocks.synchronize(c.wall_s)
         tag = "extra" if is_extra else "iteration"
@@ -446,6 +455,9 @@ class ResilientSolver:
             account.charge_energy_span(
                 PhaseTag.REDUNDANT, (mult - 1.0) * energy, n
             )
+        ov = self.scheme.overlap_energy_per_iteration_j if self.scheme else 0.0
+        if ov > 0.0:
+            account.charge_energy_span(PhaseTag.REDUNDANT, ov, n)
         # Every per-iteration charge synchronises all ranks, so clocks
         # stay uniform throughout a solve and a span's clock advance
         # replays as a scalar accumulation.
@@ -495,6 +507,9 @@ class ResilientSolver:
                 energy += e_comm
         if mult > 1.0:
             pairs.append((PhaseTag.REDUNDANT, 0.0, (mult - 1.0) * energy))
+        ov = self.scheme.overlap_energy_per_iteration_j if self.scheme else 0.0
+        if ov > 0.0:
+            pairs.append((PhaseTag.REDUNDANT, 0.0, ov))
         for tag, time_s, energy_j in pairs:
             ct = counter("phase.time_s", phase=tag.value)
             ct.value = repeat_add(ct.value, time_s, n)
@@ -531,36 +546,47 @@ class ResilientSolver:
                 self._last_phase_tag = PhaseTag.OVERHEAD
 
     def _expand_victims(self, event: FaultEvent) -> list[int]:
-        """Expand the event's blast radius into concrete victim ranks."""
+        """Expand the event's blast radius into concrete victim ranks.
+
+        Every rank in ``event.victims`` is expanded by the event's scope
+        independently; the union preserves first-appearance order, so a
+        single-victim event reproduces the historical expansion exactly.
+        """
         from repro.faults.events import FaultScope
 
-        if event.victim_rank >= self.nranks:
-            raise ValueError(
-                f"victim rank {event.victim_rank} outside [0, {self.nranks})"
-            )
+        for v in event.victims:
+            if v >= self.nranks:
+                raise ValueError(
+                    f"victim rank {v} outside [0, {self.nranks})"
+                )
         if event.scope is FaultScope.PROCESS:
-            return [event.victim_rank]
-        if event.scope is FaultScope.NODE:
-            node = self.comm.binding.node_of(event.victim_rank)
-            return list(self.comm.binding.ranks_on_node(node))
-        return list(range(self.nranks))  # SYSTEM
+            return list(event.victims)
+        if event.scope is FaultScope.SYSTEM:
+            return list(range(self.nranks))
+        out: list[int] = []
+        seen: set[int] = set()
+        for v in event.victims:  # NODE
+            node = self.comm.binding.node_of(v)
+            for r in self.comm.binding.ranks_on_node(node):
+                if r not in seen:
+                    seen.add(r)
+                    out.append(r)
+        return out
 
     def _handle_fault(self, event: FaultEvent) -> None:
         """Damage and recover every rank in the event's blast radius.
 
-        Block-local schemes (fills, interpolation, redundancy) recover
-        one lost block at a time, each reconstruction seeing the blocks
-        recovered before it; global schemes (checkpoint rollback)
-        restore the entire state in one shot.
+        Block-local schemes (fills, redundancy) recover one lost block
+        at a time, each reconstruction seeing the blocks recovered
+        before it; joint schemes (interpolation unions, ESR) repair the
+        whole victim set in one recover() call; global schemes
+        (checkpoint rollback) restore the entire state in one shot.
         """
         cg = self.cg
         victims = self._expand_victims(event)
-        sub_events = [
-            FaultEvent(event.iteration, v, event.fault_class, event.scope)
-            for v in victims
-        ]
-        for ev in sub_events:
-            self.injector.inject(ev, cg.state.x, cg.state.r, cg.state.p)
+        self.injector.inject(
+            event, cg.state.x, cg.state.r, cg.state.p, victims=victims
+        )
         t_fault = self.comm.now
         if self.trace is not None:
             from repro.harness.tracing import FaultInjected
@@ -586,9 +612,26 @@ class ResilientSolver:
             for v in victims:
                 cg.state.x[self.partition.slice_of(v)] = 0.0
         if self.scheme.recovers_globally:
-            recover_events = sub_events[:1]
+            recover_events = [
+                FaultEvent(
+                    event.iteration, victims[0], event.fault_class, event.scope
+                )
+            ]
+        elif self.scheme.recovers_jointly and len(victims) > 1:
+            recover_events = [
+                FaultEvent(
+                    event.iteration,
+                    victims[0],
+                    event.fault_class,
+                    event.scope,
+                    victims=tuple(victims),
+                )
+            ]
         else:
-            recover_events = sub_events
+            recover_events = [
+                FaultEvent(event.iteration, v, event.fault_class, event.scope)
+                for v in victims
+            ]
         outcomes = []
         scheme_label = self.scheme.name.lower()
         for ev in recover_events:

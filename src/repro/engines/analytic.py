@@ -64,6 +64,19 @@ FW_SCHEMES = frozenset(
 )
 
 
+def analytic_scheme_names() -> list[str]:
+    """Every scheme :meth:`AnalyticEngine.solve_scheme` can evaluate, in
+    factory order.  Anything else raises :class:`UnsupportedSchemeError`
+    at solve time; CLI entry points that know the analytic engine will
+    run use this list to reject such schemes at argument-parse time
+    instead of mid-campaign.
+    """
+    from repro.core.recovery import scheme_names
+
+    supported = set(FW_SCHEMES) | {"RD", "TMR", "CR-M", "CR-D", "ESR", "ABCR"}
+    return [s for s in scheme_names() if s in supported]
+
+
 @dataclass(frozen=True)
 class AnalyticParams:
     """A-priori inputs of the closed-form models.
@@ -123,11 +136,18 @@ class _Substrate:
     def expand_victims(self, event: FaultEvent) -> list[int]:
         """The event's blast radius, identically to the solver."""
         if event.scope is FaultScope.PROCESS:
-            return [event.victim_rank]
-        if event.scope is FaultScope.NODE:
-            node = self.comm.binding.node_of(event.victim_rank)
-            return list(self.comm.binding.ranks_on_node(node))
-        return list(range(self.nranks))  # SYSTEM
+            return list(event.victims)
+        if event.scope is FaultScope.SYSTEM:
+            return list(range(self.nranks))
+        out: list[int] = []
+        seen: set[int] = set()
+        for v in event.victims:  # NODE
+            node = self.comm.binding.node_of(v)
+            for r in self.comm.binding.ranks_on_node(node):
+                if r not in seen:
+                    seen.add(r)
+                    out.append(r)
+        return out
 
 
 @dataclass
@@ -206,6 +226,10 @@ class AnalyticEngine(ExecutionEngine):
 
         if scheme_name in ("RD", "TMR"):
             terms = self._redundancy_terms(scheme_name, gm)
+        elif scheme_name == "ESR":
+            terms = self._esr_terms(sub, gm, rate, horizon, events, victim_lists)
+        elif scheme_name == "ABCR":
+            terms = self._abcr_terms(experiment, sub, gm, rate, events)
         elif scheme_name.startswith("CR"):
             terms = self._checkpoint_terms(
                 experiment, sub, scheme_name, gm, rate, events
@@ -257,6 +281,187 @@ class AnalyticEngine(ExecutionEngine):
             energy_multiplier=float(replicas),
             scheme_details={"recoveries": 0},
             model_params={"family": "redundancy", "replicas": replicas},
+        )
+
+    def _esr_terms(
+        self,
+        sub: _Substrate,
+        gm: GeneralModel,
+        rate: float,
+        horizon: int,
+        events: list[FaultEvent],
+        victim_lists: list[list[int]],
+    ) -> _SchemeTerms:
+        """ESR (arXiv:1907.13077): exact multi-loss reconstruction.
+
+        Priced from the *same* shared formulas the simulated scheme uses
+        (:func:`repro.core.recovery.esr.rebuild_flops` /
+        :func:`~repro.core.recovery.esr.retention_bytes`): the per-
+        iteration redundant p/r streaming overlaps execution (REDUNDANT
+        energy, no wall-clock), and each fault pays the victims' copy-
+        back transfers (RESTORE) plus one recurrence replay over the lost
+        row panels (RECONSTRUCT).  The reconstruction is exact, so there
+        are no extra iterations and no restarts — CG stays on the
+        fault-free trajectory.
+        """
+        from repro.core.models.schemes import ExactReconstructionModel
+        from repro.core.recovery.esr import rebuild_flops, retention_bytes
+
+        core = sub.machine.node.core
+        sizes = sub.dmat.partition.sizes
+        p2p = sub.comm.network.p2p_time
+        p_core = sub.p_active  # power_compute_w() / nranks
+        ov_per_iter = sum(
+            p2p(retention_bytes(int(sizes[r])), same_node=False) * p_core
+            for r in range(sub.nranks)
+        )
+        t_xfer_tot = 0.0
+        t_rebuild_tot = 0.0
+        total_blocks = 0
+        for victims in victim_lists:
+            total_blocks += len(victims)
+            for v in victims:
+                m_rows = int(sizes[v])
+                t_xfer_tot += p2p(retention_bytes(m_rows), same_node=False)
+                t_rebuild_tot += core.compute_time(
+                    rebuild_flops(sub.dmat.row_block(v).nnz, m_rows),
+                    sub.fmax_ghz,
+                )
+        p_rebuild = sub.p_active + (sub.nranks - 1) * sub.p_idle_fmax
+        n_events = len(events)
+        model = ExactReconstructionModel(
+            gm,
+            retention_power_w=(
+                ov_per_iter / sub.costs.wall_s if sub.costs.wall_s > 0 else 0.0
+            ),
+            t_xfer_s=t_xfer_tot / n_events if n_events else 0.0,
+            t_rebuild_s=t_rebuild_tot / n_events if n_events else 0.0,
+            n_faults=n_events,
+            rebuild_power_w=p_rebuild,
+        )
+        phases: list[tuple[PhaseTag, float, float]] = [
+            (PhaseTag.REDUNDANT, 0.0, horizon * ov_per_iter)
+        ]
+        if t_xfer_tot > 0:
+            phases.append(
+                (PhaseTag.RESTORE, t_xfer_tot, t_xfer_tot * sub.p_active * sub.nranks)
+            )
+        if t_rebuild_tot > 0:
+            phases.append(
+                (PhaseTag.RECONSTRUCT, t_rebuild_tot, t_rebuild_tot * p_rebuild)
+            )
+        return _SchemeTerms(
+            phases=phases,
+            construct_per_fault_s=model.t_rebuild_s,
+            scheme_details={"recoveries": total_blocks},
+            model_params={
+                "family": "exact-reconstruction",
+                "retention_power_w": model.retention_power_w,
+                "t_xfer_s": model.t_xfer_s,
+                "t_rebuild_s": model.t_rebuild_s,
+                "rate_per_s": rate,
+                "blocks_per_fault": (
+                    total_blocks / n_events if n_events else 1.0
+                ),
+            },
+        )
+
+    def _abcr_terms(
+        self,
+        experiment: "Experiment",
+        sub: _Substrate,
+        gm: GeneralModel,
+        rate: float,
+        events: list[FaultEvent],
+    ) -> _SchemeTerms:
+        """ABCR (arXiv:2007.04066): checkpoint timing over in-memory
+        retention, with reconstruction replacing the store read.
+
+        The write/read cost is the neighbour transfer of the retained
+        blocks (:func:`repro.core.recovery.abcr.retention_transfer_s`'s
+        critical path, computed from the same partition), the rollback
+        term is the exact event sum like :meth:`_checkpoint_terms`, and
+        each fault adds one restart-equivalent recurrence rebuild.
+        """
+        from repro.core.models.schemes import ABCRModel, CheckpointModel
+        from repro.core.recovery.abcr import RETAINED_VECTORS
+        from repro.matrices.distributed import BYTES_PER_ENTRY
+
+        sizes = sub.dmat.partition.sizes
+        p2p = sub.comm.network.p2p_time
+        t_c = max(
+            p2p(
+                RETAINED_VECTORS * int(sizes[r]) * BYTES_PER_ENTRY,
+                same_node=False,
+            )
+            for r in range(sub.nranks)
+        )
+        kwargs = experiment.cr_kwargs()
+        wall = sub.costs.wall_s
+        interval_iters = kwargs.get("interval_iters")
+        if interval_iters is None:
+            from repro.core.recovery.factory import DEFAULT_CR_INTERVAL_ITERS
+
+            interval_iters = DEFAULT_CR_INTERVAL_ITERS
+        frac = min(max(sub.p_idle_fmax / sub.p_active, 1e-6), 1.0)
+        checkpoint = CheckpointModel(
+            gm,
+            t_c_s=max(t_c, 1e-12),
+            rate_per_s=rate,
+            interval_s=interval_iters * wall,
+            checkpoint_power_fraction=frac,
+        )
+        interval_eff = checkpoint.effective_interval_s
+        t_lost = sum((e.iteration * wall) % interval_eff for e in events)
+        n_events = len(events)
+        t_rebuild_tot = n_events * wall  # one recurrence replay per fault
+        model = ABCRModel(
+            checkpoint,
+            t_rebuild_s=wall,
+            n_faults=n_events,
+            rebuild_power_w=gm.power_execution_w(),
+        )
+        total = gm.time_fault_free_s() + t_lost
+        t_chkpt = checkpoint.t_chkpt_s(total)
+        phases: list[tuple[PhaseTag, float, float]] = []
+        if t_chkpt > 0:
+            phases.append(
+                (PhaseTag.CHECKPOINT, t_chkpt, t_chkpt * checkpoint.p_res_w())
+            )
+        if t_lost > 0:
+            phases.append(
+                (PhaseTag.EXTRA, t_lost, t_lost * gm.power_execution_w())
+            )
+        if n_events:
+            phases.append(
+                (PhaseTag.RESTORE, n_events * t_c, n_events * t_c * checkpoint.p_res_w())
+            )
+            phases.append(
+                (
+                    PhaseTag.RECONSTRUCT,
+                    t_rebuild_tot,
+                    t_rebuild_tot * gm.power_execution_w(),
+                )
+            )
+        writes = int(total / interval_eff)
+        return _SchemeTerms(
+            phases=phases,
+            extra_iters=int(round(t_lost / wall)) if wall > 0 else 0,
+            restarts=n_events,
+            construct_per_fault_s=wall,
+            scheme_details={
+                "checkpoints_written": writes,
+                "interval_iters": int(interval_iters),
+                "recoveries": n_events,
+            },
+            model_params={
+                "family": "abcr",
+                "t_c_s": t_c,
+                "interval_s": interval_eff,
+                "t_rebuild_s": model.t_rebuild_s,
+                "rate_per_s": rate,
+                "checkpoint_power_fraction": frac,
+            },
         )
 
     def _checkpoint_terms(

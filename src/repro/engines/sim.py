@@ -43,7 +43,11 @@ class SimEngine(ExecutionEngine):
         scheme = make_scheme(
             scheme_name,
             construct_tol=experiment.config.construct_tol,
-            **(experiment.cr_kwargs() if scheme_name.startswith("CR") else {}),
+            **(
+                experiment.cr_kwargs()
+                if scheme_name.startswith("CR") or scheme_name == "ABCR"
+                else {}
+            ),
         )
         solver = ResilientSolver(
             experiment.a,

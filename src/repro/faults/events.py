@@ -79,15 +79,54 @@ class FaultEvent:
     the process whose partition of x is lost or corrupted — for wider
     scopes, the anchor rank from which the blast radius is expanded
     (its node, or the whole system).
+
+    ``victims`` is the full set of ranks struck *simultaneously* by this
+    one event (concurrent failures in the sense of Pachajoa et al.,
+    arXiv:1907.13077).  The single-victim case is the degenerate default:
+    when ``victims`` is left empty it is normalised to
+    ``(victim_rank,)``, so every pre-existing construction site, equality
+    comparison and serialized payload keeps its exact meaning.  When
+    given explicitly, ``victims`` is de-duplicated preserving order and
+    must contain ``victim_rank`` (the anchor).  ``scope`` expands each
+    victim independently (a NODE-scope event with two victims loses both
+    victims' nodes).
     """
 
     iteration: int
     victim_rank: int
     fault_class: FaultClass = FaultClass.SNF
     scope: FaultScope = FaultScope.PROCESS
+    victims: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.iteration < 0:
             raise ValueError("iteration must be non-negative")
         if self.victim_rank < 0:
             raise ValueError("victim rank must be non-negative")
+        if not self.victims:
+            object.__setattr__(self, "victims", (self.victim_rank,))
+            return
+        victims = tuple(dict.fromkeys(int(v) for v in self.victims))
+        if any(v < 0 for v in victims):
+            raise ValueError("victim rank must be non-negative")
+        if self.victim_rank not in victims:
+            raise ValueError(
+                f"victim_rank {self.victim_rank} must be a member of "
+                f"victims {victims}"
+            )
+        object.__setattr__(self, "victims", victims)
+
+    @classmethod
+    def multi(
+        cls,
+        iteration: int,
+        victims: "tuple[int, ...] | list[int]",
+        fault_class: FaultClass = FaultClass.SNF,
+        scope: FaultScope = FaultScope.PROCESS,
+    ) -> "FaultEvent":
+        """Event striking every rank in ``victims`` at once; the first
+        entry is the anchor ``victim_rank``."""
+        victims = tuple(int(v) for v in victims)
+        if not victims:
+            raise ValueError("need at least one victim")
+        return cls(iteration, victims[0], fault_class, scope, victims=victims)

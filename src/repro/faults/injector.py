@@ -16,6 +16,7 @@ distinction matters for detecting accidental use of dead data.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -33,31 +34,53 @@ class FaultInjector:
     def __post_init__(self) -> None:
         self._rng = np.random.default_rng(self.seed)
 
-    def inject(self, event: FaultEvent, *vectors: np.ndarray) -> slice:
-        """Damage the victim's rows of every given vector, in place.
+    def inject(
+        self,
+        event: FaultEvent,
+        *vectors: np.ndarray,
+        victims: Sequence[int] | None = None,
+    ) -> "slice | list[slice]":
+        """Damage every victim's rows of every given vector, in place.
 
-        Returns the slice of damaged rows.
+        ``victims`` defaults to ``event.victims``; the solver passes the
+        scope-expanded set explicitly.  Victims are damaged in order,
+        each corrupting every vector before the next victim is struck,
+        so a multi-victim event draws the same RNG stream as the
+        per-sub-event injection loop it replaces.
+
+        Returns the slice of damaged rows for a single victim, or the
+        list of per-victim slices when the event strikes several.
         """
-        sl = self.partition.slice_of(event.victim_rank)
-        if event.fault_class.is_hard or not event.fault_class.is_soft:
-            for v in vectors:
-                self._check(v)
-                v[sl] = np.nan
-        else:
-            # Soft corruption: flip the exponent/mantissa scale of random
-            # entries.  The values stay finite but are numerically junk.
-            for v in vectors:
-                self._check(v)
-                block = v[sl]
-                n = block.size
-                if n == 0:
-                    continue
-                nflip = max(1, n // 8)
-                idx = self._rng.choice(n, size=nflip, replace=False)
-                scale = self._rng.choice([2.0 ** 40, -1.0, 2.0 ** -40], size=nflip)
-                block[idx] = block[idx] * scale + self._rng.standard_normal(nflip)
-                v[sl] = block
-        return sl
+        if victims is None:
+            victims = event.victims
+        slices = []
+        for victim in victims:
+            sl = self.partition.slice_of(victim)
+            slices.append(sl)
+            if event.fault_class.is_hard or not event.fault_class.is_soft:
+                for v in vectors:
+                    self._check(v)
+                    v[sl] = np.nan
+            else:
+                # Soft corruption: flip the exponent/mantissa scale of
+                # random entries.  The values stay finite but are
+                # numerically junk.
+                for v in vectors:
+                    self._check(v)
+                    block = v[sl]
+                    n = block.size
+                    if n == 0:
+                        continue
+                    nflip = max(1, n // 8)
+                    idx = self._rng.choice(n, size=nflip, replace=False)
+                    scale = self._rng.choice(
+                        [2.0 ** 40, -1.0, 2.0 ** -40], size=nflip
+                    )
+                    block[idx] = (
+                        block[idx] * scale + self._rng.standard_normal(nflip)
+                    )
+                    v[sl] = block
+        return slices[0] if len(slices) == 1 else slices
 
     def _check(self, v: np.ndarray) -> None:
         if v.ndim != 1 or v.shape[0] != self.partition.n:

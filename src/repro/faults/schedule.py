@@ -48,28 +48,73 @@ class EmptySchedule(FaultSchedule):
         return []
 
 
+def _check_victims_per_fault(victims_per_fault: int, nranks: int) -> int:
+    if victims_per_fault < 1:
+        raise ValueError("victims_per_fault must be >= 1")
+    if victims_per_fault > nranks:
+        raise ValueError(
+            f"victims_per_fault {victims_per_fault} exceeds nranks {nranks}"
+        )
+    return victims_per_fault
+
+
 @dataclass(frozen=True)
 class FixedIterationSchedule(FaultSchedule):
-    """Faults at explicitly given (iteration, victim) pairs."""
+    """Faults at explicitly given (iteration, victim) pairs.
+
+    Each ``victims`` entry may be a single rank or a sequence of ranks
+    struck simultaneously by that event.  ``victims_per_fault`` widens
+    scalar assignments (explicit or default round-robin) into a run of
+    that many consecutive ranks, so a simultaneous-failure schedule can
+    be requested without spelling out every victim set.
+
+    Duplicate ``(iteration, victim)`` pairs are rejected: the same rank
+    cannot be struck twice at the same iteration, whether within one
+    event's victim set or across two events.
+    """
 
     iterations: Sequence[int]
-    victims: Sequence[int] | None = None
+    victims: "Sequence[int | Sequence[int]] | None" = None
     fault_class: FaultClass = FaultClass.SNF
     scope: FaultScope = FaultScope.PROCESS
+    victims_per_fault: int = 1
 
     def events(self, *, nranks: int, horizon_iters: int) -> list[FaultEvent]:
         self._validate(nranks, horizon_iters)
+        k = _check_victims_per_fault(self.victims_per_fault, nranks)
         if self.victims is not None and len(self.victims) != len(self.iterations):
             raise ValueError("victims must match iterations in length")
         out = []
+        seen: set[tuple[int, int]] = set()
         for idx, it in enumerate(self.iterations):
-            victim = (
-                self.victims[idx] if self.victims is not None else idx % nranks
-            )
-            if not 0 <= victim < nranks:
-                raise ValueError(f"victim {victim} out of range")
+            entry = self.victims[idx] if self.victims is not None else None
+            if entry is None:
+                vs = tuple((idx + i) % nranks for i in range(k))
+            elif isinstance(entry, (int, np.integer)):
+                base = int(entry)
+                if not 0 <= base < nranks:
+                    raise ValueError(f"victim {base} out of range")
+                # only the widening run wraps; the given rank must be real
+                vs = tuple((base + i) % nranks for i in range(k))
+            else:
+                vs = tuple(int(v) for v in entry)
+                if not vs:
+                    raise ValueError(f"victims[{idx}] must not be empty")
+            for victim in vs:
+                if not 0 <= victim < nranks:
+                    raise ValueError(f"victim {victim} out of range")
+                pair = (int(it), victim)
+                if pair in seen:
+                    raise ValueError(
+                        f"duplicate fault (iteration={pair[0]}, "
+                        f"victim={victim}): each (iteration, victim) pair "
+                        "may appear at most once in a schedule"
+                    )
+                seen.add(pair)
             out.append(
-                FaultEvent(int(it), int(victim), self.fault_class, self.scope)
+                FaultEvent(
+                    int(it), vs[0], self.fault_class, self.scope, victims=vs
+                )
             )
         return sorted(out, key=lambda e: e.iteration)
 
@@ -88,13 +133,17 @@ class EvenlySpacedSchedule(FaultSchedule):
     fault_class: FaultClass = FaultClass.SNF
     scope: FaultScope = FaultScope.PROCESS
     seed: int = 0
+    victims_per_fault: int = 1
 
     def __post_init__(self) -> None:
         if self.n_faults < 0:
             raise ValueError("n_faults must be non-negative")
+        if self.victims_per_fault < 1:
+            raise ValueError("victims_per_fault must be >= 1")
 
     def events(self, *, nranks: int, horizon_iters: int) -> list[FaultEvent]:
         self._validate(nranks, horizon_iters)
+        k = _check_victims_per_fault(self.victims_per_fault, nranks)
         if self.n_faults == 0 or horizon_iters == 0:
             return []
         rng = np.random.default_rng(self.seed)
@@ -103,8 +152,12 @@ class EvenlySpacedSchedule(FaultSchedule):
         for j in range(1, self.n_faults + 1):
             it = int(round(j * horizon_iters / (self.n_faults + 1)))
             it = min(max(it, 1), max(horizon_iters - 1, 1))
-            victim = (start + j - 1) % nranks
-            out.append(FaultEvent(it, victim, self.fault_class, self.scope))
+            vs = tuple((start + j - 1 + i) % nranks for i in range(k))
+            out.append(
+                FaultEvent(
+                    it, vs[0], self.fault_class, self.scope, victims=vs
+                )
+            )
         return out
 
 
@@ -124,15 +177,19 @@ class PoissonSchedule(FaultSchedule):
     seed: int = 0
     fault_class: FaultClass = FaultClass.SNF
     horizon_factor: float = 4.0
+    victims_per_fault: int = 1
 
     def __post_init__(self) -> None:
         if self.mtbf_iters <= 0:
             raise ValueError("MTBF must be positive")
         if self.horizon_factor < 1:
             raise ValueError("horizon factor must be >= 1")
+        if self.victims_per_fault < 1:
+            raise ValueError("victims_per_fault must be >= 1")
 
     def events(self, *, nranks: int, horizon_iters: int) -> list[FaultEvent]:
         self._validate(nranks, horizon_iters)
+        k = _check_victims_per_fault(self.victims_per_fault, nranks)
         rng = np.random.default_rng(self.seed)
         limit = self.horizon_factor * max(horizon_iters, 1)
         out: list[FaultEvent] = []
@@ -142,6 +199,12 @@ class PoissonSchedule(FaultSchedule):
             if t > limit:
                 break
             it = max(1, int(round(t)))
-            victim = int(rng.integers(0, nranks))
-            out.append(FaultEvent(it, victim, self.fault_class))
+            if k == 1:
+                # keep the historical single-draw RNG stream bitwise
+                vs = (int(rng.integers(0, nranks)),)
+            else:
+                vs = tuple(
+                    int(v) for v in rng.choice(nranks, size=k, replace=False)
+                )
+            out.append(FaultEvent.multi(it, vs, self.fault_class))
         return out

@@ -77,10 +77,22 @@ class ExperimentConfig:
     #: the cell's cache key so a backend regression can never silently
     #: serve results produced by the other backend.
     backend: str = DEFAULT_BACKEND
+    #: Ranks lost *simultaneously* per fault event (the victim set).
+    #: 1 reproduces the paper's single-failure protocol; >1 exercises the
+    #: multi-loss tolerance of ESR/LI/LSI (arXiv:1907.13077's concurrent
+    #: node failures).  Part of the cell's cache key.
+    victims_per_fault: int = 1
 
     def __post_init__(self) -> None:
         if self.n_faults < 0:
             raise ValueError("n_faults must be non-negative")
+        if self.victims_per_fault < 1:
+            raise ValueError("victims_per_fault must be >= 1")
+        if self.victims_per_fault > self.nranks:
+            raise ValueError(
+                f"victims_per_fault={self.victims_per_fault} exceeds "
+                f"nranks={self.nranks}"
+            )
         if isinstance(self.cr_interval, str) and self.cr_interval not in (
             "paper",
             "young",
@@ -234,6 +246,7 @@ class Experiment:
             n_faults=self.config.n_faults,
             seed=self.config.seed,
             scope=FaultScope(self.config.fault_scope),
+            victims_per_fault=self.config.victims_per_fault,
         )
 
     def fault_scope_victims(self) -> int:
@@ -241,17 +254,18 @@ class Experiment:
         from the cluster topology (1 / cores-per-node cap / all)."""
         c = self.config
         if c.fault_scope == "process":
-            return 1
+            return c.victims_per_fault
         if c.fault_scope == "system":
             return c.nranks
         from repro.cluster.comm import SimComm
         from repro.cluster.machine import paper_machine
 
         binding = SimComm(paper_machine(), c.nranks).binding
-        return max(
+        per_node = max(
             len(binding.ranks_on_node(node))
             for node in range(binding.nodes_used)
         )
+        return min(c.nranks, per_node * c.victims_per_fault)
 
     def implied_mtbf_s(self) -> float:
         """MTBF consistent with the injected fault load."""

@@ -88,6 +88,7 @@ _CONFIG_FIELDS: dict[str, tuple[type, ...]] = {
     "fault_scope": (str,),
     "trace": (bool,),
     "backend": (str,),
+    "victims_per_fault": (int,),
 }
 
 

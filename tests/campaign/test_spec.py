@@ -172,3 +172,46 @@ class TestEngineAxis:
         assert spec.engines == ("sim", "analytic")
         assert set(spec.schemes) == {"RD", "F0", "FI", "CR-D", "CR-M"}
         assert "model-validation" in preset_names()
+
+
+class TestVictimsPerFaultAxis:
+    def test_default_axis_is_single_victim(self, tiny_spec):
+        assert tiny_spec.victims_per_fault == (1,)
+        assert all(
+            c.config.victims_per_fault == 1 for c in tiny_spec.cells()
+        )
+
+    def test_axis_multiplies_the_grid(self, tiny_spec):
+        from dataclasses import replace
+
+        swept = replace(tiny_spec, victims_per_fault=(1, 2))
+        assert len(swept) == 2 * len(tiny_spec)
+        assert {c.config.victims_per_fault for c in swept.cells()} == {1, 2}
+
+    def test_invalid_axis_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(matrices=("Kuu",), victims_per_fault=())
+        with pytest.raises(ValueError):
+            CampaignSpec(matrices=("Kuu",), victims_per_fault=(0,))
+
+    def test_label_marks_multi_victim_cells_only(self):
+        multi = CampaignCell(
+            ExperimentConfig(matrix="Kuu", victims_per_fault=2), "LI"
+        )
+        single = CampaignCell(ExperimentConfig(matrix="Kuu"), "LI")
+        assert "v2" in multi.label
+        assert "v2" not in single.label
+
+    def test_describe_mentions_axis_when_swept(self, tiny_spec):
+        from dataclasses import replace
+
+        assert "victim-set" not in tiny_spec.describe()
+        swept = replace(tiny_spec, victims_per_fault=(2,))
+        assert "victim-set" in swept.describe()
+
+    def test_multi_fault_preset(self):
+        spec = preset("multi-fault")
+        assert "multi-fault" in preset_names()
+        assert spec.victims_per_fault == (2,)
+        assert spec.engines == ("sim", "analytic")
+        assert {"ESR", "ABCR"} <= set(spec.schemes)

@@ -9,7 +9,13 @@ import pytest
 
 from repro.campaign.serialize import report_from_dict, report_to_dict
 from repro.campaign.spec import CampaignCell
-from repro.campaign.store import ResultStore, cell_key, legacy_cell_key
+from repro.campaign.store import (
+    ResultStore,
+    _hash_material,
+    cell_key,
+    legacy_cell_key,
+    legacy_cell_keys,
+)
 from repro.harness.experiment import Experiment, ExperimentConfig
 
 
@@ -43,6 +49,26 @@ class TestSerialize:
         _, report = solved
         data = json.loads(json.dumps(report_to_dict(report)))
         assert_reports_equal(report_from_dict(data), report)
+
+    def test_multivictim_fault_round_trip(self, solved):
+        from repro.faults.events import FaultEvent
+
+        _, report = solved
+        multi = replace(report, faults=[FaultEvent.multi(5, (2, 0, 3))])
+        data = json.loads(json.dumps(report_to_dict(multi)))
+        assert data["faults"][0]["victims"] == [2, 0, 3]
+        assert data["faults"][0]["victim_rank"] == 2
+        assert report_from_dict(data).faults == multi.faults
+
+    def test_single_victim_wire_shape_has_no_victims_key(self, solved):
+        """Single-victim events keep the pre-victim-set payload bytes;
+        decoding normalizes them back to one-element victim sets."""
+        _, report = solved
+        data = report_to_dict(report)
+        assert report.faults  # the fixture solve did inject faults
+        assert all("victims" not in ev for ev in data["faults"])
+        back = report_from_dict(json.loads(json.dumps(data)))
+        assert all(e.victims == (e.victim_rank,) for e in back.faults)
 
     def test_unserializable_details_are_dropped_with_a_note(self, solved):
         _, report = solved
@@ -237,6 +263,38 @@ def _write_v2_entry(store, cell, report):
     return key
 
 
+def _write_v4_entry(store, cell, report):
+    """Hand-build the entry a format-4 store would hold for this cell:
+    keyed by the v4 hash, payload config without ``victims_per_fault``."""
+    import time
+    from dataclasses import asdict
+
+    config = asdict(cell.config)
+    del config["victims_per_fault"]
+    key = _hash_material(4, config, cell.scheme)
+    path = store._payload_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "key": key,
+        "cell": {"config": config, "scheme": cell.scheme},
+        "report": report_to_dict(report),
+    }
+    path.write_text(json.dumps(payload, sort_keys=True))
+    cfg = cell.config
+    store._db.execute(
+        "INSERT OR REPLACE INTO results VALUES "
+        "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        (
+            key, cfg.matrix, cell.scheme, cfg.nranks, cfg.n_faults, cfg.seed,
+            cfg.scale, str(cfg.cr_interval), cfg.tol, int(report.converged),
+            report.iterations, report.time_s, report.energy_j, 1.0,
+            time.time(), str(path.relative_to(store.root)),
+        ),
+    )
+    store._db.commit()
+    return key
+
+
 class TestMigration:
     """Format-2 stores keep serving their banked cells under format 3."""
 
@@ -290,6 +348,51 @@ class TestMigration:
             replace(cell.config, engine="analytic"), cell.scheme
         )
         assert store.get(analytic) is None
+
+    def test_legacy_chain_is_newest_first(self, solved):
+        """An all-defaults cell reaches back through v4, v3 and v2."""
+        cell, _ = solved
+        keys = legacy_cell_keys(cell)
+        assert len(keys) == 3
+        assert len(set(keys)) == 3
+        assert keys[-1] == legacy_cell_key(cell)
+        assert cell_key(cell) not in keys
+
+    def test_multivictim_cells_have_no_legacy_identity(self, solved):
+        """A v4 store only ever held single-victim cells, so a
+        victims_per_fault > 1 cell must not chase any legacy key."""
+        cell, _ = solved
+        multi = CampaignCell(
+            replace(cell.config, victims_per_fault=2), cell.scheme
+        )
+        assert legacy_cell_keys(multi) == []
+        assert legacy_cell_key(multi) is None
+
+    def test_v4_store_loads_under_v5(self, store, solved):
+        cell, report = solved
+        v4_key = _write_v4_entry(store, cell, report)
+        entry = store.get_entry(cell)
+        assert entry is not None
+        assert entry.key == v4_key
+        assert_reports_equal(entry.report, report)
+        assert entry.cell.config.victims_per_fault == 1
+        assert entry.cell.config == cell.config
+
+    def test_multivictim_cells_never_hit_v4_rows(self, store, solved):
+        cell, report = solved
+        _write_v4_entry(store, cell, report)
+        multi = CampaignCell(
+            replace(cell.config, victims_per_fault=2), cell.scheme
+        )
+        assert store.get(multi) is None
+
+    def test_v5_write_wins_over_v4_fallback(self, store, solved):
+        cell, report = solved
+        _write_v4_entry(store, cell, report)
+        store.put(cell, report, elapsed_s=9.0)
+        entry = store.get_entry(cell)
+        assert entry.key == cell_key(cell)
+        assert entry.elapsed_s == 9.0
 
 
 class TestMixedEngines:

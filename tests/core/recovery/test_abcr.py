@@ -1,0 +1,127 @@
+"""Unit tests for algorithm-based checkpoint-recovery (ABCR,
+arXiv:2007.04066)."""
+
+import numpy as np
+import pytest
+
+from repro.core.recovery.abcr import (
+    RETAINED_VECTORS,
+    AlgorithmBasedCheckpointRecovery,
+    retention_transfer_s,
+)
+from repro.faults.events import FaultEvent
+from repro.power.energy import PhaseTag
+
+
+def scheme_with(services, interval=5):
+    s = AlgorithmBasedCheckpointRecovery(interval_iters=interval)
+    s.setup(services)
+    return s
+
+
+class TestCadence:
+    def test_retains_on_interval_only(self, services, midsolve_state):
+        s = scheme_with(services, interval=5)
+        midsolve_state.iteration = 5
+        s.on_iteration_end(services, midsolve_state)
+        assert s.manager.writes == 1
+        midsolve_state.iteration = 7
+        s.on_iteration_end(services, midsolve_state)
+        assert s.manager.writes == 1
+
+    def test_iteration_zero_never_retains(self, services, midsolve_state):
+        s = scheme_with(services, interval=5)
+        midsolve_state.iteration = 0
+        s.on_iteration_end(services, midsolve_state)
+        assert s.manager.writes == 0
+
+    def test_next_hook_lands_on_interval_multiples(self, services):
+        s = scheme_with(services, interval=5)
+        assert s.next_hook_iteration(3) == 5
+        assert s.next_hook_iteration(5) == 10
+
+    def test_retention_charged_as_checkpoint_at_low_power(
+        self, services, midsolve_state
+    ):
+        s = scheme_with(services, interval=5)
+        midsolve_state.iteration = 10
+        s.on_iteration_end(services, midsolve_state)
+        cps = [c for c in services.charges if c[0] is PhaseTag.CHECKPOINT]
+        assert len(cps) == 1
+        assert cps[0][1] == pytest.approx(retention_transfer_s(services))
+        assert cps[0][2] == pytest.approx(74.0)
+
+    def test_transfer_prices_three_vectors_of_largest_block(self, services):
+        part = services.partition
+        worst = max(
+            part.slice_of(r).stop - part.slice_of(r).start
+            for r in range(services.nranks)
+        )
+        expected = services.interconnect_p2p_s(RETAINED_VECTORS * worst * 8)
+        assert retention_transfer_s(services) == pytest.approx(expected)
+
+
+class TestRecover:
+    def test_rollback_restores_retained_x(self, services, midsolve_state):
+        s = scheme_with(services, interval=5)
+        midsolve_state.iteration = 5
+        saved = midsolve_state.x.copy()
+        s.on_iteration_end(services, midsolve_state)
+        midsolve_state.x += 1.0
+        midsolve_state.iteration = 8
+        out = s.recover(services, midsolve_state, FaultEvent(8, 1))
+        assert out.needs_restart
+        assert np.array_equal(midsolve_state.x, saved)
+        assert out.detail["rolled_back_iters"] == 3
+        assert s.rollback_reexecute_iters == 3
+
+    def test_rollback_without_retention_restarts_from_x0(
+        self, services, midsolve_state
+    ):
+        s = scheme_with(services, interval=1000)
+        midsolve_state.iteration = 8
+        s.recover(services, midsolve_state, FaultEvent(8, 1))
+        assert np.array_equal(midsolve_state.x, services.x0)
+        assert s.rollback_reexecute_iters == 8
+
+    def test_restore_at_checkpoint_power_reconstruct_at_compute(
+        self, services, midsolve_state
+    ):
+        s = scheme_with(services, interval=5)
+        midsolve_state.iteration = 6
+        s.recover(services, midsolve_state, FaultEvent(6, 0))
+        restores = [c for c in services.charges if c[0] is PhaseTag.RESTORE]
+        recon = [c for c in services.charges if c[0] is PhaseTag.RECONSTRUCT]
+        assert restores[0][1] == pytest.approx(retention_transfer_s(services))
+        assert restores[0][2] == pytest.approx(74.0)
+        assert recon[0][1] == pytest.approx(services.restart_cost_s())
+        assert recon[0][2] == pytest.approx(100.0)
+
+    def test_multi_victim_event_is_one_global_rollback(
+        self, services, midsolve_state
+    ):
+        """A victim-set event costs one rollback, not one per victim —
+        the retained copies cover every rank at once."""
+        s = scheme_with(services, interval=5)
+        midsolve_state.iteration = 5
+        s.on_iteration_end(services, midsolve_state)
+        midsolve_state.iteration = 9
+        out = s.recover(
+            services, midsolve_state, FaultEvent.multi(9, (0, 2, 3))
+        )
+        assert s.recoveries == 1
+        assert out.detail["rolled_back_iters"] == 4
+        restores = [c for c in services.charges if c[0] is PhaseTag.RESTORE]
+        assert len(restores) == 1
+
+
+class TestValidation:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            AlgorithmBasedCheckpointRecovery(interval_iters=0)
+
+    def test_interval_property(self):
+        assert (
+            AlgorithmBasedCheckpointRecovery(interval_iters=7).interval_iters
+            == 7
+        )

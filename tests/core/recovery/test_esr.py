@@ -1,0 +1,119 @@
+"""Unit tests for exact state reconstruction (ESR, arXiv:1907.13077)."""
+
+import numpy as np
+import pytest
+
+from repro.core.recovery.esr import (
+    ExactStateReconstruction,
+    rebuild_flops,
+    retention_bytes,
+)
+from repro.faults.events import FaultEvent
+from repro.power.energy import PhaseTag
+
+
+def scheme_with(services):
+    s = ExactStateReconstruction()
+    s.setup(services)
+    return s
+
+
+class TestRetention:
+    def test_overlap_energy_positive_after_setup(self, services):
+        s = scheme_with(services)
+        assert s.overlap_energy_per_iteration_j > 0
+
+    def test_no_periodic_hook(self, services):
+        s = scheme_with(services)
+        assert s.next_hook_iteration(17) == float("inf")
+
+    def test_retention_bytes_two_vectors(self):
+        assert retention_bytes(10) == 2 * 10 * 8
+
+    def test_rebuild_flops_scale_with_panel(self):
+        assert rebuild_flops(100, 10) == 2 * 100 + 10 * 10
+
+
+class TestRecover:
+    def _corrupt_then_recover(self, services, state, victims):
+        s = scheme_with(services)
+        s.on_iteration_end(services, state)
+        reference = state.copy()
+        for v in victims:
+            sl = services.partition.slice_of(v)
+            state.x[sl] = np.nan
+            state.r[sl] = np.nan
+            state.p[sl] = np.nan
+        out = s.recover(services, state, FaultEvent.multi(21, victims))
+        return s, out, reference
+
+    def test_multi_victim_rebuild_is_bitwise(self, services, midsolve_state):
+        """Two simultaneous losses rebuild to the exact pre-fault state."""
+        s, out, ref = self._corrupt_then_recover(
+            services, midsolve_state, (1, 3)
+        )
+        assert not out.needs_restart
+        assert np.array_equal(midsolve_state.x, ref.x)
+        assert np.array_equal(midsolve_state.r, ref.r)
+        assert np.array_equal(midsolve_state.p, ref.p)
+        assert midsolve_state.rz == ref.rz
+        assert s.recoveries == 2
+        assert out.detail == {"exact": True, "victims": [1, 3]}
+
+    def test_all_but_one_rank_lost_rebuilds(self, services, midsolve_state):
+        _, out, ref = self._corrupt_then_recover(
+            services, midsolve_state, (0, 1, 2)
+        )
+        assert not out.needs_restart
+        assert np.array_equal(midsolve_state.x, ref.x)
+
+    def test_restore_charged_per_victim(self, services, midsolve_state):
+        self._corrupt_then_recover(services, midsolve_state, (1, 3))
+        restores = [c for c in services.charges if c[0] is PhaseTag.RESTORE]
+        assert len(restores) == 2
+        assert all(p == pytest.approx(100.0) for _, _, p in restores)
+
+    def test_reconstruct_charged_once_at_full_speed_power(
+        self, services, midsolve_state
+    ):
+        self._corrupt_then_recover(services, midsolve_state, (1, 3))
+        recon = [c for c in services.charges if c[0] is PhaseTag.RECONSTRUCT]
+        assert len(recon) == 1
+        assert recon[0][1] > 0
+        assert recon[0][2] == pytest.approx(75.0)  # no-DVFS reconstruct power
+
+    def test_fault_before_first_iteration_restarts_from_x0(self, services):
+        from repro.core.cg import DistributedCG
+
+        s = scheme_with(services)  # no on_iteration_end: nothing streamed
+        cg = DistributedCG(services.dmat, services.b, tol=1e-12)
+        state = cg.state
+        out = s.recover(services, state, FaultEvent.multi(0, (0, 2)))
+        assert out.needs_restart
+        r0 = services.b - services.dmat.matvec(services.x0)
+        for v in (0, 2):
+            sl = services.partition.slice_of(v)
+            assert np.array_equal(state.x[sl], services.x0[sl])
+            assert np.array_equal(state.r[sl], r0[sl])
+
+
+class TestEndToEnd:
+    def test_esr_matches_fault_free_after_simultaneous_losses(self):
+        """Acceptance: after >= 2 simultaneous failures in one event, the
+        ESR trajectory is bitwise the fault-free one — same iteration
+        count, same residual history."""
+        from repro.faults.schedule import FixedIterationSchedule
+        from tests.differential import run_solver
+
+        ff = run_solver("banded", None)
+        rep = run_solver(
+            "banded", "ESR",
+            schedule=FixedIterationSchedule(
+                iterations=[7, 23], victims=[(1, 4), (0, 2, 5)]
+            ),
+        )
+        assert rep.converged and ff.converged
+        assert rep.iterations == ff.iterations
+        assert np.array_equal(rep.residual_history, ff.residual_history)
+        assert rep.final_relative_residual == ff.final_relative_residual
+        assert len(rep.faults) == 2

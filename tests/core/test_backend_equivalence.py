@@ -29,7 +29,7 @@ from repro.matrices.distributed import DistributedMatrix
 from repro.matrices.partition import BlockRowPartition
 from repro.core.recovery import scheme_names
 from repro.core.solver import SolverConfig
-from repro.faults.schedule import PoissonSchedule
+from repro.faults.schedule import EvenlySpacedSchedule, PoissonSchedule
 from repro.harness.experiment import Experiment, ExperimentConfig
 from tests.differential import (
     MATRICES,
@@ -193,6 +193,34 @@ def test_backends_identical_fuzzed(seed):
     scheme = scheme_names()[seed % len(scheme_names())]
     check_pair(
         matrix, scheme, schedule=schedule, context=fuzzer.repro_hint(seed)
+    )
+
+
+@pytest.mark.parametrize(
+    "seed,scheme", [(0, "ESR"), (1, "ABCR"), (2, "LI"), (3, "RD")]
+)
+def test_backends_identical_fuzzed_multivictim(seed, scheme):
+    """Victim-set schedules: simultaneous sets at iteration 0,
+    all-ranks-but-one, and span-boundary multi-victim events must stay
+    bitwise identical across backends too."""
+    matrix = sorted(MATRICES)[seed % len(MATRICES)]
+    fuzzer = FaultScheduleFuzzer(
+        nranks=8, horizon_iters=_horizon(matrix), hook_interval=40
+    )
+    schedule = fuzzer.generate_multivictim(seed)
+    check_pair(
+        matrix, scheme, schedule=schedule,
+        context=fuzzer.repro_hint(seed, method="generate_multivictim"),
+    )
+
+
+@pytest.mark.parametrize("scheme", ["ESR", "ABCR"])
+def test_backends_identical_victims_per_fault(scheme):
+    """The ``victims_per_fault`` schedule axis under both backends."""
+    check_pair(
+        "banded", scheme,
+        schedule=EvenlySpacedSchedule(n_faults=2, victims_per_fault=2),
+        context=f"{scheme}-victims_per_fault=2",
     )
 
 

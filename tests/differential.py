@@ -302,6 +302,11 @@ class FaultScheduleFuzzer:
 
     Deterministic per seed: ``generate(seed)`` is a pure function, so a
     failing seed printed by a test reproduces the exact schedule.
+
+    :meth:`generate_multivictim` is the victim-*set* counterpart: every
+    event strikes several ranks at once, covering the simultaneous-loss
+    patterns (iteration-0 sets, all-ranks-but-one, span-boundary sets)
+    that only multi-loss-tolerant schemes can survive.
     """
 
     def __init__(self, nranks: int, horizon_iters: int, *,
@@ -351,10 +356,64 @@ class FaultScheduleFuzzer:
             victims=tuple(v for _, v in events),
         )
 
-    def repro_hint(self, seed: int) -> str:
+    def generate_multivictim(self, seed: int) -> FixedIterationSchedule:
+        """Adversarial schedules whose events strike victim *sets*.
+
+        Guarantees, for every seed (``nranks >= 2``):
+
+        * a simultaneous distinct-rank set at **iteration 0** (multiple
+          blocks lost before any progress);
+        * an **all-ranks-but-one** event (the maximum loss a joint
+          reconstruction can still recover from);
+        * a **span-boundary** multi-victim event whenever the horizon
+          crosses the hook cadence;
+
+        plus up to two random multi-victim fillers.  Victim sets are
+        deduplicated per iteration so no ``(iteration, victim)`` pair
+        repeats — the schedules stay valid under
+        :class:`FixedIterationSchedule`'s duplicate rejection.
+        """
+        if self.nranks < 2:
+            raise ValueError("multi-victim schedules need at least two ranks")
+        rng = random.Random(seed)
+        h = self.horizon_iters
+        used: dict[int, set[int]] = {}
+        events: list[tuple[int, tuple[int, ...]]] = []
+
+        def pick_set(size: int) -> tuple[int, ...]:
+            return tuple(rng.sample(range(self.nranks), min(size, self.nranks)))
+
+        def add(it: int, vs: tuple[int, ...]) -> None:
+            taken = used.setdefault(it, set())
+            fresh = tuple(v for v in vs if v not in taken)
+            if fresh:
+                taken.update(fresh)
+                events.append((it, fresh))
+
+        # simultaneous distinct-rank set at iteration 0
+        add(0, pick_set(2 + rng.randrange(2)))
+        # all-ranks-but-one: one survivor carries the reconstruction
+        spare = rng.randrange(self.nranks)
+        add(
+            rng.randint(1, h - 1),
+            tuple(r for r in range(self.nranks) if r != spare),
+        )
+        # multi-victim event pinned to a hook-cadence span boundary
+        if h > self.hook_interval:
+            k = rng.randint(1, (h - 1) // self.hook_interval)
+            add(k * self.hook_interval, pick_set(2))
+        for _ in range(rng.randint(0, 2)):
+            add(rng.randint(1, h - 1), pick_set(2))
+        events.sort(key=lambda e: e[0])
+        return FixedIterationSchedule(
+            iterations=tuple(it for it, _ in events),
+            victims=tuple(vs for _, vs in events),
+        )
+
+    def repro_hint(self, seed: int, *, method: str = "generate") -> str:
         """The reproduction one-liner printed with failing seeds."""
         return (
             f"fuzz seed {seed}: FaultScheduleFuzzer(nranks={self.nranks}, "
             f"horizon_iters={self.horizon_iters}, "
-            f"hook_interval={self.hook_interval}).generate({seed})"
+            f"hook_interval={self.hook_interval}).{method}({seed})"
         )

@@ -87,11 +87,60 @@ def test_simultaneous_pair_uses_distinct_victims():
                 )
 
 
+def test_multivictim_deterministic_per_seed():
+    for seed in range(16):
+        a = FUZZER.generate_multivictim(seed)
+        b = FUZZER.generate_multivictim(seed)
+        assert a.iterations == b.iterations
+        assert a.victims == b.victims
+
+
+def test_multivictim_schedules_are_well_formed():
+    """Events must materialize — i.e. no duplicate (iteration, victim)
+    pair slips past the schedule's rejection — with in-range victims."""
+    for seed in SEEDS:
+        sched = FUZZER.generate_multivictim(seed)
+        evs = sched.events(nranks=NRANKS, horizon_iters=HORIZON)
+        assert evs
+        iters = [e.iteration for e in evs]
+        assert iters == sorted(iters)
+        assert all(0 <= it < HORIZON for it in iters)
+        for e in evs:
+            assert len(set(e.victims)) == len(e.victims)
+            assert all(0 <= v < NRANKS for v in e.victims)
+
+
+def test_multivictim_patterns_guaranteed_every_seed():
+    for seed in SEEDS:
+        evs = FUZZER.generate_multivictim(seed).events(
+            nranks=NRANKS, horizon_iters=HORIZON
+        )
+        by_iter = {e.iteration: e for e in evs}
+        # simultaneous distinct-rank set at iteration 0
+        assert 0 in by_iter and len(by_iter[0].victims) >= 2, seed
+        # all-ranks-but-one appears somewhere
+        assert any(len(e.victims) == NRANKS - 1 for e in evs), seed
+        # span-boundary multi-victim (horizon crosses the hook cadence)
+        assert any(
+            e.iteration % FUZZER.hook_interval == 0 and e.iteration > 0
+            and len(e.victims) >= 2
+            for e in evs
+        ), seed
+
+
+def test_multivictim_requires_two_ranks():
+    with pytest.raises(ValueError):
+        FaultScheduleFuzzer(1, 100).generate_multivictim(0)
+
+
 def test_repro_hint_names_the_seed():
     hint = FUZZER.repro_hint(17)
     assert "generate(17)" in hint
     assert f"nranks={NRANKS}" in hint
     assert f"horizon_iters={HORIZON}" in hint
+    assert "generate_multivictim(3)" in FUZZER.repro_hint(
+        3, method="generate_multivictim"
+    )
 
 
 def test_constructor_validation():

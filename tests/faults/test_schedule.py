@@ -53,6 +53,59 @@ class TestFixedIterationSchedule:
         s = FixedIterationSchedule(iterations=[1], fault_class=FaultClass.SDC)
         assert s.events(nranks=2, horizon_iters=5)[0].fault_class is FaultClass.SDC
 
+    def test_victim_set_entries(self):
+        s = FixedIterationSchedule(iterations=[5, 9], victims=[(2, 0), 3])
+        evs = s.events(nranks=4, horizon_iters=20)
+        assert evs[0].victims == (2, 0)
+        assert evs[0].victim_rank == 2  # primary victim is the first
+        assert evs[1].victims == (3,)
+
+    def test_victims_per_fault_widens_scalars(self):
+        s = FixedIterationSchedule(
+            iterations=[5], victims=[2], victims_per_fault=3
+        )
+        evs = s.events(nranks=4, horizon_iters=20)
+        assert evs[0].victims == (2, 3, 0)  # wraps round-robin
+
+    def test_victims_per_fault_exceeding_nranks_rejected(self):
+        with pytest.raises(ValueError, match="exceeds nranks"):
+            FixedIterationSchedule(
+                iterations=[1], victims_per_fault=5
+            ).events(nranks=4, horizon_iters=10)
+
+    def test_duplicate_pair_across_events_rejected(self):
+        """Satellite regression: the same (iteration, victim) pair may
+        appear at most once, whether across two events..."""
+        with pytest.raises(ValueError, match="duplicate fault"):
+            FixedIterationSchedule(
+                iterations=[5, 5], victims=[1, 1]
+            ).events(nranks=4, horizon_iters=20)
+
+    def test_duplicate_victim_within_event_rejected(self):
+        """...or inside one event's victim set."""
+        with pytest.raises(ValueError, match="duplicate fault"):
+            FixedIterationSchedule(
+                iterations=[5], victims=[(1, 2, 1)]
+            ).events(nranks=4, horizon_iters=20)
+
+    def test_duplicate_pair_between_set_and_scalar_rejected(self):
+        with pytest.raises(ValueError, match="duplicate fault"):
+            FixedIterationSchedule(
+                iterations=[5, 5], victims=[(0, 1), 1]
+            ).events(nranks=4, horizon_iters=20)
+
+    def test_same_victim_at_different_iterations_allowed(self):
+        evs = FixedIterationSchedule(
+            iterations=[5, 6], victims=[1, 1]
+        ).events(nranks=4, horizon_iters=20)
+        assert [(e.iteration, e.victim_rank) for e in evs] == [(5, 1), (6, 1)]
+
+    def test_empty_victim_set_rejected(self):
+        with pytest.raises(ValueError, match="must not be empty"):
+            FixedIterationSchedule(
+                iterations=[5], victims=[()]
+            ).events(nranks=4, horizon_iters=20)
+
 
 class TestEvenlySpacedSchedule:
     def test_count(self):
@@ -92,6 +145,30 @@ class TestEvenlySpacedSchedule:
     def test_rejects_negative_count(self):
         with pytest.raises(ValueError):
             EvenlySpacedSchedule(n_faults=-1)
+
+    def test_victims_per_fault_single_is_bitwise_legacy(self):
+        """k=1 must reproduce the historical single-victim schedule."""
+        legacy = EvenlySpacedSchedule(n_faults=4, seed=2).events(
+            nranks=6, horizon_iters=400
+        )
+        k1 = EvenlySpacedSchedule(
+            n_faults=4, seed=2, victims_per_fault=1
+        ).events(nranks=6, horizon_iters=400)
+        assert legacy == k1
+        assert all(len(e.victims) == 1 for e in k1)
+
+    def test_victims_per_fault_sets_are_distinct_consecutive(self):
+        evs = EvenlySpacedSchedule(
+            n_faults=3, seed=0, victims_per_fault=3
+        ).events(nranks=8, horizon_iters=300)
+        for e in evs:
+            assert len(e.victims) == 3
+            assert len(set(e.victims)) == 3
+            assert e.victim_rank == e.victims[0]
+
+    def test_victims_per_fault_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            EvenlySpacedSchedule(n_faults=1, victims_per_fault=0)
 
 
 class TestPoissonSchedule:
@@ -149,3 +226,23 @@ class TestPoissonSchedule:
     def test_rejects_bad_horizon_factor(self):
         with pytest.raises(ValueError):
             PoissonSchedule(mtbf_iters=10, horizon_factor=0.5)
+
+    def test_victims_per_fault_single_is_bitwise_legacy(self):
+        """k=1 keeps the historical one-draw-per-event RNG stream."""
+        legacy = PoissonSchedule(mtbf_iters=30, seed=4).events(
+            nranks=5, horizon_iters=300
+        )
+        k1 = PoissonSchedule(
+            mtbf_iters=30, seed=4, victims_per_fault=1
+        ).events(nranks=5, horizon_iters=300)
+        assert legacy == k1
+
+    def test_victims_per_fault_draws_distinct_ranks(self):
+        evs = PoissonSchedule(
+            mtbf_iters=20, seed=3, victims_per_fault=3
+        ).events(nranks=6, horizon_iters=400)
+        assert evs
+        for e in evs:
+            assert len(e.victims) == 3
+            assert len(set(e.victims)) == 3
+            assert all(0 <= v < 6 for v in e.victims)

@@ -254,6 +254,73 @@ class TestCli:
             main([])
 
 
+class TestMultiVictimCli:
+    def test_run_victims_per_fault(self, capsys):
+        code = main(
+            [
+                "run", "--matrix", "wathen100", "--scheme", "ESR",
+                "--faults", "2", "--ranks", "8", "--scale", "0.25",
+                "--victims-per-fault", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault-free:" in out
+        assert "normalized:" in out
+
+    def test_campaign_victims_axis_multiplies_the_grid(self, capsys, tmp_path):
+        assert main(
+            [
+                "campaign", "--matrices", "wathen100", "--schemes", "ESR",
+                "--ranks", "8", "--faults", "2", "--scale", "0.25",
+                "--store", str(tmp_path / "cache"), "--quiet",
+                "--victims-per-fault", "1", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 victim-set sizes [1, 2]" in out
+        assert "4 cells" in out  # (FF + ESR) x 2 victim-set sizes
+
+    def test_analytic_run_rejects_unmodelled_scheme_at_parse_time(
+        self, capsys
+    ):
+        """Satellite regression: an analytic-unsupported scheme dies in
+        argument handling — before any solve — naming the scheme and
+        the full analytic-capable list."""
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "run", "--matrix", "wathen100", "--scheme", "CR-ML",
+                    "--faults", "2", "--ranks", "8", "--scale", "0.25",
+                    "--engine", "analytic",
+                ]
+            )
+        msg = str(exc.value)
+        assert "CR-ML" in msg
+        assert "no closed-form analytic model" in msg
+        assert "ESR" in msg and "ABCR" in msg  # the known-schemes list
+
+    def test_sim_run_accepts_unmodelled_scheme(self, capsys):
+        code = main(
+            [
+                "run", "--matrix", "wathen100", "--scheme", "CR-ML",
+                "--faults", "2", "--ranks", "8", "--scale", "0.25",
+            ]
+        )
+        assert code == 0
+
+    def test_analytic_campaign_rejects_unmodelled_scheme(self, tmp_path):
+        with pytest.raises(SystemExit, match="no closed-form"):
+            main(
+                [
+                    "campaign", "--matrices", "wathen100",
+                    "--schemes", "CR-ML", "--ranks", "8", "--faults", "2",
+                    "--scale", "0.25", "--engine", "sim", "analytic",
+                    "--store", str(tmp_path / "cache"), "--quiet",
+                ]
+            )
+
+
 class TestEngineCli:
     def test_run_analytic_engine(self, capsys):
         code = main(

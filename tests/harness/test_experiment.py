@@ -242,6 +242,25 @@ class TestConfigValidation:
         with pytest.raises(ValueError, match="unknown backend"):
             ExperimentConfig(backend="gpu")
 
+    def test_bad_victims_per_fault(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(victims_per_fault=0)
+        with pytest.raises(ValueError, match="exceeds nranks"):
+            ExperimentConfig(nranks=8, victims_per_fault=9)
+
+    def test_victims_per_fault_reaches_the_schedule(self):
+        a = banded_spd(200, 7, dominance=5e-3, seed=0)
+        exp = Experiment(
+            ExperimentConfig(
+                matrix="custom", nranks=8, n_faults=2, victims_per_fault=3
+            ),
+            a=a,
+        )
+        events = exp.schedule().events(nranks=8, horizon_iters=100)
+        assert events
+        assert all(len(e.victims) == 3 for e in events)
+        assert exp.fault_scope_victims() == 3
+
     def test_fewer_rows_than_ranks_rejected_with_context(self):
         # the tiny-n edge surfaces at Experiment construction with the
         # matrix/scale/nranks named, not deep inside the first solve

@@ -69,3 +69,9 @@ class TestBackendSpeedup:
         }
         assert "solve_loop_ff.stencil" in smoke
         assert "solve_batched_ff.stencil" in smoke
+
+    def test_esr_multifault_bench_is_in_the_smoke_suite(self):
+        smoke = {
+            s.name for s in runner.BENCHMARKS if "smoke" in s.suites
+        }
+        assert "solve_esr_multifault.stencil" in smoke
