@@ -19,6 +19,25 @@ resumable.
 ... )                                           # doctest: +SKIP
 """
 
+from repro.campaign.fleet import (
+    DEFAULT_HEARTBEAT_S,
+    FleetMonitor,
+    ProgressEventError,
+    annotate_cell_id,
+    cell_correlation_id,
+    cell_event,
+    cell_event_from_line,
+    cell_event_to_line,
+)
+from repro.campaign.manifest import (
+    ManifestCell,
+    ManifestError,
+    ManifestWorker,
+    RunManifest,
+    format_manifest,
+    manifest_from_doc,
+    manifest_to_doc,
+)
 from repro.campaign.progress import (
     ProgressReporter,
     format_attribution_summary,
@@ -30,10 +49,12 @@ from repro.campaign.progress import (
 from repro.campaign.runner import (
     CampaignResult,
     CampaignRunner,
+    CellExecutionError,
     CellResult,
     CellTimeout,
     execute_cell,
     run_campaign,
+    run_cell_in_worker,
 )
 from repro.campaign.serialize import report_from_dict, report_to_dict
 from repro.campaign.spec import (
@@ -44,6 +65,7 @@ from repro.campaign.spec import (
     preset_names,
 )
 from repro.campaign.store import ResultStore, StoreEntry, cell_key
+from repro.campaign.watch import CampaignWatch, render_fleet
 
 __all__ = [
     "BASELINE_SCHEME",
@@ -51,21 +73,40 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
+    "CampaignWatch",
+    "CellExecutionError",
     "CellResult",
     "CellTimeout",
+    "DEFAULT_HEARTBEAT_S",
+    "FleetMonitor",
+    "ManifestCell",
+    "ManifestError",
+    "ManifestWorker",
+    "ProgressEventError",
     "ProgressReporter",
     "ResultStore",
+    "RunManifest",
     "StoreEntry",
+    "annotate_cell_id",
+    "cell_correlation_id",
+    "cell_event",
+    "cell_event_from_line",
+    "cell_event_to_line",
     "cell_key",
     "execute_cell",
     "format_attribution_summary",
+    "format_manifest",
     "format_normalized_tables",
     "format_summary",
     "format_telemetry_summary",
+    "manifest_from_doc",
+    "manifest_to_doc",
     "preset",
     "preset_names",
+    "render_fleet",
     "report_from_dict",
     "report_to_dict",
     "run_campaign",
+    "run_cell_in_worker",
     "summary_counters",
 ]

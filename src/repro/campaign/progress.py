@@ -16,13 +16,7 @@ import sys
 from repro.campaign.runner import CampaignResult, CellResult
 from repro.harness.normalize import normalize_reports
 from repro.harness.reporting import format_table
-
-
-def _hms(seconds: float) -> str:
-    seconds = max(0, int(round(seconds)))
-    h, rem = divmod(seconds, 3600)
-    m, s = divmod(rem, 60)
-    return f"{h}:{m:02d}:{s:02d}" if h else f"{m}:{s:02d}"
+from repro.obs.term import hms as _hms
 
 
 class ProgressReporter:
@@ -68,6 +62,8 @@ class ProgressReporter:
             if result.attempts > 1:
                 line += f" [attempt {result.attempts}]"
         elif result.status == "failed":
+            if result.elapsed_s:
+                line += f" ({result.elapsed_s:.2f}s wasted)"
             line += f" — {result.error}"
         if eta is not None and self.finished < self.total:
             line += f"  eta {_hms(eta)}"
@@ -106,7 +102,9 @@ def format_summary(result: CampaignResult) -> str:
                 r.attempts,
                 rep.iterations if rep is not None else "-",
                 f"{rep.time_s:.3f}" if rep is not None else "-",
-                f"{r.elapsed_s:.2f}" if r.ok else "-",
+                # failed cells show the compute they wasted before giving
+                # up (elapsed_s carries it since the fleet-telemetry PR)
+                f"{r.elapsed_s:.2f}" if r.ok or r.elapsed_s else "-",
             ]
         )
     table = format_table(

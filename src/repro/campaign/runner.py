@@ -22,27 +22,95 @@ Fault tolerance: each cell gets a wall-clock timeout (SIGALRM inside
 the worker, so the pool survives) and bounded retries; a worker crash
 (``BrokenProcessPool``) rebuilds the pool and re-queues the affected
 cells with their retry budgets decremented.
+
+Observability rides side-band (:mod:`repro.campaign.fleet`): every pool
+is built with an initializer that wires its workers into a shared
+telemetry queue — forwarded structured logs, per-cell lifecycle events
+and heartbeats — which a :class:`~repro.campaign.fleet.FleetMonitor`
+folds into the live ``--watch`` view and the persisted
+:class:`~repro.campaign.manifest.RunManifest`.  None of it touches the
+reports, so serial and parallel campaigns stay bit-identical with the
+channel active.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import signal
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.campaign.fleet import (
+    DEFAULT_HEARTBEAT_S,
+    ChannelDrainer,
+    FleetMonitor,
+    LocalChannel,
+    annotate_cell_id,
+    cell_correlation_id,
+    init_worker,
+    worker_channel,
+)
+from repro.campaign.manifest import RunManifest
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import ResultStore
 from repro.core.report import SolveReport
 from repro.harness.experiment import Experiment
-from repro.obs.logging import get_logger
+from repro.obs.logging import bound_request_id, get_logger, root_manager
 
 _log = get_logger("campaign.runner")
 
 
 class CellTimeout(Exception):
-    """A cell exceeded its per-cell wall-clock budget."""
+    """A cell exceeded its per-cell wall-clock budget.
+
+    Both constructor arguments live in ``args`` so the exception —
+    elapsed included — survives pickling back from a pool worker.
+    """
+
+    def __init__(self, message: str, elapsed_s: float = 0.0) -> None:
+        super().__init__(message, elapsed_s)
+        self.message = message
+        #: Compute seconds burned before the abort (wasted work).
+        self.elapsed_s = elapsed_s
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class CellExecutionError(Exception):
+    """A cell's solve raised; carries the elapsed seconds it wasted.
+
+    :func:`execute_cell` wraps worker-side failures in this type so the
+    time a failed attempt burned crosses the process boundary with the
+    exception (``args`` carries both fields through pickling) and the
+    run manifest can attribute wasted compute.
+    """
+
+    def __init__(self, message: str, elapsed_s: float = 0.0) -> None:
+        super().__init__(message, elapsed_s)
+        self.message = message
+        #: Compute seconds burned before the failure (wasted work).
+        self.elapsed_s = elapsed_s
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def _error_string(exc: BaseException) -> str:
+    """The campaign-facing error string for a cell failure."""
+    if isinstance(exc, (CellTimeout, CellExecutionError)):
+        return str(exc)
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _wasted_s(exc: BaseException) -> float:
+    """Elapsed seconds an exception carries (0 for foreign types)."""
+    try:
+        return float(getattr(exc, "elapsed_s", 0.0))
+    except (TypeError, ValueError):
+        return 0.0
 
 
 def execute_cell(
@@ -55,7 +123,10 @@ def execute_cell(
     Returns ``(report, elapsed_seconds)``.  ``baseline`` primes the
     experiment's fault-free report so scheme cells skip the baseline
     solve.  ``timeout_s`` arms a SIGALRM timer (POSIX) that aborts the
-    cell with :class:`CellTimeout` without killing the worker.
+    cell with :class:`CellTimeout` without killing the worker.  Failures
+    re-raise with the attempt's elapsed seconds attached
+    (:class:`CellTimeout` / :class:`CellExecutionError`) so wasted
+    compute is attributable even across the pool's pickle boundary.
     """
     use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
     if use_alarm:
@@ -71,11 +142,68 @@ def execute_cell(
         if baseline is not None and not cell.is_baseline:
             experiment.prime_baseline(baseline)
         report = experiment.run(cell.scheme)
+    except CellTimeout as exc:
+        raise CellTimeout(str(exc), time.perf_counter() - t0) from None
+    except Exception as exc:
+        raise CellExecutionError(
+            f"{type(exc).__name__}: {exc}", time.perf_counter() - t0
+        ) from exc
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
     return report, time.perf_counter() - t0
+
+
+def run_cell_in_worker(
+    worker_fn,
+    cell: CampaignCell,
+    baseline: SolveReport | None,
+    timeout_s: float | None,
+    cell_id: str,
+    attempt: int,
+    channel=None,
+):
+    """Telemetry-wrapped cell execution; what the pool actually submits.
+
+    Binds the ``<run_id>.<cell_id>`` request correlation id for the
+    duration of the cell (every worker log record carries it), emits
+    started/finished/failed lifecycle events over the channel, and
+    otherwise behaves exactly like ``worker_fn`` — same return, same
+    exceptions.  ``channel=None`` picks up the worker process's
+    channel installed by the pool initializer; a worker invoked outside
+    any campaign (no channel at all) degrades to a plain call.
+    """
+    if channel is None:
+        channel = worker_channel()
+    if channel is None:
+        return worker_fn(cell, baseline, timeout_s)
+    log = get_logger("campaign.worker")
+    with bound_request_id(f"{channel.run_id}.{cell_id}"):
+        channel.cell_started(cell.label, cell_id, attempt)
+        try:
+            report, elapsed = worker_fn(cell, baseline, timeout_s)
+        except BaseException as exc:
+            wasted = _wasted_s(exc)
+            log.warning(
+                "cell attempt failed",
+                cell=cell.label,
+                attempt=attempt,
+                error=_error_string(exc),
+                elapsed_s=round(wasted, 6),
+            )
+            channel.cell_finished(
+                cell.label, cell_id, attempt, wasted, error=_error_string(exc)
+            )
+            raise
+        log.debug(
+            "cell computed",
+            cell=cell.label,
+            attempt=attempt,
+            elapsed_s=round(elapsed, 6),
+        )
+        channel.cell_finished(cell.label, cell_id, attempt, elapsed)
+        return report, elapsed
 
 
 @dataclass(frozen=True)
@@ -86,10 +214,13 @@ class CellResult:
     status: str  # "ran" | "cached" | "failed"
     report: SolveReport | None = None
     #: Compute seconds: measured for ran cells, banked (the original
-    #: run's cost) for cached ones.
+    #: run's cost) for cached ones, total wasted seconds for failed ones.
     elapsed_s: float = 0.0
     attempts: int = 1
     error: str | None = None
+    #: Compute seconds burned by failed attempts *before* the attempt
+    #: that succeeded (0 unless the cell was retried).
+    wasted_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -104,6 +235,10 @@ class CampaignResult:
     results: list[CellResult]
     wall_s: float
     workers: int
+    #: The campaign run id (correlates logs, progress events, manifest).
+    run_id: str = ""
+    #: The fleet execution record persisted at campaign end.
+    manifest: RunManifest | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         self._by_cell = {r.cell: r for r in self.results}
@@ -126,7 +261,7 @@ class CampaignResult:
     @property
     def compute_s(self) -> float:
         """Total compute seconds represented, including banked cache time."""
-        return sum(r.elapsed_s for r in self.results)
+        return sum(r.elapsed_s for r in self.results if r.ok)
 
     def groups(self):
         """``(config, {scheme: report})`` per experiment group, in spec
@@ -201,11 +336,12 @@ class CampaignResult:
         return scheme_rollup(attribute_record(r) for r in self.run_records())
 
     def anomalies(self, names=None):
-        """Detector findings over every successful cell (see
+        """Detector findings over every successful cell plus — when the
+        run produced a manifest — the fleet-scoped detectors (see
         :mod:`repro.obs.analysis.detectors`); empty means healthy."""
         from repro.obs.analysis.detectors import run_detectors
 
-        return run_detectors(self.run_records(), names)
+        return run_detectors(self.run_records(), names, manifest=self.manifest)
 
 
 class CampaignRunner:
@@ -222,6 +358,10 @@ class CampaignRunner:
         resume: bool = True,
         progress=None,
         worker=execute_cell,
+        run_id: str | None = None,
+        monitor: FleetMonitor | None = None,
+        heartbeat_interval_s: float = DEFAULT_HEARTBEAT_S,
+        event_sink=None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -237,62 +377,108 @@ class CampaignRunner:
         self.retries = retries
         self.resume = resume
         self.progress = progress
+        #: The fleet telemetry fold; build one unless the caller (the
+        #: ``--watch`` CLI path) brought its own to render live.
+        self.monitor = (
+            monitor
+            if monitor is not None
+            else FleetMonitor(
+                run_id,
+                workers=max_workers,
+                heartbeat_interval_s=heartbeat_interval_s,
+                event_sink=event_sink,
+            )
+        )
+        self._queue = None
 
     # ------------------------------------------------------------------
     def run(self) -> CampaignResult:
         t0 = time.perf_counter()
         cells = self.spec.cells()
         done: dict[CampaignCell, CellResult] = {}
+        self.monitor.begin(
+            total=len(cells), name=self.spec.name, workers=self.max_workers
+        )
+        overwrites0 = (
+            self.store.stats().get("overwrites", 0)
+            if self.store is not None
+            else 0
+        )
+        drainer = None
+        if self.max_workers > 1:
+            self._queue = multiprocessing.Queue()
+            drainer = ChannelDrainer(self._queue, self.monitor)
+            drainer.start()
+        try:
+            # stage 1: cache probe
+            if self.resume and self.store is not None:
+                for cell in cells:
+                    entry = self.store.get_entry(cell)
+                    if entry is not None:
+                        done[cell] = self._emit(
+                            CellResult(
+                                cell,
+                                "cached",
+                                report=entry.report,
+                                elapsed_s=entry.elapsed_s,
+                            )
+                        )
 
-        # stage 1: cache probe
-        if self.resume and self.store is not None:
+            # stage 2: fault-free baselines, one per experiment group
+            baseline_tasks = [
+                (cell, None)
+                for cell in cells
+                if cell.is_baseline and cell not in done
+            ]
+            done.update(self._run_batch(baseline_tasks))
+            baselines = {
+                cell.config: done[cell].report
+                for cell in cells
+                if cell.is_baseline and done[cell].ok
+            }
+
+            # stage 3: scheme cells, primed with their group's baseline
+            scheme_tasks = []
             for cell in cells:
-                entry = self.store.get_entry(cell)
-                if entry is not None:
+                if cell.is_baseline or cell in done:
+                    continue
+                baseline = baselines.get(cell.config)
+                if baseline is None:
+                    ff = next(
+                        c for c in cells if c.is_baseline and c.config == cell.config
+                    )
                     done[cell] = self._emit(
                         CellResult(
                             cell,
-                            "cached",
-                            report=entry.report,
-                            elapsed_s=entry.elapsed_s,
+                            "failed",
+                            error=f"baseline failed: {done[ff].error}",
                         )
                     )
+                    continue
+                scheme_tasks.append((cell, baseline))
+            done.update(self._run_batch(scheme_tasks))
+        finally:
+            if drainer is not None:
+                drainer.stop()
+                self._queue = None
 
-        # stage 2: fault-free baselines, one per experiment group
-        baseline_tasks = [
-            (cell, None) for cell in cells if cell.is_baseline and cell not in done
-        ]
-        done.update(self._run_batch(baseline_tasks))
-        baselines = {
-            cell.config: done[cell].report
-            for cell in cells
-            if cell.is_baseline and done[cell].ok
-        }
-
-        # stage 3: scheme cells, primed with their group's baseline
-        scheme_tasks = []
-        for cell in cells:
-            if cell.is_baseline or cell in done:
-                continue
-            baseline = baselines.get(cell.config)
-            if baseline is None:
-                ff = next(c for c in cells if c.is_baseline and c.config == cell.config)
-                done[cell] = self._emit(
-                    CellResult(
-                        cell,
-                        "failed",
-                        error=f"baseline failed: {done[ff].error}",
-                    )
-                )
-                continue
-            scheme_tasks.append((cell, baseline))
-        done.update(self._run_batch(scheme_tasks))
-
+        wall = time.perf_counter() - t0
+        self.monitor.finalize(wall)
+        overwrites = (
+            self.store.stats().get("overwrites", 0) - overwrites0
+            if self.store is not None
+            else 0
+        )
+        manifest = self.monitor.manifest(store_overwrites=overwrites)
+        if self.store is not None:
+            self.store.put_manifest(manifest)
         return CampaignResult(
             spec=self.spec,
             results=[done[cell] for cell in cells],
-            wall_s=time.perf_counter() - t0,
+            wall_s=wall,
             workers=self.max_workers,
+            run_id=self.monitor.run_id,
+            manifest=manifest,
         )
 
     # ------------------------------------------------------------------
@@ -311,21 +497,55 @@ class CampaignRunner:
                 status=result.status,
                 elapsed_s=round(result.elapsed_s or 0.0, 6),
             )
+        self.monitor.cell_done(result)
         if self.progress is not None:
             self.progress.cell_done(result)
         return result
 
-    def _finish(self, cell: CampaignCell, report, elapsed: float, attempts: int):
+    def _finish(
+        self,
+        cell: CampaignCell,
+        report,
+        elapsed: float,
+        attempts: int,
+        wasted_s: float = 0.0,
+    ):
         """Persist a fresh result and normalize it through the store.
 
         Reading the result back means a cell served from cache tomorrow
-        is byte-for-byte the object this campaign returned today.
+        is byte-for-byte the object this campaign returned today.  The
+        deterministic cell correlation id is stamped onto the traced
+        telemetry *before* the store write — same code path serial and
+        parallel, so the annotation cannot perturb bit-identity.
         """
+        annotate_cell_id(report, cell_correlation_id(cell))
         if self.store is not None:
             self.store.put(cell, report, elapsed_s=elapsed)
             report = self.store.get(cell)
         return self._emit(
-            CellResult(cell, "ran", report=report, elapsed_s=elapsed, attempts=attempts)
+            CellResult(
+                cell,
+                "ran",
+                report=report,
+                elapsed_s=elapsed,
+                attempts=attempts,
+                wasted_s=wasted_s,
+            )
+        )
+
+    def _pool(self, workers: int) -> ProcessPoolExecutor:
+        """A worker pool wired into the telemetry channel."""
+        if self._queue is None:
+            return ProcessPoolExecutor(max_workers=workers)
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=init_worker,
+            initargs=(
+                self._queue,
+                self.monitor.run_id,
+                root_manager().level,
+                self.monitor.heartbeat_interval_s,
+            ),
         )
 
     def _run_batch(self, tasks) -> dict[CampaignCell, CellResult]:
@@ -337,26 +557,48 @@ class CampaignRunner:
 
     def _run_serial(self, tasks) -> dict[CampaignCell, CellResult]:
         out: dict[CampaignCell, CellResult] = {}
+        channel = LocalChannel(self.monitor)
         for cell, baseline in tasks:
+            cell_id = cell_correlation_id(cell)
             attempt = 1
+            wasted = 0.0
             while True:
+                self.monitor.cell_queued(cell, attempt)
                 try:
-                    report, elapsed = self.worker(cell, baseline, self.timeout_s)
-                    out[cell] = self._finish(cell, report, elapsed, attempt)
+                    report, elapsed = run_cell_in_worker(
+                        self.worker,
+                        cell,
+                        baseline,
+                        self.timeout_s,
+                        cell_id,
+                        attempt,
+                        channel=channel,
+                    )
+                    out[cell] = self._finish(
+                        cell, report, elapsed, attempt, wasted_s=wasted
+                    )
                     break
                 except CellTimeout as exc:  # timeouts are not retried
                     out[cell] = self._emit(
-                        CellResult(cell, "failed", attempts=attempt, error=str(exc))
+                        CellResult(
+                            cell,
+                            "failed",
+                            attempts=attempt,
+                            elapsed_s=wasted + _wasted_s(exc),
+                            error=str(exc),
+                        )
                     )
                     break
                 except Exception as exc:
+                    wasted += _wasted_s(exc)
                     if attempt > self.retries:
                         out[cell] = self._emit(
                             CellResult(
                                 cell,
                                 "failed",
                                 attempts=attempt,
-                                error=f"{type(exc).__name__}: {exc}",
+                                elapsed_s=wasted,
+                                error=_error_string(exc),
                             )
                         )
                         break
@@ -376,65 +618,95 @@ class CampaignRunner:
         belongs to that cell and is bounded by its own retry budget.
         """
         out: dict[CampaignCell, CellResult] = {}
-        queue = [(cell, baseline, 1) for cell, baseline in tasks]
+        queue = [(cell, baseline, 1, 0.0) for cell, baseline in tasks]
         broken_rounds = 0
         while queue and broken_rounds <= self.retries:
             requeue: list = []
             round_broke = False
             workers = min(self.max_workers, len(queue))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(self.worker, cell, baseline, self.timeout_s): (
+            with self._pool(workers) as pool:
+                futures = {}
+                for cell, baseline, attempt, wasted in queue:
+                    self.monitor.cell_queued(cell, attempt)
+                    future = pool.submit(
+                        run_cell_in_worker,
+                        self.worker,
                         cell,
                         baseline,
+                        self.timeout_s,
+                        cell_correlation_id(cell),
                         attempt,
                     )
-                    for cell, baseline, attempt in queue
-                }
+                    futures[future] = (cell, baseline, attempt, wasted)
                 for future in as_completed(futures):
-                    cell, baseline, attempt = futures[future]
+                    cell, baseline, attempt, wasted = futures[future]
                     try:
                         report, elapsed = future.result()
-                        out[cell] = self._finish(cell, report, elapsed, attempt)
+                        out[cell] = self._finish(
+                            cell, report, elapsed, attempt, wasted_s=wasted
+                        )
                     except CellTimeout as exc:
                         out[cell] = self._emit(
                             CellResult(
-                                cell, "failed", attempts=attempt, error=str(exc)
+                                cell,
+                                "failed",
+                                attempts=attempt,
+                                elapsed_s=wasted + _wasted_s(exc),
+                                error=str(exc),
                             )
                         )
                     except BrokenProcessPool:
                         round_broke = True
-                        requeue.append((cell, baseline, attempt + 1))
+                        requeue.append((cell, baseline, attempt + 1, wasted))
                     except Exception as exc:
+                        wasted += _wasted_s(exc)
                         if attempt > self.retries:
                             out[cell] = self._emit(
                                 CellResult(
                                     cell,
                                     "failed",
                                     attempts=attempt,
-                                    error=f"{type(exc).__name__}: {exc}",
+                                    elapsed_s=wasted,
+                                    error=_error_string(exc),
                                 )
                             )
                         else:
-                            requeue.append((cell, baseline, attempt + 1))
+                            requeue.append((cell, baseline, attempt + 1, wasted))
             broken_rounds += round_broke
             queue = requeue
-        for cell, baseline, attempt in queue:
-            out[cell] = self._run_isolated(cell, baseline, attempt)
+        for cell, baseline, attempt, wasted in queue:
+            out[cell] = self._run_isolated(cell, baseline, attempt, wasted)
         return out
 
-    def _run_isolated(self, cell, baseline, attempt) -> CellResult:
+    def _run_isolated(self, cell, baseline, attempt, wasted=0.0) -> CellResult:
         """Run one cell in its own single-worker pool (crash endgame)."""
         crashes = 0
         while True:
-            with ProcessPoolExecutor(max_workers=1) as pool:
-                future = pool.submit(self.worker, cell, baseline, self.timeout_s)
+            self.monitor.cell_queued(cell, attempt)
+            with self._pool(1) as pool:
+                future = pool.submit(
+                    run_cell_in_worker,
+                    self.worker,
+                    cell,
+                    baseline,
+                    self.timeout_s,
+                    cell_correlation_id(cell),
+                    attempt,
+                )
                 try:
                     report, elapsed = future.result()
-                    return self._finish(cell, report, elapsed, attempt)
+                    return self._finish(
+                        cell, report, elapsed, attempt, wasted_s=wasted
+                    )
                 except CellTimeout as exc:
                     return self._emit(
-                        CellResult(cell, "failed", attempts=attempt, error=str(exc))
+                        CellResult(
+                            cell,
+                            "failed",
+                            attempts=attempt,
+                            elapsed_s=wasted + _wasted_s(exc),
+                            error=str(exc),
+                        )
                     )
                 except BrokenProcessPool:
                     crashes += 1
@@ -444,17 +716,20 @@ class CampaignRunner:
                                 cell,
                                 "failed",
                                 attempts=attempt,
+                                elapsed_s=wasted,
                                 error="worker process crashed",
                             )
                         )
                 except Exception as exc:
+                    wasted += _wasted_s(exc)
                     if attempt > self.retries:
                         return self._emit(
                             CellResult(
                                 cell,
                                 "failed",
                                 attempts=attempt,
-                                error=f"{type(exc).__name__}: {exc}",
+                                elapsed_s=wasted,
+                                error=_error_string(exc),
                             )
                         )
             attempt += 1
@@ -470,6 +745,10 @@ def run_campaign(
     resume: bool = True,
     progress=None,
     worker=execute_cell,
+    run_id: str | None = None,
+    monitor: FleetMonitor | None = None,
+    heartbeat_interval_s: float = DEFAULT_HEARTBEAT_S,
+    event_sink=None,
 ) -> CampaignResult:
     """One-call façade over :class:`CampaignRunner`."""
     return CampaignRunner(
@@ -481,4 +760,8 @@ def run_campaign(
         resume=resume,
         progress=progress,
         worker=worker,
+        run_id=run_id,
+        monitor=monitor,
+        heartbeat_interval_s=heartbeat_interval_s,
+        event_sink=event_sink,
     ).run()

@@ -84,6 +84,12 @@ CREATE TABLE IF NOT EXISTS results (
     payload      TEXT NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_results_cell ON results (matrix, scheme, nranks);
+CREATE TABLE IF NOT EXISTS manifests (
+    run_id       TEXT PRIMARY KEY,
+    name         TEXT NOT NULL,
+    created_at   REAL NOT NULL,
+    doc          TEXT NOT NULL
+);
 """
 
 
@@ -186,6 +192,11 @@ class ResultStore:
         #: and the serving tier's /v1/store/stats endpoint.
         self.hits = 0
         self.misses = 0
+        #: put() calls since open that replaced an existing row — i.e.
+        #: compute repeated for a cell the store already held.  The
+        #: ``cache_stampede`` fleet detector alerts when a campaign's
+        #: delta on this counter gets large.
+        self.overwrites = 0
 
     # ------------------------------------------------------------------
     def key(self, cell: CampaignCell) -> str:
@@ -264,6 +275,13 @@ class ResultStore:
         os.replace(tmp, path)
         cfg = cell.config
         with self._lock:
+            if (
+                self._db.execute(
+                    "SELECT 1 FROM results WHERE key = ?", (key,)
+                ).fetchone()
+                is not None
+            ):
+                self.overwrites += 1
             self._db.execute(
                 "INSERT OR REPLACE INTO results VALUES "
                 "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
@@ -288,6 +306,62 @@ class ResultStore:
             )
             self._db.commit()
         return key
+
+    # ------------------------------------------------------------------
+    def put_manifest(self, manifest) -> str:
+        """Persist a campaign :class:`~repro.campaign.manifest.
+        RunManifest`, keyed by its run id; returns the run id.
+
+        Manifests live in their own table beside the results — execution
+        evidence about a campaign, fully separate from the
+        content-addressed payloads, so storing one can never perturb a
+        stored report.
+        """
+        from repro.campaign.manifest import manifest_to_doc
+
+        doc = json.dumps(
+            manifest_to_doc(manifest), sort_keys=True, separators=(",", ":")
+        )
+        with self._lock:
+            self._db.execute(
+                "INSERT OR REPLACE INTO manifests VALUES (?, ?, ?, ?)",
+                (manifest.run_id, manifest.name, manifest.finished_at, doc),
+            )
+            self._db.commit()
+        return manifest.run_id
+
+    def get_manifest(self, run_id: str):
+        """The stored manifest for one run id, or ``None``."""
+        from repro.campaign.manifest import manifest_from_doc
+
+        with self._lock:
+            row = self._db.execute(
+                "SELECT doc FROM manifests WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        return manifest_from_doc(json.loads(row[0]))
+
+    def latest_manifest(self):
+        """The most recently finished campaign's manifest, or ``None``."""
+        from repro.campaign.manifest import manifest_from_doc
+
+        with self._lock:
+            row = self._db.execute(
+                "SELECT doc FROM manifests ORDER BY created_at DESC, run_id "
+                "LIMIT 1"
+            ).fetchone()
+        if row is None:
+            return None
+        return manifest_from_doc(json.loads(row[0]))
+
+    def manifests(self) -> list[tuple[str, str, float]]:
+        """``(run_id, campaign name, finished_at)`` rows, newest first."""
+        with self._lock:
+            return self._db.execute(
+                "SELECT run_id, name, created_at FROM manifests "
+                "ORDER BY created_at DESC, run_id"
+            ).fetchall()
 
     # ------------------------------------------------------------------
     def entries(self):
@@ -346,20 +420,22 @@ class ResultStore:
             n, elapsed = self._db.execute(
                 "SELECT COUNT(*), COALESCE(SUM(elapsed_s), 0) FROM results"
             ).fetchone()
-            hits, misses = self.hits, self.misses
+            hits, misses, overwrites = self.hits, self.misses, self.overwrites
         return {
             "entries": n,
             "compute_seconds_banked": elapsed,
             "payload_bytes": self.payload_bytes(),
             "hits": hits,
             "misses": misses,
+            "overwrites": overwrites,
             "root": str(self.root),
         }
 
     def clear(self) -> None:
-        """Drop every entry (index and payloads)."""
+        """Drop every entry (index, payloads and manifests)."""
         with self._lock:
             self._db.execute("DELETE FROM results")
+            self._db.execute("DELETE FROM manifests")
             self._db.commit()
         for sub in self.payload_dir.iterdir():
             if sub.is_dir():

@@ -225,6 +225,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "it in the store, and print the campaign rollup",
     )
     camp.add_argument(
+        "--watch", action="store_true",
+        help="live fleet dashboard on stderr while the campaign runs "
+        "(per-worker state, cells/s, ETA, queue-wait vs compute)",
+    )
+    camp.add_argument(
+        "--once", action="store_true",
+        help="with --watch: suppress the live repaint and print one "
+        "plain escape-free closing frame to stdout (CI artifact mode)",
+    )
+    camp.add_argument(
+        "--json-progress", default=None, metavar="PATH",
+        help="write one machine-readable JSONL cell lifecycle event "
+        "(queued/started/finished/failed/cached) per line to this file "
+        "('-' for stderr)",
+    )
+    camp.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="SECONDS",
+        help="worker heartbeat cadence on the fleet telemetry channel "
+        "(default 1.0; 0 disables heartbeats)",
+    )
+    camp.add_argument(
         "--list-presets", action="store_true",
         help="print the preset grids and exit",
     )
@@ -337,6 +358,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--prometheus", default=None, metavar="PATH",
         help="also write the merged metrics as Prometheus text exposition",
     )
+    rep.add_argument(
+        "--campaign", nargs="?", const="latest", default=None,
+        metavar="RUN_ID",
+        help="also render a campaign run manifest from the store: worker "
+        "fleet, per-cell timings, queue-wait vs compute (default: the "
+        "most recent run)",
+    )
 
     doc = sub.add_parser(
         "doctor",
@@ -371,6 +399,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--history", default=None, metavar="PATH",
         help="metrics-history JSON (repro serve --history-out) to run "
         "the serving SLO burn detectors over",
+    )
+    doc.add_argument(
+        "--run-id", default=None, metavar="RUN_ID",
+        help="run the fleet detectors over this campaign manifest "
+        "(default: the store's most recent run, when one exists)",
     )
 
     proj = sub.add_parser("project", help="Section-6 weak-scaling projection")
@@ -627,8 +660,11 @@ def _campaign_spec(args):
 
 def cmd_campaign(args) -> int:
     from repro.campaign import (
+        CampaignWatch,
+        FleetMonitor,
         ProgressReporter,
         ResultStore,
+        cell_event_to_line,
         format_attribution_summary,
         format_normalized_tables,
         format_summary,
@@ -643,21 +679,59 @@ def cmd_campaign(args) -> int:
         return 0
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
+    if args.once and not args.watch:
+        raise SystemExit("--once requires --watch")
+    if args.heartbeat_interval < 0:
+        raise SystemExit("--heartbeat-interval must be >= 0")
     spec = _campaign_spec(args)
     store = None if args.no_store else ResultStore(args.store or DEFAULT_ROOT)
     print(spec.describe())
+
+    # machine-readable progress: one schema'd JSONL cell event per line
+    event_sink = None
+    progress_file = None
+    if args.json_progress:
+        if args.json_progress == "-":
+            progress_stream = sys.stderr
+        else:
+            progress_file = open(args.json_progress, "w", encoding="utf-8")
+            progress_stream = progress_file
+
+        def event_sink(doc, _stream=progress_stream):
+            print(cell_event_to_line(doc), file=_stream, flush=True)
+
+    monitor = FleetMonitor(
+        workers=args.workers,
+        heartbeat_interval_s=args.heartbeat_interval,
+        event_sink=event_sink,
+    )
+    # a live --watch repaint owns stderr; per-cell progress lines would
+    # tear it, so they stay on only for --once (and plain) runs
     progress = ProgressReporter(
-        len(spec), workers=args.workers, enabled=not args.quiet
+        len(spec),
+        workers=args.workers,
+        enabled=not args.quiet and not (args.watch and not args.once),
     )
-    result = run_campaign(
-        spec,
-        store=store,
-        max_workers=args.workers,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        resume=args.resume,
-        progress=progress,
-    )
+    watch = CampaignWatch(monitor, once=args.once).start() if args.watch else None
+    try:
+        result = run_campaign(
+            spec,
+            store=store,
+            max_workers=args.workers,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            resume=args.resume,
+            progress=progress,
+            monitor=monitor,
+        )
+    finally:
+        if watch is not None:
+            watch.stop()
+        if progress_file is not None:
+            progress_file.close()
+    if watch is not None:
+        print()
+        print(watch.final_frame())
     print()
     print(format_summary(result))
     print()
@@ -667,6 +741,11 @@ def cmd_campaign(args) -> int:
         print(format_telemetry_summary(result))
         print()
         print(format_attribution_summary(result))
+    if store is not None:
+        print(
+            f"\nrun manifest {result.run_id} persisted — inspect with "
+            f"'repro report --campaign {result.run_id}'"
+        )
     return 0 if result.n_failed == 0 else 1
 
 
@@ -866,8 +945,31 @@ def cmd_report(args) -> int:
     )
     from repro.obs.metrics import MetricsRegistry
 
+    manifest = None
+    if args.campaign:
+        from repro.campaign import ResultStore
+        from repro.campaign.store import DEFAULT_ROOT
+
+        if args.jsonl:
+            raise SystemExit("--campaign reads a result store, not --jsonl")
+        root = Path(args.store or DEFAULT_ROOT)
+        if not (root / "index.db").exists():
+            raise SystemExit(f"no result store at {root}")
+        with ResultStore(root) as mstore:
+            manifest = (
+                mstore.latest_manifest()
+                if args.campaign == "latest"
+                else mstore.get_manifest(args.campaign)
+            )
+        if manifest is None:
+            raise SystemExit(
+                "no campaign manifest stored yet"
+                if args.campaign == "latest"
+                else f"no campaign manifest for run id {args.campaign!r}"
+            )
+
     records = _load_records(args)
-    if not records:
+    if not records and manifest is None:
         print("no cells match the filters")
         return 1
 
@@ -909,6 +1011,12 @@ def cmd_report(args) -> int:
         print()
         print(diff_text)
 
+    if manifest is not None:
+        from repro.campaign.manifest import format_manifest
+
+        print()
+        print(format_manifest(manifest))
+
     if args.prometheus:
         merged = MetricsRegistry()
         for r in traced:
@@ -917,6 +1025,8 @@ def cmd_report(args) -> int:
         print(f"\nwrote Prometheus exposition to {args.prometheus}")
 
     if args.html:
+        from repro.campaign.manifest import manifest_to_doc
+
         html = html_report(
             title="repro report",
             attributions=attributions + list(rollup.values()),
@@ -924,6 +1034,7 @@ def cmd_report(args) -> int:
                 r.label: r.telemetry.spans.spans for r in traced
             },
             diff_text=diff_text,
+            manifest=manifest_to_doc(manifest) if manifest is not None else None,
         )
         Path(args.html).write_text(html)
         print(f"wrote HTML report to {args.html}")
@@ -955,15 +1066,42 @@ def cmd_doctor(args) -> int:
         args.jsonl or args.store or (Path(DEFAULT_ROOT) / "index.db").exists()
     )
     records = _load_records(args) if have_trace_source else []
-    if not records and history is None:
+    # fleet evidence: the campaign run manifest (latest, or --run-id)
+    manifest = None
+    if not args.jsonl:
+        root = Path(args.store or DEFAULT_ROOT)
+        if (root / "index.db").exists():
+            from repro.campaign import ResultStore
+
+            with ResultStore(root) as mstore:
+                manifest = (
+                    mstore.get_manifest(args.run_id)
+                    if args.run_id
+                    else mstore.latest_manifest()
+                )
+            if args.run_id and manifest is None:
+                raise SystemExit(
+                    f"no campaign manifest for run id {args.run_id!r}"
+                )
+    # an explicit cell filter that matches nothing is still an error —
+    # the implicitly-loaded manifest must not mask a typo'd --matrix
+    filtered = bool(args.matrix or args.scheme)
+    if not records and (
+        (filtered and have_trace_source)
+        or (history is None and manifest is None)
+    ):
         print("no cells match the filters")
         return 1
     try:
-        findings = run_detectors(records, args.detectors, history=history)
+        findings = run_detectors(
+            records, args.detectors, history=history, manifest=manifest
+        )
     except ValueError as exc:
         raise SystemExit(str(exc))
     n_det = len(args.detectors) if args.detectors else len(detectors())
     extra = f", history {len(history)} sample(s)" if history is not None else ""
+    if manifest is not None:
+        extra += f", manifest {manifest.run_id}"
     print(
         f"doctor: {len(records)} cell(s), {n_det} detector(s){extra}"
     )

@@ -23,7 +23,11 @@ model-divergence detector pairs sim/analytic cells this way);
 ``scope="history"`` detectors see a :class:`~repro.obs.history.
 MetricsHistory` (the serving tier's sampled metrics) and only run when
 one is supplied — they back the live ``/slo`` endpoint and ``repro
-doctor --history`` with the same registration.
+doctor --history`` with the same registration; ``scope="fleet"``
+detectors see a campaign :class:`~repro.campaign.manifest.RunManifest`
+(duck-typed — this module never imports the campaign package) and judge
+the *execution* rather than the numerics: stragglers, heartbeat gaps,
+retry storms, cache stampedes.
 """
 
 from __future__ import annotations
@@ -53,6 +57,31 @@ RESIDUAL_STALL_WINDOW = 1000
 SPAN_TIME_REL_TOL = 1e-9
 SOLVE_SPAN_REL_TOL = 1e-6
 
+#: A still-running cell (or a worker's mean cell cost) this many times
+#: the campaign's median ran-cell compute is a straggler…
+STRAGGLER_FACTOR = 4.0
+#: …but only past these absolute floors, so fast healthy grids (where
+#: the median is milliseconds) never alert on scheduling jitter.
+STRAGGLER_MIN_AGE_S = 30.0
+STRAGGLER_MIN_GAP_S = 1.0
+#: Workers need this many finished cells before their mean is evidence.
+STRAGGLER_MIN_CELLS = 4
+
+#: A worker silent for FACTOR heartbeat intervals (absolute floor
+#: HEARTBEAT_GAP_MIN_S) while holding a cell has hung or died.
+HEARTBEAT_GAP_FACTOR = 3.0
+HEARTBEAT_GAP_MIN_S = 5.0
+
+#: Retries are a storm when there are at least RETRY_STORM_MIN of them
+#: *and* they amount to this fraction of the campaign's computed cells.
+RETRY_STORM_MIN = 3
+RETRY_STORM_RATIO = 0.5
+
+#: Store overwrites (a put replacing an existing row — compute repeated
+#: for a banked cell) are a stampede past both thresholds.
+CACHE_STAMPEDE_MIN = 4
+CACHE_STAMPEDE_RATIO = 0.5
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -78,7 +107,7 @@ class Finding:
 @dataclass(frozen=True)
 class Detector:
     name: str
-    scope: str  # "run" | "campaign" | "history"
+    scope: str  # "run" | "campaign" | "history" | "fleet"
     description: str
     fn: Callable
 
@@ -88,7 +117,7 @@ _REGISTRY: dict[str, Detector] = {}
 
 def register_detector(name: str, *, scope: str = "run", description: str = ""):
     """Class-of-one decorator: add a detector to the registry."""
-    if scope not in ("run", "campaign", "history"):
+    if scope not in ("run", "campaign", "history", "fleet"):
         raise ValueError(f"unknown detector scope {scope!r}")
 
     def deco(fn):
@@ -107,12 +136,16 @@ def run_detectors(
     records: Iterable[RunRecord],
     names: Iterable[str] | None = None,
     history=None,
+    manifest=None,
 ) -> list[Finding]:
     """Run detectors (all, or the named subset) over the records.
 
     ``history`` is an optional :class:`~repro.obs.history.MetricsHistory`;
     history-scoped detectors are skipped when it is absent (there is no
     serving evidence to judge), so trace-only doctoring stays unchanged.
+    ``manifest`` is an optional campaign :class:`~repro.campaign.
+    manifest.RunManifest`; fleet-scoped detectors are likewise skipped
+    without one.
     """
     records = list(records)
     if names is None:
@@ -133,6 +166,9 @@ def run_detectors(
         elif det.scope == "history":
             if history is not None:
                 findings.extend(det.fn(history))
+        elif det.scope == "fleet":
+            if manifest is not None:
+                findings.extend(det.fn(manifest))
         else:
             for record in records:
                 findings.extend(det.fn(record))
@@ -398,6 +434,139 @@ def model_divergence(records: list[RunRecord]) -> Iterator[Finding]:
                 value=row.drift,
                 threshold=DEFAULT_DRIFT_THRESHOLD,
             )
+
+
+def _median(values: list[float]) -> float:
+    values = sorted(values)
+    n = len(values)
+    if n == 0:
+        return 0.0
+    mid = n // 2
+    return values[mid] if n % 2 else (values[mid - 1] + values[mid]) / 2.0
+
+
+@register_detector(
+    "worker_straggler",
+    scope="fleet",
+    description="no cell may be left running at campaign end far past "
+    "the median cell cost, and no worker's mean cell cost may sit far "
+    "above its peers'",
+)
+def worker_straggler(manifest) -> Iterator[Finding]:
+    ran = [c.compute_s for c in manifest.cells if c.status == "ran"]
+    median = _median(ran)
+    # clause 1: a cell still "running" when the campaign closed — its
+    # worker hung (or died without the pool noticing) mid-cell
+    threshold = max(STRAGGLER_FACTOR * median, STRAGGLER_MIN_AGE_S)
+    for c in manifest.cells:
+        if c.status != "running" or c.started_ts is None:
+            continue
+        age = manifest.finished_at - c.started_ts
+        if age > threshold:
+            yield Finding(
+                "worker_straggler",
+                "error",
+                c.label,
+                f"cell still running on worker {c.worker} after {age:.1f}s "
+                f"(median ran cell: {median:.2f}s)",
+                value=age,
+                threshold=threshold,
+            )
+    # clause 2: one worker consistently slower than its pool-mates
+    means = {
+        w.worker: w.busy_s / w.cells_done
+        for w in manifest.worker_rows
+        if w.cells_done >= STRAGGLER_MIN_CELLS
+    }
+    if len(means) < 2:
+        return
+    pool_median = _median(list(means.values()))
+    for pid, mean in sorted(means.items()):
+        if (
+            mean > STRAGGLER_FACTOR * pool_median
+            and mean - pool_median > STRAGGLER_MIN_GAP_S
+        ):
+            yield Finding(
+                "worker_straggler",
+                "warning",
+                f"fleet/worker-{pid}",
+                f"worker averages {mean:.2f}s per cell against a pool "
+                f"median of {pool_median:.2f}s",
+                value=mean,
+                threshold=STRAGGLER_FACTOR * pool_median,
+            )
+
+
+@register_detector(
+    "heartbeat_gap",
+    scope="fleet",
+    description="no worker may go silent for several heartbeat "
+    "intervals while holding a cell",
+)
+def heartbeat_gap(manifest) -> Iterator[Finding]:
+    interval = manifest.heartbeat_interval_s
+    if interval <= 0:
+        return  # heartbeats disabled (serial runs): nothing to judge
+    threshold = max(HEARTBEAT_GAP_FACTOR * interval, HEARTBEAT_GAP_MIN_S)
+    for w in manifest.worker_rows:
+        if w.max_heartbeat_gap_s > threshold:
+            yield Finding(
+                "heartbeat_gap",
+                "error",
+                f"fleet/worker-{w.worker}",
+                f"worker went {w.max_heartbeat_gap_s:.1f}s without a "
+                f"heartbeat while busy (interval {interval:g}s, "
+                f"last cell {w.last_cell or '?'})",
+                value=w.max_heartbeat_gap_s,
+                threshold=threshold,
+            )
+
+
+@register_detector(
+    "retry_storm",
+    scope="fleet",
+    description="retry attempts must stay a small fraction of the "
+    "campaign's computed cells",
+)
+def retry_storm(manifest) -> Iterator[Finding]:
+    c = manifest.counters
+    retries = int(c.get("retries", 0))
+    computed = int(c.get("ran", 0)) + int(c.get("failed", 0))
+    threshold = RETRY_STORM_RATIO * max(1, computed)
+    if retries >= RETRY_STORM_MIN and retries >= threshold:
+        yield Finding(
+            "retry_storm",
+            "warning",
+            f"fleet/{manifest.run_id}",
+            f"{retries} retries across {computed} computed cells — the "
+            "grid is fighting transient failures, not running",
+            value=float(retries),
+            threshold=max(float(RETRY_STORM_MIN), threshold),
+        )
+
+
+@register_detector(
+    "cache_stampede",
+    scope="fleet",
+    description="a campaign must not keep overwriting results the "
+    "store already holds (repeated compute for banked cells)",
+)
+def cache_stampede(manifest) -> Iterator[Finding]:
+    c = manifest.counters
+    overwrites = int(c.get("store_overwrites", 0))
+    ran = int(c.get("ran", 0))
+    threshold = CACHE_STAMPEDE_RATIO * max(1, ran)
+    if overwrites >= CACHE_STAMPEDE_MIN and overwrites >= threshold:
+        yield Finding(
+            "cache_stampede",
+            "warning",
+            f"fleet/{manifest.run_id}",
+            f"{overwrites} of {ran} fresh results overwrote rows the "
+            "store already held — resume is off or several campaigns "
+            "are racing one store",
+            value=float(overwrites),
+            threshold=max(float(CACHE_STAMPEDE_MIN), threshold),
+        )
 
 
 @register_detector(

@@ -109,6 +109,58 @@ def _span_block(label: str, spans) -> list[str]:
     return out
 
 
+def _manifest_block(doc: dict) -> list[str]:
+    counters = doc.get("counters", {})
+    out = [
+        f"<p class='small'>run <code>{escape(doc['run_id'])}</code> "
+        f"({escape(doc['name'])}), {doc['workers']} worker(s), "
+        f"wall {doc['wall_s']:.1f}s — "
+        f"{counters.get('ran', 0)} ran, {counters.get('cached', 0)} cached, "
+        f"{counters.get('failed', 0)} failed, "
+        f"{counters.get('retries', 0)} retries</p>"
+    ]
+    workers = doc.get("worker_rows", [])
+    if workers:
+        out.append("<h3>Workers</h3>")
+        out.append(
+            "<table><tr><th class='name'>pid</th><th>cells</th>"
+            "<th>failed attempts</th><th>busy (s)</th><th>heartbeats</th>"
+            "<th>max gap (s)</th><th>rss</th><th class='name'>last cell</th></tr>"
+        )
+        for w in workers:
+            out.append(
+                f"<tr><td class='name'>{escape(str(w['worker']))}</td>"
+                f"<td>{w['cells_done']}</td><td>{w['failed_attempts']}</td>"
+                f"<td>{w['busy_s']:.2f}</td><td>{w['heartbeats']}</td>"
+                f"<td>{w['max_heartbeat_gap_s']:.2f}</td>"
+                f"<td>{w['max_rss_bytes']}</td>"
+                f"<td class='name'>{escape(str(w['last_cell'] or '-'))}</td></tr>"
+            )
+        out.append("</table>")
+    cells = doc.get("cells", [])
+    if cells:
+        out.append("<h3>Cells</h3>")
+        out.append(
+            "<table><tr><th class='name'>cell</th><th class='name'>status</th>"
+            "<th>tries</th><th class='name'>worker</th><th>wait (s)</th>"
+            "<th>compute (s)</th><th>wasted (s)</th>"
+            "<th class='name'>error</th></tr>"
+        )
+        for c in cells:
+            klass = "finding-error" if c["status"] == "failed" else "name"
+            out.append(
+                f"<tr><td class='name'>{escape(c['label'])}</td>"
+                f"<td class='name {klass}'>{escape(c['status'])}</td>"
+                f"<td>{c['attempts']}</td>"
+                f"<td class='name'>{escape(str(c['worker'] or '-'))}</td>"
+                f"<td>{c['queue_wait_s']:.2f}</td><td>{c['compute_s']:.2f}</td>"
+                f"<td>{c['wasted_s']:.2f}</td>"
+                f"<td class='name'>{escape(str(c['error'] or ''))}</td></tr>"
+            )
+        out.append("</table>")
+    return out
+
+
 def html_report(
     *,
     title: str = "repro report",
@@ -116,15 +168,21 @@ def html_report(
     findings: Iterable[Finding] | None = None,
     diff_text: str | None = None,
     span_trees: dict | None = None,
+    manifest: dict | None = None,
 ) -> str:
     """Render one self-contained HTML document.
 
     ``span_trees`` maps a label to a span list; ``diff_text`` is the
     terminal diff rendering, embedded verbatim in a ``<pre>`` block so
-    HTML and terminal always tell the same story.
+    HTML and terminal always tell the same story.  ``manifest`` is the
+    campaign run manifest as a plain doc (:func:`manifest_to_doc`),
+    rendered as fleet-level worker and cell tables.
     """
     body: list[str] = [f"<h1>{escape(title)}</h1>"]
     attributions = list(attributions)
+    if manifest is not None:
+        body.append("<h2>Campaign run manifest</h2>")
+        body.extend(_manifest_block(manifest))
     if attributions:
         body.append("<h2>Phase attribution</h2>")
         for attr in attributions:

@@ -352,6 +352,18 @@ def _root_manager() -> LogManager:
     return _ROOT
 
 
+def root_manager() -> LogManager:
+    """The process-wide root manager.
+
+    Exposed so process boundaries can replicate the configuration: the
+    campaign pool initializer reads the parent's threshold here and
+    re-applies it inside each worker, swapping the sinks for the
+    queue-forwarding channel (worker records then surface through the
+    parent's own stderr/file sinks instead of vanishing).
+    """
+    return _ROOT
+
+
 def get_logger(component: str) -> StructuredLogger:
     """A logger bound to the process-wide root manager (late-bound, so
     :func:`configure_logging` affects loggers created before it ran)."""

@@ -21,6 +21,8 @@ from repro.obs.history import (
     histogram_delta,
     percentile_from_buckets,
 )
+from repro.obs.term import CLEAR as _CLEAR
+from repro.obs.term import fmt_ms as _fmt_ms
 from repro.serve.client import ServeClient
 
 #: Default repaint interval, seconds.
@@ -28,8 +30,6 @@ DEFAULT_REFRESH_S = 2.0
 
 #: Default trailing window the rates/percentiles are computed over.
 DEFAULT_WINDOW_S = 60.0
-
-_CLEAR = "\x1b[2J\x1b[H"
 
 
 def _series_name(series: str) -> str:
@@ -47,10 +47,6 @@ def _source_counts(snapshot: dict) -> dict[str, int]:
             source = labels.get("source", "")
             out[source] = out.get(source, 0) + int(value)
     return out
-
-
-def _fmt_ms(seconds: float | None) -> str:
-    return "    --" if seconds is None else f"{seconds * 1e3:6.1f}"
 
 
 def render(

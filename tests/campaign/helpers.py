@@ -61,3 +61,17 @@ def always_raising_worker(cell, baseline=None, timeout_s=None):
     if cell.is_baseline:
         raise RuntimeError("baseline always fails")
     return execute_cell(cell, baseline, timeout_s)
+
+
+def wasteful_worker(cell, baseline=None, timeout_s=None):
+    """Every RD cell burns a measurable 0.05s of compute, then fails.
+
+    The failure carries its elapsed seconds the way :func:`execute_cell`
+    wraps real solver errors, so the wasted-compute attribution path is
+    exercised without sleeping in tests.
+    """
+    from repro.campaign.runner import CellExecutionError
+
+    if cell.scheme == "RD":
+        raise CellExecutionError(f"RuntimeError: wasted {cell.label}", 0.05)
+    return execute_cell(cell, baseline, timeout_s)

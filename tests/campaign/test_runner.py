@@ -175,3 +175,60 @@ class TestProgressAndSummary:
         progress = ProgressReporter(len(tiny_spec), workers=1, enabled=False)
         run_campaign(tiny_spec, store=store, max_workers=1, progress=progress)
         assert capsys.readouterr().err == ""
+
+
+class TestWastedCompute:
+    """Failed attempts must surface the seconds they burned."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_failed_cells_carry_their_wasted_seconds(
+        self, tiny_spec, store, workers
+    ):
+        from tests.campaign.helpers import wasteful_worker
+
+        result = run_campaign(
+            tiny_spec, store=store, max_workers=workers, worker=wasteful_worker
+        )
+        failed = [r for r in result.results if r.status == "failed"]
+        assert failed, "no RD cells failed"
+        for r in failed:
+            # 2 attempts (1 retry) x 0.05s each
+            assert r.attempts == 2
+            assert r.elapsed_s == pytest.approx(0.10)
+            assert "RuntimeError: wasted" in r.error
+        # the manifest attributes the same wasted compute per cell
+        for r in failed:
+            cell = result.manifest.cell(r.cell.label)
+            assert cell.status == "failed"
+            assert cell.wasted_s == pytest.approx(0.10)
+        # ...and failed seconds never leak into the compute aggregate
+        assert result.compute_s == pytest.approx(
+            sum(r.elapsed_s for r in result.results if r.ok)
+        )
+
+    def test_progress_line_reports_wasted_seconds(self, tiny_spec):
+        import io
+
+        from repro.campaign.runner import CellResult
+
+        cell = tiny_spec.cells()[0]
+        stream = io.StringIO()
+        progress = ProgressReporter(1, workers=1, stream=stream)
+        progress.cell_done(
+            CellResult(
+                cell=cell, status="failed", elapsed_s=0.1, attempts=2,
+                error="RuntimeError: boom",
+            )
+        )
+        line = stream.getvalue()
+        assert "(0.10s wasted)" in line
+        assert "RuntimeError: boom" in line
+
+    def test_campaign_result_carries_run_id_and_manifest(
+        self, tiny_spec, store
+    ):
+        result = run_campaign(tiny_spec, store=store, run_id="cafecafecafecafe")
+        assert result.run_id == "cafecafecafecafe"
+        assert result.manifest.run_id == "cafecafecafecafe"
+        assert len(result.manifest.cells) == len(result.results)
+        assert store.get_manifest("cafecafecafecafe") is not None

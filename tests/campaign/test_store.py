@@ -173,6 +173,81 @@ class TestStore:
         assert len(store) == 0
         assert store.get(cell) is None
 
+    def test_overwrites_are_counted(self, store, solved):
+        cell, report = solved
+        assert store.stats()["overwrites"] == 0
+        store.put(cell, report)
+        assert store.stats()["overwrites"] == 0
+        store.put(cell, report)  # same key again: an overwrite
+        store.put(cell, report)
+        assert store.overwrites == 2
+        assert store.stats()["overwrites"] == 2
+        assert len(store) == 1
+
+
+def make_manifest(run_id: str, name: str = "m", finished_at: float = 2000.0):
+    from repro.campaign.manifest import ManifestCell, RunManifest
+
+    return RunManifest(
+        run_id=run_id,
+        name=name,
+        workers=2,
+        heartbeat_interval_s=1.0,
+        started_at=1000.0,
+        finished_at=finished_at,
+        wall_s=finished_at - 1000.0,
+        counters={"cells": 1, "ran": 1},
+        cells=(
+            ManifestCell(
+                label="wathen100/r8/f2/x0.25/LI", cell_id="a" * 16,
+                scheme="LI", status="ran", compute_s=1.0,
+            ),
+        ),
+    )
+
+
+class TestManifestPersistence:
+    def test_round_trips_through_the_store(self, store):
+        manifest = make_manifest("feedbeeffeedbeef")
+        store.put_manifest(manifest)
+        assert store.get_manifest("feedbeeffeedbeef") == manifest
+
+    def test_missing_run_id_is_none(self, store):
+        assert store.get_manifest("absent") is None
+        assert store.latest_manifest() is None
+
+    def test_latest_wins_by_finish_time(self, store):
+        store.put_manifest(make_manifest("a" * 16, finished_at=2000.0))
+        store.put_manifest(make_manifest("b" * 16, finished_at=3000.0))
+        assert store.latest_manifest().run_id == "b" * 16
+        listed = store.manifests()
+        assert [run_id for run_id, _, _ in listed] == ["b" * 16, "a" * 16]
+
+    def test_rewriting_a_run_id_replaces_it(self, store):
+        store.put_manifest(make_manifest("a" * 16, name="first"))
+        store.put_manifest(make_manifest("a" * 16, name="second"))
+        assert store.get_manifest("a" * 16).name == "second"
+        assert len(store.manifests()) == 1
+
+    def test_manifests_survive_reopen_and_clear_removes_them(
+        self, tmp_path, solved
+    ):
+        with ResultStore(tmp_path / "cache") as store:
+            store.put_manifest(make_manifest("a" * 16))
+        with ResultStore(tmp_path / "cache") as store:
+            assert store.get_manifest("a" * 16) is not None
+            store.clear()
+            assert store.get_manifest("a" * 16) is None
+
+    def test_manifest_writes_never_touch_payloads(self, store, solved):
+        cell, report = solved
+        store.put(cell, report)
+        payload = store._payload_path(cell_key(cell))
+        before = payload.read_bytes()
+        store.put_manifest(make_manifest("a" * 16))
+        assert payload.read_bytes() == before
+        assert store.stats()["overwrites"] == 0
+
 
 class TestConcurrency:
     """The serving tier reads and writes from worker threads; two CLI

@@ -90,6 +90,14 @@ class TestRollup:
         assert "recovery.latency_s{scheme=F0}" in text
 
 
+def payload_bytes(root) -> dict[str, bytes]:
+    """Every stored payload keyed by filename, byte-exact."""
+    return {
+        p.name: p.read_bytes()
+        for p in sorted((root / "payloads").rglob("*.json"))
+    }
+
+
 class TestSerialParallelBitIdentity:
     def test_serial_and_parallel_export_identical_jsonl(self, traced_spec, tmp_path):
         serial = run_campaign(
@@ -100,6 +108,38 @@ class TestSerialParallelBitIdentity:
         )
         assert serial.n_failed == parallel.n_failed == 0
         assert cell_lines(serial) == cell_lines(parallel)
+
+    def test_stored_payloads_are_byte_identical_with_the_channel_active(
+        self, traced_spec, tmp_path
+    ):
+        """The fleet channel is side-band only: a serial run and a
+        2-worker run (heartbeats, forwarded events and all) must write
+        byte-identical payload files under identical content keys."""
+        events: list[dict] = []
+        run_campaign(traced_spec, store=ResultStore(tmp_path / "serial"))
+        run_campaign(
+            traced_spec,
+            store=ResultStore(tmp_path / "parallel"),
+            max_workers=2,
+            heartbeat_interval_s=0.05,
+            event_sink=events.append,
+        )
+        assert events, "the channel was not active"
+        serial = payload_bytes(tmp_path / "serial")
+        parallel = payload_bytes(tmp_path / "parallel")
+        assert set(serial) == set(parallel)
+        assert serial == parallel
+
+    def test_fresh_and_cached_payloads_share_one_identity(
+        self, traced_spec, tmp_path
+    ):
+        """A resume must not rewrite (or re-annotate) stored payloads."""
+        store = ResultStore(tmp_path / "cache")
+        run_campaign(traced_spec, store=store)
+        before = payload_bytes(tmp_path / "cache")
+        result = run_campaign(traced_spec, store=store)
+        assert result.n_cached == len(result.results)
+        assert payload_bytes(tmp_path / "cache") == before
 
 
 class TestAnalysisEdgeCases:

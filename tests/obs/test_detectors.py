@@ -187,6 +187,161 @@ class TestSpanIntegrity:
         assert any("solve span covers" in f.message for f in findings)
 
 
+def fleet_manifest(**overrides):
+    """A healthy 2-worker campaign manifest to corrupt per test.
+
+    Built from plain manifest rows (the detectors duck-type the
+    manifest; obs never imports the campaign runner to produce one).
+    """
+    from repro.campaign.manifest import ManifestCell, ManifestWorker, RunManifest
+
+    fields = dict(
+        run_id="feedbeeffeedbeef",
+        name="fleet",
+        workers=2,
+        heartbeat_interval_s=1.0,
+        started_at=1000.0,
+        finished_at=1020.0,
+        wall_s=20.0,
+        counters={
+            "cells": 4, "ran": 4, "cached": 0, "failed": 0, "retries": 0,
+            "store_overwrites": 0,
+        },
+        cells=tuple(
+            ManifestCell(
+                label=f"m{i}/r8/f2/x0.25/RD", cell_id=f"{i:016x}",
+                scheme="RD", status="ran", worker=101 + i % 2,
+                started_ts=1000.0 + i, finished_ts=1002.0 + i, compute_s=2.0,
+            )
+            for i in range(4)
+        ),
+        worker_rows=(
+            ManifestWorker(
+                worker=101, cells_done=4, busy_s=8.0, heartbeats=20,
+                max_heartbeat_gap_s=1.2,
+            ),
+            ManifestWorker(
+                worker=102, cells_done=4, busy_s=8.5, heartbeats=20,
+                max_heartbeat_gap_s=1.1,
+            ),
+        ),
+    )
+    fields.update(overrides)
+    return RunManifest(**fields)
+
+
+class TestFleetDetectors:
+    """Fleet-scoped detectors judge the campaign manifest, not cells."""
+
+    FLEET = ("worker_straggler", "heartbeat_gap", "retry_storm", "cache_stampede")
+
+    def test_fleet_scope_is_registered(self):
+        scopes = {d.name: d.scope for d in detectors()}
+        for name in self.FLEET:
+            assert scopes[name] == "fleet"
+
+    def test_skipped_without_a_manifest(self):
+        assert run_detectors([], list(self.FLEET)) == []
+
+    def test_healthy_manifest_passes(self):
+        assert run_detectors([], list(self.FLEET), manifest=fleet_manifest()) == []
+
+    def test_cell_hung_past_campaign_end_is_a_straggler(self):
+        from dataclasses import replace as drep
+
+        manifest = fleet_manifest()
+        hung = drep(
+            manifest,
+            finished_at=1100.0,
+            cells=(
+                *manifest.cells[:3],
+                drep(manifest.cells[3], status="running", finished_ts=None),
+            ),
+        )
+        (finding,) = run_detectors([], ["worker_straggler"], manifest=hung)
+        assert finding.severity == "error"
+        assert "still running" in finding.message
+
+    def test_one_slow_worker_is_a_straggler_warning(self):
+        from dataclasses import replace as drep
+        from repro.campaign.manifest import ManifestWorker
+
+        # three workers so the pool median is set by the healthy pair
+        manifest = fleet_manifest()
+        skewed = drep(
+            manifest,
+            worker_rows=(
+                *manifest.worker_rows,
+                ManifestWorker(
+                    worker=103, cells_done=4, busy_s=200.0, heartbeats=20,
+                    max_heartbeat_gap_s=1.0,
+                ),
+            ),
+        )
+        (finding,) = run_detectors([], ["worker_straggler"], manifest=skewed)
+        assert finding.severity == "warning"
+        assert finding.cell == "fleet/worker-103"
+
+    def test_silent_busy_worker_is_a_heartbeat_gap(self):
+        from dataclasses import replace as drep
+
+        manifest = fleet_manifest()
+        silent = drep(
+            manifest,
+            worker_rows=(
+                drep(manifest.worker_rows[0], max_heartbeat_gap_s=30.0),
+                manifest.worker_rows[1],
+            ),
+        )
+        (finding,) = run_detectors([], ["heartbeat_gap"], manifest=silent)
+        assert finding.severity == "error"
+        assert finding.value == pytest.approx(30.0)
+
+    def test_heartbeats_disabled_never_fires(self):
+        from dataclasses import replace as drep
+
+        manifest = fleet_manifest()
+        serial = drep(
+            manifest,
+            heartbeat_interval_s=0.0,
+            worker_rows=(
+                drep(manifest.worker_rows[0], max_heartbeat_gap_s=999.0),
+            ),
+        )
+        assert run_detectors([], ["heartbeat_gap"], manifest=serial) == []
+
+    def test_retry_storm_needs_both_count_and_ratio(self):
+        def with_retries(retries, ran):
+            m = fleet_manifest()
+            return run_detectors(
+                [], ["retry_storm"],
+                manifest=fleet_manifest(
+                    counters={**m.counters, "retries": retries, "ran": ran}
+                ),
+            )
+
+        assert with_retries(2, 4) == []  # below the absolute floor
+        assert with_retries(3, 100) == []  # below the ratio
+        (finding,) = with_retries(3, 4)
+        assert finding.detector == "retry_storm"
+
+    def test_cache_stampede_fires_on_mass_overwrites(self):
+        m = fleet_manifest()
+        assert run_detectors(
+            [], ["cache_stampede"],
+            manifest=fleet_manifest(
+                counters={**m.counters, "store_overwrites": 2, "ran": 4}
+            ),
+        ) == []
+        (finding,) = run_detectors(
+            [], ["cache_stampede"],
+            manifest=fleet_manifest(
+                counters={**m.counters, "store_overwrites": 4, "ran": 4}
+            ),
+        )
+        assert "overwrote" in finding.message
+
+
 class TestDoctorScenario:
     """The acceptance case: a span gap plus an energy imbalance."""
 
